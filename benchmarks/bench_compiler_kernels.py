@@ -1,0 +1,63 @@
+"""Kernel benchmarks: compiler passes and simulator throughput.
+
+These complement the table/figure reproductions with classic
+pytest-benchmark timing of the library's hot paths (multiple rounds;
+useful for tracking performance regressions of the compiler itself —
+the paper's Table I reports compile times for the same reason).
+"""
+
+import pytest
+
+from repro.arch import ArchConfig, MIN_EDP_CONFIG
+from repro.compiler import compile_dag, decompose, map_banks
+from repro.arch import Interconnect
+from repro.graphs import binarize
+from repro.sim import run_program
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return build_workload("tretail", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def bdag(dag):
+    return binarize(dag).dag
+
+
+def test_bench_binarize(benchmark, dag):
+    result = benchmark(lambda: binarize(dag))
+    assert result.dag.is_binary()
+
+
+def test_bench_decompose(benchmark, bdag):
+    result = benchmark(lambda: decompose(bdag, MIN_EDP_CONFIG))
+    assert result.num_blocks > 0
+
+
+def test_bench_map_banks(benchmark, bdag):
+    decomp = decompose(bdag, MIN_EDP_CONFIG)
+    ic = Interconnect(MIN_EDP_CONFIG)
+    result = benchmark(lambda: map_banks(decomp, ic))
+    assert result.bank_of
+
+
+def test_bench_full_compile(benchmark, dag):
+    result = benchmark.pedantic(
+        lambda: compile_dag(dag, MIN_EDP_CONFIG, validate_input=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.stats.num_blocks > 0
+
+
+def test_bench_simulator(benchmark, dag):
+    result = compile_dag(dag, MIN_EDP_CONFIG, validate_input=False)
+    inputs = [1.0] * dag.num_inputs
+    sim = benchmark.pedantic(
+        lambda: run_program(result.program, inputs),
+        rounds=3,
+        iterations=1,
+    )
+    assert sim.cycles > 0

@@ -1,0 +1,16 @@
+"""Bench + reproduction of fig. 1(c): CPU/GPU throughput vs DAG size."""
+
+from repro.experiments import fig01_motivation
+
+from conftest import publish
+
+
+def test_fig01_motivation(benchmark):
+    result = benchmark.pedantic(
+        fig01_motivation.run, rounds=1, iterations=1
+    )
+    publish("fig01_motivation", fig01_motivation.render(result))
+    # Shape: GPU must improve with size and lose to the CPU when small.
+    first, last = result.points[0], result.points[-1]
+    assert first.cpu_gops > first.gpu_gops
+    assert last.gpu_gops > first.gpu_gops

@@ -1,0 +1,19 @@
+"""Bench + reproduction of fig. 3(c): systolic vs tree peak utilization."""
+
+from repro.experiments import fig03_utilization
+
+from conftest import publish
+
+
+def test_fig03_utilization(benchmark):
+    result = benchmark.pedantic(
+        fig03_utilization.run,
+        kwargs={"workload": "tretail", "scale": 0.05},
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig03_utilization", fig03_utilization.render(result))
+    assert all(
+        p.tree_utilization >= p.systolic_utilization for p in result.points
+    )
+    assert result.points[-1].systolic_utilization < 0.8

@@ -1,0 +1,22 @@
+"""Bench + reproduction of fig. 6(e): conflicts per interconnect topology."""
+
+from repro.arch import Topology
+from repro.experiments import fig06_interconnect
+
+from conftest import publish
+
+
+def test_fig06_interconnect(benchmark):
+    result = benchmark.pedantic(
+        fig06_interconnect.run, rounds=1, iterations=1
+    )
+    publish("fig06_interconnect", fig06_interconnect.render(result))
+    by = {r.topology: r for r in result.rows}
+    # Ordering claim of fig. 6(e): (a) <= (b) << (c).
+    assert (
+        by[Topology.CROSSBAR_BOTH].conflicts
+        <= by[Topology.OUTPUT_PER_LAYER].conflicts
+        <= by[Topology.OUTPUT_SINGLE].conflicts
+    )
+    # (b)'s latency premium over (a) is small (paper: ~1%).
+    assert by[Topology.OUTPUT_PER_LAYER].latency_normalized < 1.25

@@ -1,0 +1,28 @@
+"""Bench + reproduction of fig. 11: the 48-point DSE."""
+
+from repro.experiments import fig11_dse
+
+from conftest import publish
+
+
+def test_fig11_design_space(benchmark):
+    experiment = benchmark.pedantic(
+        fig11_dse.run, rounds=1, iterations=1
+    )
+    publish("fig11_dse", fig11_dse.render(experiment))
+    summary = experiment.summary
+    # Paper structure: optimum corners use deep trees (our D2/D3 are
+    # within a few percent; the depth *trend* below is strict), the
+    # min-latency point maxes out R (paper R=128), min-EDP sits at
+    # B=64 with a mid R, and min-energy retreats to few banks.
+    assert summary.min_edp.config.depth >= 2
+    assert summary.min_latency.config.regs_per_bank >= 64
+    assert summary.min_edp.config.banks == 64
+    assert summary.min_energy.config.banks <= 16
+    assert (
+        summary.min_latency.config.banks >= summary.min_energy.config.banks
+    )
+    # Deeper trees improve both mean latency and mean energy (§V-B).
+    trend = fig11_dse.depth_trend(experiment)
+    assert trend[-1][1] < trend[0][1]  # latency
+    assert trend[-1][2] < trend[0][2]  # energy

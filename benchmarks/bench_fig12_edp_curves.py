@@ -1,0 +1,23 @@
+"""Bench + reproduction of fig. 12: latency-energy trade-off curves."""
+
+from repro.experiments import fig12_edp_curves
+
+from conftest import publish
+
+
+def test_fig12_edp_curves(benchmark):
+    # fig. 12 re-reads the fig. 11 design space; a lighter sweep is
+    # enough for the scatter/Pareto/iso-EDP claims asserted here.
+    curves = benchmark.pedantic(
+        fig12_edp_curves.run,
+        kwargs={
+            "workload_names": ("tretail", "bp_200"),
+            "scale": 0.05,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig12_edp_curves", fig12_edp_curves.render(curves))
+    # Paper: latency varies more across the grid than energy.
+    assert curves.latency_spread > curves.energy_spread
+    assert len(curves.front) >= 2

@@ -1,0 +1,19 @@
+"""Bench + reproduction of fig. 13: instruction-category breakdown."""
+
+from repro.experiments import fig13_breakdown
+
+from conftest import publish
+
+
+def test_fig13_instruction_breakdown(benchmark):
+    result = benchmark.pedantic(
+        fig13_breakdown.run, kwargs={"scale": 0.1}, rounds=1, iterations=1
+    )
+    publish("fig13_breakdown", fig13_breakdown.render(result))
+    for row in result.rows:
+        # exec is always a substantial share; copies never dominate.
+        assert row.exec_fraction > 0.1
+        assert (
+            row.fraction("copy") + row.fraction("copy_4")
+            < row.exec_fraction * 2
+        )

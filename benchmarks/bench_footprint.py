@@ -1,0 +1,14 @@
+"""Bench + reproduction of the §III-B / §IV-E footprint claims."""
+
+from repro.experiments import footprint
+
+from conftest import publish
+
+
+def test_footprint_savings(benchmark):
+    result = benchmark.pedantic(footprint.run, rounds=1, iterations=1)
+    publish("footprint", footprint.render(result))
+    # ~30% program-size saving from automatic write addressing.
+    assert 0.15 < result.mean_auto_write_saving() < 0.45
+    # Total (instructions + data) beats the CSR representation.
+    assert result.mean_vs_csr_saving() > 0.25

@@ -1,0 +1,23 @@
+"""Bench + reproduction of Table I: workload statistics + compile time."""
+
+from repro.experiments import table1_workloads
+
+from conftest import publish
+
+
+def test_table1_workloads(benchmark):
+    result = benchmark.pedantic(
+        table1_workloads.run, rounds=1, iterations=1
+    )
+    publish("table1_workloads", table1_workloads.render(result))
+    # Scaled instances track the published size ordering.
+    nodes = [r.stats.nodes for r in result.rows]
+    paper = [r.paper_nodes for r in result.rows]
+    bigger_pairs = sum(
+        1
+        for i in range(len(nodes))
+        for j in range(i + 1, len(nodes))
+        if (nodes[i] < nodes[j]) == (paper[i] < paper[j])
+    )
+    total_pairs = len(nodes) * (len(nodes) - 1) // 2
+    assert bigger_pairs / total_pairs > 0.7

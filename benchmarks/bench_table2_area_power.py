@@ -1,0 +1,23 @@
+"""Bench + reproduction of Table II: area/power breakdown."""
+
+from repro.experiments import table2_area_power
+
+from conftest import publish
+
+
+def test_table2_area_power(benchmark):
+    result = benchmark.pedantic(
+        table2_area_power.run, rounds=1, iterations=1
+    )
+    publish("table2_area_power", table2_area_power.render(result))
+    # Area model is anchored: total must be ~3.2mm2.
+    assert abs(result.area.total_mm2 - 3.21) < 0.1
+    # Power within the paper's order of magnitude.
+    assert (
+        0.2 * result.paper_total_power_mw
+        < result.total_power_mw
+        < 5 * result.paper_total_power_mw
+    )
+    # Memories dominate the floorplan (Table II: ~75%).
+    area = result.area
+    assert (area.instr_memory + area.data_memory) / area.total_mm2 > 0.6

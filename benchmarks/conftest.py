@@ -1,0 +1,16 @@
+"""Benchmark-harness helpers: every bench writes its reproduced
+table/series to ``results/`` and prints it, so a benchmark run
+regenerates the paper's figures as text artifacts."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Save a rendered table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Mini design-space exploration (§V of the paper).
+
+Sweeps a reduced (D, B, R) grid over two workloads, prints the
+latency/energy/EDP surface and the optimum corners, and shows the
+interconnect trade-off of fig. 6.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import ArchConfig, Topology
+from repro.analysis import format_table
+from repro.dse import pareto_front, run_sweep, summarize
+from repro.experiments.common import measure
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    workloads = {
+        "tretail": build_workload("tretail", scale=0.05),
+        "bp_200": build_workload("bp_200", scale=0.05),
+    }
+    configs = [
+        ArchConfig(depth=d, banks=b, regs_per_bank=r)
+        for d in (1, 2, 3)
+        for b in (8, 16, 32)
+        if b >= (1 << d)
+        for r in (16, 64)
+    ]
+    print(f"sweeping {len(configs)} configurations "
+          f"over {sorted(workloads)} ...")
+    result = run_sweep(workloads, configs=configs)
+
+    rows = [
+        (
+            p.label,
+            round(p.latency_per_op_ns, 3),
+            round(p.energy_per_op_pj, 1),
+            round(p.edp_per_op, 1),
+        )
+        for p in sorted(result.points, key=lambda p: p.edp_per_op)
+    ]
+    print(format_table(["config", "ns/op", "pJ/op", "EDP"], rows))
+
+    summary = summarize(result)
+    print(f"\nmin latency: {summary.min_latency.label}")
+    print(f"min energy:  {summary.min_energy.label}")
+    print(f"min EDP:     {summary.min_edp.label}")
+    front = pareto_front(result)
+    print(f"Pareto front: {' -> '.join(p.label for p in front)}")
+
+    # Interconnect study (fig. 6): same DAG, different output wiring.
+    print("\ninterconnect trade-off on tretail (fig. 6):")
+    dag = workloads["tretail"]
+    cfg = ArchConfig(depth=3, banks=16, regs_per_bank=64)
+    for topology in (
+        Topology.CROSSBAR_BOTH,
+        Topology.OUTPUT_PER_LAYER,
+        Topology.OUTPUT_SINGLE,
+    ):
+        m = measure(dag, cfg, topology=topology)
+        print(
+            f"  {topology.value:18s}: "
+            f"{m.compile_result.stats.bank_conflicts:4d} conflicts, "
+            f"{m.counters.cycles:5d} cycles"
+        )
+
+
+if __name__ == "__main__":
+    main()

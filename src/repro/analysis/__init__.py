@@ -1,0 +1,15 @@
+"""Analysis helpers: instruction mix, occupancy traces, text reports."""
+
+from .breakdown import CATEGORIES, InstructionBreakdown, instruction_breakdown
+from .occupancy import OccupancyProfile, occupancy_profile
+from .report import format_series, format_table
+
+__all__ = [
+    "CATEGORIES",
+    "InstructionBreakdown",
+    "instruction_breakdown",
+    "OccupancyProfile",
+    "occupancy_profile",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,49 @@
+"""Instruction-mix analysis (fig. 13 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import Program
+
+#: Category order used in the paper's fig. 13 legend.
+CATEGORIES = ("exec", "copy", "copy_4", "load", "store", "store_4", "nop")
+
+
+@dataclass(frozen=True)
+class InstructionBreakdown:
+    """Fraction of each instruction category in one program."""
+
+    workload: str
+    counts: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, category: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(category, 0) / self.total
+
+    def fractions(self) -> dict[str, float]:
+        return {c: self.fraction(c) for c in CATEGORIES}
+
+    @property
+    def exec_fraction(self) -> float:
+        return self.fraction("exec")
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Everything that is not exec — the compiler's tax."""
+        return 1.0 - self.exec_fraction
+
+
+def instruction_breakdown(program: Program) -> InstructionBreakdown:
+    """Categorize a compiled program's instruction stream."""
+    counts = {c: 0 for c in CATEGORIES}
+    for mnemonic, count in program.count_by_mnemonic().items():
+        counts[mnemonic] = counts.get(mnemonic, 0) + count
+    return InstructionBreakdown(
+        workload=program.source_name, counts=counts
+    )

@@ -1,0 +1,66 @@
+"""Register-occupancy traces (fig. 10(c)/(d) of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler import Allocation
+
+
+@dataclass(frozen=True)
+class OccupancyProfile:
+    """Summary of the active-registers-per-bank trace.
+
+    Attributes:
+        samples: Downsampled per-bank occupancy, one row per kept
+            cycle (bank-major columns).
+        peak_per_bank: Maximum occupancy each bank reached.
+        balance: max/mean of time-averaged per-bank occupancy — 1.0 is
+            perfectly balanced (the paper's objective J).
+    """
+
+    samples: list[list[int]]
+    peak_per_bank: list[int]
+    balance: float
+
+    @property
+    def global_peak(self) -> int:
+        return max(self.peak_per_bank, default=0)
+
+    @property
+    def mean_peak(self) -> float:
+        if not self.peak_per_bank:
+            return 0.0
+        return sum(self.peak_per_bank) / len(self.peak_per_bank)
+
+
+def occupancy_profile(
+    allocation: Allocation, max_samples: int = 512
+) -> OccupancyProfile:
+    """Summarize an allocation trace (requires ``trace=True`` compile).
+
+    Args:
+        max_samples: Downsampling cap for the stored trace.
+    """
+    trace = allocation.trace
+    if not trace:
+        return OccupancyProfile(
+            samples=[],
+            peak_per_bank=list(allocation.peak_occupancy),
+            balance=1.0,
+        )
+    step = max(1, len(trace) // max_samples)
+    samples = [list(row) for row in trace[::step]]
+    banks = len(trace[0])
+    means = [0.0] * banks
+    for row in trace:
+        for b, occ in enumerate(row):
+            means[b] += occ
+    means = [m / len(trace) for m in means]
+    grand = sum(means) / banks if banks else 0.0
+    balance = (max(means) / grand) if grand > 0 else 1.0
+    return OccupancyProfile(
+        samples=samples,
+        peak_per_bank=list(allocation.peak_occupancy),
+        balance=balance,
+    )

@@ -1,0 +1,55 @@
+"""Plain-text rendering of tables and series for the bench harness.
+
+The paper's artifact plots PDFs; in this reproduction every table and
+figure is re-emitted as aligned text so results live in test logs and
+``EXPERIMENTS.md`` diffs instead of binary artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = ""
+) -> str:
+    """Render one figure series as ``x: y`` lines."""
+    lines = [f"{name} {f'({unit})' if unit else ''}".rstrip()]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,484 @@
+"""Bit-level instruction encoding (fig. 7).
+
+Instructions have different lengths depending on what they must encode;
+the encoder packs them densely into a bitstream with no padding, and a
+decoder recovers the hardware-visible fields (a shifter plus decoder in
+hardware).  ``IL``, the fetch width, equals the longest format (exec).
+
+Field layout (all widths derived from the configuration):
+
+====== =================================================================
+opcode 4 bits (NOP=0 EXEC=1 COPY=2 COPY4=3 LOAD=4 STORE=5 STORE4=6)
+exec   per bank:  read_en(1) + read_addr(log2 R) + valid_rst(1)
+       per port:  src_bank(log2 B)
+       per PE:    pe_op(3)
+       per bank:  write_sel(ceil(log2(#connected PEs + 1)))
+copy   per bank:  read_en(1) + read_addr(log2 R) + valid_rst(1)
+       per bank:  write_en(1) + src_bank(log2 B)
+copy4  count(3) + 4 x [src_bank + dst_bank + read_addr + valid_rst(1)]
+load   row(log2 rows) + per bank: enable(1)
+store  row(log2 rows) + per bank: enable(1)+read_addr+valid_rst(1)
+store4 row(log2 rows) + count(3) + 4 x [bank + read_addr + valid_rst(1)]
+nop    opcode only (4 bits, as in the paper's example table)
+====== =================================================================
+
+Variable tags (which DAG value a register holds) are compiler
+bookkeeping and are *not* encoded — the hardware never sees them, which
+is exactly the point of the automatic write policy.  Consequently
+``decode`` returns address-level records; round-trip tests verify
+``encode -> decode -> re-encode`` stability and field equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EncodingError
+from .config import ArchConfig
+from .interconnect import Interconnect
+from .isa import (
+    CopyInstr,
+    ExecInstr,
+    Instruction,
+    LoadInstr,
+    NopInstr,
+    PEOp,
+    Program,
+    StoreInstr,
+)
+
+OPCODE_BITS = 4
+PE_OP_BITS = 3
+COUNT_BITS = 3
+
+_OPCODES = {
+    "nop": 0,
+    "exec": 1,
+    "copy": 2,
+    "copy_4": 3,
+    "load": 4,
+    "store": 5,
+    "store_4": 6,
+}
+_MNEMONIC_OF = {v: k for k, v in _OPCODES.items()}
+
+
+def _clog2(n: int) -> int:
+    """Bits needed to represent values 0..n-1 (at least 1)."""
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class InstrWidths:
+    """Instruction lengths (bits) for one design point."""
+
+    exec: int
+    copy: int
+    copy4: int
+    load: int
+    store: int
+    store4: int
+    nop: int
+
+    @property
+    def il(self) -> int:
+        """Fetch width = longest format."""
+        return max(
+            self.exec, self.copy, self.copy4, self.load, self.store,
+            self.store4, self.nop,
+        )
+
+    def of(self, mnemonic: str) -> int:
+        return {
+            "exec": self.exec,
+            "copy": self.copy,
+            "copy_4": self.copy4,
+            "load": self.load,
+            "store": self.store,
+            "store_4": self.store4,
+            "nop": self.nop,
+        }[mnemonic]
+
+
+def instruction_widths(
+    config: ArchConfig, interconnect: Interconnect
+) -> InstrWidths:
+    """Compute the format table for a configuration."""
+    b = config.banks
+    addr = _clog2(config.regs_per_bank)
+    bank_sel = _clog2(b)
+    row = _clog2(config.data_mem_rows)
+    write_sel = sum(
+        _clog2(len(interconnect.pes_writing_to(bank)) + 1)
+        for bank in range(b)
+    )
+    exec_bits = (
+        OPCODE_BITS
+        + b * (1 + addr + 1)  # reads
+        + b * bank_sel  # input crossbar selects
+        + config.num_pes * PE_OP_BITS
+        + write_sel
+    )
+    copy_bits = OPCODE_BITS + b * (1 + addr + 1) + b * (1 + bank_sel)
+    copy4_bits = OPCODE_BITS + COUNT_BITS + 4 * (2 * bank_sel + addr + 1)
+    load_bits = OPCODE_BITS + row + b
+    store_bits = OPCODE_BITS + row + b * (1 + addr + 1)
+    store4_bits = OPCODE_BITS + row + COUNT_BITS + 4 * (bank_sel + addr + 1)
+    return InstrWidths(
+        exec=exec_bits,
+        copy=copy_bits,
+        copy4=copy4_bits,
+        load=load_bits,
+        store=store_bits,
+        store4=store4_bits,
+        nop=OPCODE_BITS,
+    )
+
+
+class BitWriter:
+    """Append-only bitstream builder (MSB-first within each field)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._bits = 0
+
+    def write(self, value: int, width: int) -> None:
+        if width < 0:
+            raise EncodingError("negative field width")
+        if value < 0 or value >= (1 << width):
+            raise EncodingError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self._value = (self._value << width) | value
+        self._bits += width
+
+    @property
+    def bit_length(self) -> int:
+        return self._bits
+
+    def to_bytes(self) -> bytes:
+        pad = (-self._bits) % 8
+        return (self._value << pad).to_bytes((self._bits + pad) // 8, "big")
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitWriter` stream."""
+
+    def __init__(self, data: bytes, total_bits: int) -> None:
+        self._value = int.from_bytes(data, "big") >> ((-total_bits) % 8)
+        self._total = total_bits
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        if self._pos + width > self._total:
+            raise EncodingError("bitstream underrun")
+        shift = self._total - self._pos - width
+        self._pos += width
+        return (self._value >> shift) & ((1 << width) - 1)
+
+    @property
+    def remaining(self) -> int:
+        return self._total - self._pos
+
+
+# ---------------------------------------------------------------------------
+# Hardware-level decoded records (no variable tags)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodedInstr:
+    """Decoder output: mnemonic plus hardware-visible fields."""
+
+    mnemonic: str
+    fields: dict[str, object] = field(default_factory=dict)
+
+
+class ProgramEncoder:
+    """Encodes resolved instructions into the dense bitstream.
+
+    Args:
+        config: Architecture point.
+        interconnect: Needed for output write-mux select widths.
+    """
+
+    def __init__(self, config: ArchConfig, interconnect: Interconnect) -> None:
+        self.config = config
+        self.interconnect = interconnect
+        self.widths = instruction_widths(config, interconnect)
+        self._addr_bits = _clog2(config.regs_per_bank)
+        self._bank_bits = _clog2(config.banks)
+        self._row_bits = _clog2(config.data_mem_rows)
+
+    # -- per-instruction encoders ------------------------------------
+    def encode_instruction(
+        self,
+        writer: BitWriter,
+        instr: Instruction,
+        read_addr: dict[int, int],
+    ) -> int:
+        """Append one instruction; returns its encoded length in bits.
+
+        Args:
+            read_addr: bank -> resolved register read address for every
+                bank this instruction reads (from the allocation pass).
+        """
+        start = writer.bit_length
+        mnemonic = instr.mnemonic
+        writer.write(_OPCODES[mnemonic], OPCODE_BITS)
+        if isinstance(instr, NopInstr):
+            pass
+        elif isinstance(instr, ExecInstr):
+            self._encode_exec(writer, instr, read_addr)
+        elif isinstance(instr, CopyInstr):
+            if mnemonic == "copy_4":
+                self._encode_copy4(writer, instr, read_addr)
+            else:
+                self._encode_copy(writer, instr, read_addr)
+        elif isinstance(instr, LoadInstr):
+            writer.write(instr.row, self._row_bits)
+            enabled = {bank for bank, _ in instr.dests}
+            for bank in range(self.config.banks):
+                writer.write(1 if bank in enabled else 0, 1)
+        elif isinstance(instr, StoreInstr):
+            if mnemonic == "store_4":
+                self._encode_store4(writer, instr, read_addr)
+            else:
+                self._encode_store(writer, instr, read_addr)
+        else:  # pragma: no cover - exhaustive
+            raise EncodingError(f"unknown instruction {instr!r}")
+        length = writer.bit_length - start
+        expected = self.widths.of(mnemonic)
+        if length != expected:
+            raise EncodingError(
+                f"{mnemonic} encoded to {length}b, format says {expected}b"
+            )
+        return length
+
+    def _encode_reads(
+        self,
+        writer: BitWriter,
+        reads: dict[int, int],
+        rst: frozenset[int],
+        read_addr: dict[int, int],
+    ) -> None:
+        for bank in range(self.config.banks):
+            if bank in reads:
+                writer.write(1, 1)
+                writer.write(read_addr[bank], self._addr_bits)
+                writer.write(1 if bank in rst else 0, 1)
+            else:
+                writer.write(0, 1)
+                writer.write(0, self._addr_bits)
+                writer.write(0, 1)
+
+    def _encode_exec(
+        self, writer: BitWriter, instr: ExecInstr, read_addr: dict[int, int]
+    ) -> None:
+        reads = dict(instr.bank_reads)
+        self._encode_reads(writer, reads, instr.valid_rst, read_addr)
+        for port in range(self.config.banks):
+            src = instr.port_source[port]
+            writer.write(src if src is not None else 0, self._bank_bits)
+        for pe in range(self.config.num_pes):
+            writer.write(instr.pe_ops[pe].value, PE_OP_BITS)
+        write_of_bank = {w.bank: w.pe for w in instr.writes}
+        for bank in range(self.config.banks):
+            options = self.interconnect.pes_writing_to(bank)
+            sel_bits = _clog2(len(options) + 1)
+            if bank in write_of_bank:
+                sel = options.index(write_of_bank[bank]) + 1
+            else:
+                sel = 0
+            writer.write(sel, sel_bits)
+
+    def _encode_copy(
+        self, writer: BitWriter, instr: CopyInstr, read_addr: dict[int, int]
+    ) -> None:
+        reads = {m.src_bank: m.var for m in instr.moves}
+        self._encode_reads(writer, reads, instr.valid_rst, read_addr)
+        dst_to_src = {m.dst_bank: m.src_bank for m in instr.moves}
+        for bank in range(self.config.banks):
+            if bank in dst_to_src:
+                writer.write(1, 1)
+                writer.write(dst_to_src[bank], self._bank_bits)
+            else:
+                writer.write(0, 1)
+                writer.write(0, self._bank_bits)
+
+    def _encode_copy4(
+        self, writer: BitWriter, instr: CopyInstr, read_addr: dict[int, int]
+    ) -> None:
+        moves = instr.moves
+        if len(moves) > 4:
+            raise EncodingError("copy_4 with more than 4 moves")
+        writer.write(len(moves), COUNT_BITS)
+        for i in range(4):
+            if i < len(moves):
+                m = moves[i]
+                writer.write(m.src_bank, self._bank_bits)
+                writer.write(m.dst_bank, self._bank_bits)
+                writer.write(read_addr[m.src_bank], self._addr_bits)
+                writer.write(1 if m.free_source else 0, 1)
+            else:
+                writer.write(0, 2 * self._bank_bits + self._addr_bits + 1)
+
+    def _encode_store(
+        self, writer: BitWriter, instr: StoreInstr, read_addr: dict[int, int]
+    ) -> None:
+        writer.write(instr.row, self._row_bits)
+        slot_of = {s.bank: s for s in instr.slots}
+        for bank in range(self.config.banks):
+            if bank in slot_of:
+                writer.write(1, 1)
+                writer.write(read_addr[bank], self._addr_bits)
+                writer.write(1 if slot_of[bank].free_source else 0, 1)
+            else:
+                writer.write(0, 1 + self._addr_bits + 1)
+
+    def _encode_store4(
+        self, writer: BitWriter, instr: StoreInstr, read_addr: dict[int, int]
+    ) -> None:
+        writer.write(instr.row, self._row_bits)
+        slots = instr.slots
+        if len(slots) > 4:
+            raise EncodingError("store_4 with more than 4 slots")
+        writer.write(len(slots), COUNT_BITS)
+        for i in range(4):
+            if i < len(slots):
+                s = slots[i]
+                writer.write(s.bank, self._bank_bits)
+                writer.write(read_addr[s.bank], self._addr_bits)
+                writer.write(1 if s.free_source else 0, 1)
+            else:
+                writer.write(0, self._bank_bits + self._addr_bits + 1)
+
+
+@dataclass(frozen=True)
+class EncodedProgram:
+    """Densely packed binary program plus accounting."""
+
+    data: bytes
+    total_bits: int
+    lengths: tuple[int, ...]
+    widths: InstrWidths
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def padded_bits(self) -> int:
+        """Size under a fixed-length (pad-to-IL) encoding."""
+        return self.instruction_count * self.widths.il
+
+
+def encode_program(
+    program: Program,
+    read_addrs: list[dict[int, int]],
+    interconnect: Interconnect | None = None,
+) -> EncodedProgram:
+    """Encode a program given per-instruction resolved read addresses."""
+    inter = interconnect or Interconnect(program.config)
+    encoder = ProgramEncoder(program.config, inter)
+    if len(read_addrs) != len(program.instructions):
+        raise EncodingError(
+            "read_addrs must have one entry per instruction"
+        )
+    writer = BitWriter()
+    lengths: list[int] = []
+    for instr, addrs in zip(program.instructions, read_addrs):
+        lengths.append(encoder.encode_instruction(writer, instr, addrs))
+    return EncodedProgram(
+        data=writer.to_bytes(),
+        total_bits=writer.bit_length,
+        lengths=tuple(lengths),
+        widths=encoder.widths,
+    )
+
+
+def decode_program(
+    encoded: EncodedProgram,
+    config: ArchConfig,
+    interconnect: Interconnect | None = None,
+) -> list[DecodedInstr]:
+    """Decode the bitstream back into hardware-level records."""
+    inter = interconnect or Interconnect(config)
+    reader = BitReader(encoded.data, encoded.total_bits)
+    addr_bits = _clog2(config.regs_per_bank)
+    bank_bits = _clog2(config.banks)
+    row_bits = _clog2(config.data_mem_rows)
+    out: list[DecodedInstr] = []
+    while reader.remaining >= OPCODE_BITS:
+        opcode = reader.read(OPCODE_BITS)
+        mnemonic = _MNEMONIC_OF.get(opcode)
+        if mnemonic is None:
+            raise EncodingError(f"invalid opcode {opcode}")
+        fields: dict[str, object] = {}
+        if mnemonic == "exec":
+            fields["reads"] = _decode_reads(reader, config, addr_bits)
+            fields["port_source"] = tuple(
+                reader.read(bank_bits) for _ in range(config.banks)
+            )
+            fields["pe_ops"] = tuple(
+                PEOp(reader.read(PE_OP_BITS)) for _ in range(config.num_pes)
+            )
+            sels = []
+            for bank in range(config.banks):
+                options = inter.pes_writing_to(bank)
+                sel = reader.read(_clog2(len(options) + 1))
+                sels.append(None if sel == 0 else options[sel - 1])
+            fields["write_pe"] = tuple(sels)
+        elif mnemonic == "copy":
+            fields["reads"] = _decode_reads(reader, config, addr_bits)
+            dsts = []
+            for bank in range(config.banks):
+                wen = reader.read(1)
+                src = reader.read(bank_bits)
+                dsts.append(src if wen else None)
+            fields["dst_source"] = tuple(dsts)
+        elif mnemonic == "copy_4":
+            count = reader.read(COUNT_BITS)
+            moves = []
+            for i in range(4):
+                src = reader.read(bank_bits)
+                dst = reader.read(bank_bits)
+                addr = reader.read(addr_bits)
+                rst = reader.read(1)
+                if i < count:
+                    moves.append((src, dst, addr, bool(rst)))
+            fields["moves"] = tuple(moves)
+        elif mnemonic == "load":
+            fields["row"] = reader.read(row_bits)
+            fields["enable"] = tuple(
+                bool(reader.read(1)) for _ in range(config.banks)
+            )
+        elif mnemonic == "store":
+            fields["row"] = reader.read(row_bits)
+            fields["reads"] = _decode_reads(reader, config, addr_bits)
+        elif mnemonic == "store_4":
+            fields["row"] = reader.read(row_bits)
+            count = reader.read(COUNT_BITS)
+            slots = []
+            for i in range(4):
+                bank = reader.read(bank_bits)
+                addr = reader.read(addr_bits)
+                rst = reader.read(1)
+                if i < count:
+                    slots.append((bank, addr, bool(rst)))
+            fields["slots"] = tuple(slots)
+        out.append(DecodedInstr(mnemonic=mnemonic, fields=fields))
+    return out
+
+
+def _decode_reads(
+    reader: BitReader, config: ArchConfig, addr_bits: int
+) -> tuple[tuple[int, bool] | None, ...]:
+    """Per-bank (addr, valid_rst) or None when the bank isn't read."""
+    reads: list[tuple[int, bool] | None] = []
+    for _ in range(config.banks):
+        en = reader.read(1)
+        addr = reader.read(addr_bits)
+        rst = reader.read(1)
+        reads.append((addr, bool(rst)) if en else None)
+    return tuple(reads)

@@ -1,0 +1,127 @@
+"""Datapath <-> register-bank interconnect topologies (fig. 6).
+
+The paper explores four options for connecting ``B`` read ports to the
+``B`` tree inputs and the ``#PE`` outputs to ``B`` write ports:
+
+* (a) ``CROSSBAR_BOTH``   — full crossbars on both sides (fewest
+  conflicts, most expensive);
+* (b) ``OUTPUT_PER_LAYER`` — input crossbar; each bank's write port is
+  connected to exactly one PE *per layer* (the selected design: 1.4×
+  the conflicts of (a) for 9% less power);
+* (c) ``OUTPUT_SINGLE``   — input crossbar; each bank writable from
+  exactly one PE (19× conflicts);
+* (d) ``ONE_TO_ONE``      — no crossbars at all (not evaluated; worse
+  than (c)).
+
+The *input* side is a crossbar for (a)-(c): any read port can source
+any bank, which is what decouples PE mapping from input bank mapping
+during compilation (§IV-B "Impact of the crossbar").
+
+Output connectivity for (b) follows the natural alignment: bank
+``b = t * 2^D + p`` is written by, at each layer ``l``, the PE of tree
+``t`` that sits directly above input port ``p`` (index ``p >> l``).
+Each layer-``l`` PE therefore serves ``2^l`` banks.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError
+from .config import ArchConfig
+
+
+class Topology(enum.Enum):
+    """Interconnect design points of fig. 6 (a)-(d)."""
+
+    CROSSBAR_BOTH = "crossbar_both"
+    OUTPUT_PER_LAYER = "output_per_layer"
+    OUTPUT_SINGLE = "output_single"
+    ONE_TO_ONE = "one_to_one"
+
+    @property
+    def has_input_crossbar(self) -> bool:
+        return self is not Topology.ONE_TO_ONE
+
+
+#: The topology chosen by the paper (design (b) of fig. 6).
+DEFAULT_TOPOLOGY = Topology.OUTPUT_PER_LAYER
+
+
+class Interconnect:
+    """Connectivity oracle for a (config, topology) pair.
+
+    The compiler's constraint H ("the bank should be writable from that
+    PE") is answered by :meth:`banks_writable_from` /
+    :meth:`pes_writing_to`; the simulator uses the same tables so
+    hardware and compiler can never disagree.
+    """
+
+    def __init__(
+        self, config: ArchConfig, topology: Topology = DEFAULT_TOPOLOGY
+    ) -> None:
+        self.config = config
+        self.topology = topology
+        self._bank_to_pes: list[tuple[int, ...]] = []
+        self._pe_to_banks: list[list[int]] = [
+            [] for _ in range(config.num_pes)
+        ]
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        cfg = self.config
+        if self.topology is Topology.CROSSBAR_BOTH:
+            all_pes = tuple(range(cfg.num_pes))
+            self._bank_to_pes = [all_pes for _ in range(cfg.banks)]
+        elif self.topology is Topology.OUTPUT_PER_LAYER:
+            for bank in range(cfg.banks):
+                tree, port = cfg.port_position(bank)
+                pes = tuple(
+                    cfg.pe_id(tree, layer, port >> layer)
+                    for layer in range(1, cfg.depth + 1)
+                )
+                self._bank_to_pes.append(pes)
+        elif self.topology in (Topology.OUTPUT_SINGLE, Topology.ONE_TO_ONE):
+            # Each bank writable from exactly one PE; distribute banks
+            # round-robin over PEs so every PE can write somewhere.
+            for bank in range(cfg.banks):
+                self._bank_to_pes.append((bank % cfg.num_pes,))
+        else:  # pragma: no cover - exhaustive enum
+            raise ConfigError(f"unknown topology {self.topology}")
+        for bank, pes in enumerate(self._bank_to_pes):
+            for pe in pes:
+                self._pe_to_banks[pe].append(bank)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pes_writing_to(self, bank: int) -> tuple[int, ...]:
+        """PE ids whose output is wired to ``bank``'s write port."""
+        return self._bank_to_pes[bank]
+
+    def banks_writable_from(self, pe: int) -> tuple[int, ...]:
+        """Banks reachable from ``pe``'s output."""
+        return tuple(self._pe_to_banks[pe])
+
+    def can_write(self, pe: int, bank: int) -> bool:
+        """Constraint-H check."""
+        return pe in self._bank_to_pes[bank]
+
+    def banks_readable_by_port(self, port: int) -> tuple[int, ...]:
+        """Banks a global input port can source (crossbar: all)."""
+        if self.topology.has_input_crossbar:
+            return tuple(range(self.config.banks))
+        return (port,)
+
+    def can_read(self, port: int, bank: int) -> bool:
+        if self.topology.has_input_crossbar:
+            return True
+        return port == bank
+
+    def write_mux_options(self, bank: int) -> int:
+        """Mux inputs at a bank's write port (for encoding widths).
+
+        Counts the connected PE outputs plus the load path and the copy
+        path (the input-crossbar loopback of fig. 5(c)).
+        """
+        return len(self._bank_to_pes[bank]) + 2

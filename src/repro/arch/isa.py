@@ -1,0 +1,280 @@
+"""Instruction-set IR for DPU-v2 (fig. 7).
+
+The compiler produces a list of these instruction objects; the bit-level
+encoder (``repro.arch.encoding``) turns them into the dense
+variable-length binary the paper describes, and the simulator executes
+either form.
+
+Variables
+---------
+Throughout the IR a *variable* is a binarized-DAG node id: the value
+produced by that node.  The register file stores variables; the
+instruction stream moves them around.  Read *addresses* never appear in
+the IR — they are resolved against the automatic-write-policy register
+allocation (``repro.compiler.regalloc``) at encoding time, exactly
+mirroring how the hardware's priority encoder assigns them.
+
+Write-address semantics (design decision)
+-----------------------------------------
+The paper's automatic write policy stores to "the empty location with
+the lowest address".  We pin down the microarchitectural moment of
+allocation: a write *reserves* its register at issue (decode) time, and
+the data lands when the producing instruction retires.  Reads free
+their register at issue when the instruction's ``valid_rst`` bit for
+that bank is set.  Within one instruction the event order is::
+
+    read operands  ->  apply valid_rst (free)  ->  reserve writes
+
+so a register freed by an instruction can be reused by that same
+instruction's own writes.  Both the compiler and the hardware model
+implement this order, which is what makes the compiler's address
+predictions exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .config import ArchConfig
+
+
+class PEOp(enum.Enum):
+    """Per-PE configuration within an exec instruction."""
+
+    IDLE = 0
+    ADD = 1
+    MUL = 2
+    PASS_A = 3  # bypass first operand to the output
+    PASS_B = 4  # bypass second operand to the output
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in (PEOp.ADD, PEOp.MUL)
+
+
+@dataclass(frozen=True)
+class WriteSpec:
+    """One result leaving the datapath for the register file.
+
+    Attributes:
+        pe: Global PE id producing the value.
+        bank: Destination register bank.
+        var: Variable (binarized-DAG node id) the value represents.
+    """
+
+    pe: int
+    bank: int
+    var: int
+
+
+@dataclass(frozen=True)
+class ExecInstr:
+    """Configure the PE trees and fire them for one cycle (``exec``).
+
+    Attributes:
+        bank_reads: ``bank -> var`` read this cycle (at most one per
+            bank: banks are single-read-ported).
+        port_source: For each of the B global input ports, the bank it
+            muxes from (via the input crossbar), or ``None`` if unused.
+        pe_ops: Per-PE operation, indexed by global PE id (length
+            ``config.num_pes``).
+        writes: Results routed to the register file (constraint G: at
+            most one per bank).
+        valid_rst: Banks whose register read this cycle was the last
+            use (frees the register).
+        block_id: Compiler block id, for tracing/analysis only.
+    """
+
+    bank_reads: tuple[tuple[int, int], ...]  # (bank, var), sorted by bank
+    port_source: tuple[int | None, ...]
+    pe_ops: tuple[PEOp, ...]
+    writes: tuple[WriteSpec, ...]
+    valid_rst: frozenset[int] = frozenset()
+    block_id: int = -1
+
+    @property
+    def mnemonic(self) -> str:
+        return "exec"
+
+    def reads_of_bank(self, bank: int) -> int | None:
+        for b, var in self.bank_reads:
+            if b == bank:
+                return var
+        return None
+
+    def active_pes(self) -> int:
+        return sum(1 for op in self.pe_ops if op is not PEOp.IDLE)
+
+    def arithmetic_pes(self) -> int:
+        return sum(1 for op in self.pe_ops if op.is_arithmetic)
+
+
+@dataclass(frozen=True)
+class CopyMove:
+    """One lane of a copy: read ``var`` from ``src_bank``, write it to
+    ``dst_bank`` (auto-addressed), optionally freeing the source."""
+
+    src_bank: int
+    dst_bank: int
+    var: int
+    free_source: bool = False
+
+
+@dataclass(frozen=True)
+class CopyInstr:
+    """Shuffle data across banks through the input crossbar (``copy``).
+
+    Used to resolve bank conflicts (fig. 5(c)).  At most one read per
+    source bank and one write per destination bank.
+    """
+
+    moves: tuple[CopyMove, ...]
+
+    @property
+    def mnemonic(self) -> str:
+        return "copy" if len(self.moves) > 4 else "copy_4"
+
+    @property
+    def valid_rst(self) -> frozenset[int]:
+        return frozenset(m.src_bank for m in self.moves if m.free_source)
+
+
+@dataclass(frozen=True)
+class LoadInstr:
+    """Vector load of one data-memory row into the banks (``load``).
+
+    Attributes:
+        row: Data-memory row address.
+        dests: ``bank -> var`` for enabled lanes; lane ``i`` of the row
+            lands in bank ``i`` (write address auto-generated).
+    """
+
+    row: int
+    dests: tuple[tuple[int, int], ...]  # (bank, var), sorted by bank
+
+    @property
+    def mnemonic(self) -> str:
+        return "load"
+
+    @property
+    def valid_rst(self) -> frozenset[int]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class StoreSlot:
+    """One lane of a store: bank, variable and whether to free it."""
+
+    bank: int
+    var: int
+    free_source: bool = True
+
+
+@dataclass(frozen=True)
+class StoreInstr:
+    """Vector store of register values to a data-memory row.
+
+    Lane ``i`` of the row is written from bank ``i``; register read
+    addresses are encoded (resolved from the allocation), per §III-D.
+    """
+
+    row: int
+    slots: tuple[StoreSlot, ...]
+
+    @property
+    def mnemonic(self) -> str:
+        return "store" if len(self.slots) > 4 else "store_4"
+
+    @property
+    def valid_rst(self) -> frozenset[int]:
+        return frozenset(s.bank for s in self.slots if s.free_source)
+
+
+@dataclass(frozen=True)
+class NopInstr:
+    """Pipeline bubble for unresolved RAW hazards (§IV-C)."""
+
+    @property
+    def mnemonic(self) -> str:
+        return "nop"
+
+    @property
+    def valid_rst(self) -> frozenset[int]:
+        return frozenset()
+
+
+Instruction = ExecInstr | CopyInstr | LoadInstr | StoreInstr | NopInstr
+
+
+def produced_vars(instr: Instruction) -> list[tuple[int, int]]:
+    """(bank, var) pairs written to the register file by ``instr``."""
+    if isinstance(instr, ExecInstr):
+        return [(w.bank, w.var) for w in instr.writes]
+    if isinstance(instr, CopyInstr):
+        return [(m.dst_bank, m.var) for m in instr.moves]
+    if isinstance(instr, LoadInstr):
+        return list(instr.dests)
+    return []
+
+
+def consumed_vars(instr: Instruction) -> list[tuple[int, int]]:
+    """(bank, var) pairs read from the register file by ``instr``."""
+    if isinstance(instr, ExecInstr):
+        return list(instr.bank_reads)
+    if isinstance(instr, CopyInstr):
+        return [(m.src_bank, m.var) for m in instr.moves]
+    if isinstance(instr, StoreInstr):
+        return [(s.bank, s.var) for s in instr.slots]
+    return []
+
+
+def result_latency(instr: Instruction, config: ArchConfig) -> int:
+    """Cycles until ``instr``'s register writes carry valid data.
+
+    Exec results traverse the D+1-stage datapath; copies and loads are
+    single-cycle.  A consumer must issue at least this many
+    instructions later (the reordering pass enforces it; the simulator
+    checks it).
+    """
+    if isinstance(instr, ExecInstr):
+        return config.pipeline_stages
+    if isinstance(instr, (CopyInstr, LoadInstr)):
+        return 1
+    return 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """A fully compiled DPU-v2 program.
+
+    Attributes:
+        config: Architecture point the program was compiled for.
+        instructions: The instruction stream, in issue order.
+        input_layout: ``var -> (row, bank)`` placement of external
+            inputs in data memory (populated before execution).
+        input_slots: ``var -> external-input index`` mapping leaf
+            variables to positions in the caller's input vector.
+        output_layout: ``var -> (row, bank)`` where results are stored
+            back to data memory by the trailing stores.
+        num_data_rows: Data-memory rows used (inputs + spills + outputs).
+        source_name: Workload name, for reports.
+    """
+
+    config: ArchConfig
+    instructions: tuple[Instruction, ...]
+    input_layout: dict[int, tuple[int, int]]
+    input_slots: dict[int, int]
+    output_layout: dict[int, tuple[int, int]]
+    num_data_rows: int
+    source_name: str = "dag"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def count_by_mnemonic(self) -> dict[str, int]:
+        """Instruction mix, the raw data behind fig. 13."""
+        counts: dict[str, int] = {}
+        for instr in self.instructions:
+            counts[instr.mnemonic] = counts.get(instr.mnemonic, 0) + 1
+        return counts

@@ -1,0 +1,160 @@
+"""Banked register file with automatic write-address generation (§III-B).
+
+Each bank tracks a valid bit per register; a priority encoder picks the
+lowest *free* address for every incoming write (fig. 5(d)).  Reads do
+not clear valid bits — the instruction's per-bank ``valid_rst`` bit
+does, marking the last read of a value.
+
+Following the reserve-at-issue semantics documented in
+``repro.arch.isa``, a register goes through three states::
+
+    FREE --reserve()--> RESERVED --commit()--> VALID --release()--> FREE
+
+The compiler's address predictor (``repro.compiler.regalloc``) replays
+exactly the reserve/release sequence, so its predictions are checked
+against this model in tests cycle by cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import RegisterFileError
+from .config import ArchConfig
+
+
+class RegState(enum.Enum):
+    FREE = 0
+    RESERVED = 1
+    VALID = 2
+
+
+@dataclass
+class _Register:
+    state: RegState = RegState.FREE
+    var: int = -1
+    value: float = 0.0
+
+
+class RegisterBank:
+    """One single-read / single-write ported register bank."""
+
+    def __init__(self, bank_id: int, size: int) -> None:
+        self.bank_id = bank_id
+        self.size = size
+        self._regs = [_Register() for _ in range(size)]
+        self._free_count = size
+        #: Peak simultaneous occupancy (for fig. 10(c)/(d) style traces).
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Priority encoder + valid bits
+    # ------------------------------------------------------------------
+    def lowest_free(self) -> int:
+        """Address the priority encoder would output right now.
+
+        Raises:
+            RegisterFileError: If the bank is full — the compiler's
+                spill pass failed to keep occupancy within R.
+        """
+        for addr, reg in enumerate(self._regs):
+            if reg.state is RegState.FREE:
+                return addr
+        raise RegisterFileError(
+            f"bank {self.bank_id} overflow: all {self.size} registers busy"
+        )
+
+    def reserve(self, var: int) -> int:
+        """Reserve the lowest free register for ``var``; returns addr."""
+        addr = self.lowest_free()
+        reg = self._regs[addr]
+        reg.state = RegState.RESERVED
+        reg.var = var
+        self._free_count -= 1
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        return addr
+
+    def commit(self, addr: int, var: int, value: float) -> None:
+        """Land data into a previously reserved register."""
+        reg = self._regs[addr]
+        if reg.state is not RegState.RESERVED:
+            raise RegisterFileError(
+                f"bank {self.bank_id} addr {addr}: commit to "
+                f"{reg.state.name} register"
+            )
+        if reg.var != var:
+            raise RegisterFileError(
+                f"bank {self.bank_id} addr {addr}: committing var {var} "
+                f"into reservation for var {reg.var}"
+            )
+        reg.state = RegState.VALID
+        reg.value = value
+
+    def read(self, addr: int) -> tuple[int, float]:
+        """Read (var, value); the register must hold valid data."""
+        reg = self._regs[addr]
+        if reg.state is not RegState.VALID:
+            raise RegisterFileError(
+                f"bank {self.bank_id} addr {addr}: read of "
+                f"{reg.state.name} register (RAW hazard or compiler bug)"
+            )
+        return reg.var, reg.value
+
+    def release(self, addr: int) -> None:
+        """Apply ``valid_rst``: free the register after its last read."""
+        reg = self._regs[addr]
+        if reg.state is RegState.FREE:
+            raise RegisterFileError(
+                f"bank {self.bank_id} addr {addr}: double release"
+            )
+        reg.state = RegState.FREE
+        reg.var = -1
+        self._free_count += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Registers currently reserved or valid."""
+        return self.size - self._free_count
+
+    def addr_of(self, var: int) -> int:
+        """Address currently holding ``var``.
+
+        Linear scan — only used by assertions and tests; the simulator
+        proper uses addresses resolved by the compiler.
+        """
+        for addr, reg in enumerate(self._regs):
+            if reg.state is not RegState.FREE and reg.var == var:
+                return addr
+        raise RegisterFileError(
+            f"bank {self.bank_id}: var {var} not resident"
+        )
+
+    def resident_vars(self) -> list[int]:
+        return [
+            reg.var for reg in self._regs if reg.state is not RegState.FREE
+        ]
+
+
+class RegisterFile:
+    """The B-bank register file."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+        self.banks = [
+            RegisterBank(b, config.regs_per_bank)
+            for b in range(config.banks)
+        ]
+
+    def __getitem__(self, bank: int) -> RegisterBank:
+        return self.banks[bank]
+
+    def occupancy_profile(self) -> list[int]:
+        """Current occupancy of every bank (fig. 10(c)/(d) snapshots)."""
+        return [bank.occupancy for bank in self.banks]
+
+    def total_occupancy(self) -> int:
+        return sum(bank.occupancy for bank in self.banks)

@@ -1,0 +1,20 @@
+"""Baseline platform models for the Table III / fig. 14 comparisons."""
+
+from .common import PlatformResult
+from .cpu import CPU_SPU_MODEL, CPUModel
+from .dpu_v1 import DPUv1Model
+from .gpu import GPUModel
+from .scaling import scaled_cpu, scaled_gpu, scaled_models
+from .spu import SPUModel
+
+__all__ = [
+    "PlatformResult",
+    "CPUModel",
+    "CPU_SPU_MODEL",
+    "GPUModel",
+    "DPUv1Model",
+    "SPUModel",
+    "scaled_cpu",
+    "scaled_gpu",
+    "scaled_models",
+]

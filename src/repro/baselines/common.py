@@ -1,0 +1,44 @@
+"""Shared types for baseline platform models.
+
+The baselines are *mechanistic analytic models*, not cycle simulators:
+each captures the specific bottlenecks the paper identifies for its
+platform (cache-line underutilization and synchronization for the CPU,
+kernel-launch latency per DAG level for the GPU, scratchpad bank
+conflicts for DPU-v1) and is calibrated so the published Table III
+ratios emerge on the benchmark suite.  See DESIGN.md's substitution
+table and EXPERIMENTS.md for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Throughput estimate of one workload on one platform."""
+
+    platform: str
+    workload: str
+    operations: int
+    seconds: float
+    power_w: float
+
+    @property
+    def throughput_gops(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.operations / self.seconds / 1e9
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * self.seconds
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product normalized per operation (pJ x ns)."""
+        if self.operations == 0:
+            return 0.0
+        energy_per_op_pj = self.energy_j * 1e12 / self.operations
+        latency_per_op_ns = self.seconds * 1e9 / self.operations
+        return energy_per_op_pj * latency_per_op_ns

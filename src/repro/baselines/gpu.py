@@ -1,0 +1,66 @@
+"""GPU baseline (cuSPARSE-style level-scheduled SpTRSV / PC, [30], [35]).
+
+The paper benchmarks an RTX 2080Ti running level-set parallelization:
+one kernel (or one grid-sync step) per DAG level, each level's nodes
+processed in parallel.  Two mechanisms dominate, both encoded here:
+
+* **Per-level launch/sync latency**: every level pays a fixed
+  kernel-launch / device-synchronization cost, so deep DAGs with
+  hundreds of levels spend milliseconds doing nothing — this is why
+  the GPU *loses to the CPU* below ~100k nodes (fig. 1(c)).
+* **Uncoalesced gathers**: operand reads within a level hit random
+  addresses; effective bandwidth is a small fraction of peak, and each
+  4B operand drags a 32B memory transaction sector.
+
+Model::
+
+    t = levels * launch_seconds
+      + sum_level max(width * cycles_per_op / (f * parallel_lanes),
+                      width * sector_bytes * 2 / bandwidth)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs import DAG, width_profile
+from .common import PlatformResult
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Analytic RTX 2080Ti model (Table III column: GPU)."""
+
+    name: str = "GPU"
+    frequency_hz: float = 1.35e9
+    launch_seconds: float = 2.2e-6  # kernel launch + level sync
+    parallel_lanes: int = 2176  # active scalar lanes usable
+    cycles_per_op: float = 8.0  # dependent loads + FP op per node
+    sector_bytes: int = 32  # uncoalesced transaction granularity
+    bandwidth_bytes: float = 616e9  # Table III: 616 GB/s
+    bandwidth_efficiency: float = 0.25  # random-access derating
+    power_w: float = 98.0  # Table III (small suite)
+
+    def run(self, dag: DAG) -> PlatformResult:
+        """Estimate one evaluation via level-set execution."""
+        widths = width_profile(dag)
+        ops = dag.num_operations
+        total = 0.0
+        effective_bw = self.bandwidth_bytes * self.bandwidth_efficiency
+        for width in widths:
+            if width == 0:
+                continue
+            compute = (
+                width
+                * self.cycles_per_op
+                / (self.frequency_hz * self.parallel_lanes)
+            )
+            memory = width * 2 * self.sector_bytes / effective_bw
+            total += self.launch_seconds + max(compute, memory)
+        return PlatformResult(
+            platform=self.name,
+            workload=dag.name,
+            operations=ops,
+            seconds=total,
+            power_w=self.power_w,
+        )

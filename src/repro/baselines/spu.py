@@ -1,0 +1,37 @@
+"""SPU baseline ([11], sparse processing unit) — estimated, as in the paper.
+
+SPU's code is not open-sourced; the paper itself *estimates* SPU's
+throughput "based on the speedups reported over its CPU baseline"
+(Table III footnote).  We do exactly the same: SPU throughput is the
+CPU_SPU model's throughput scaled by the published 13.3x speedup, and
+its 16W power is taken from Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs import DAG
+from .common import PlatformResult
+from .cpu import CPU_SPU_MODEL, CPUModel
+
+
+@dataclass(frozen=True)
+class SPUModel:
+    """SPU estimate (Table III column: SPU), large-PC regime only."""
+
+    name: str = "SPU"
+    speedup_over_cpu_spu: float = 13.3  # Table III
+    power_w: float = 16.0  # Table III
+    cpu_model: CPUModel = CPU_SPU_MODEL
+
+    def run(self, dag: DAG) -> PlatformResult:
+        """Estimate one evaluation by scaling the CPU_SPU model."""
+        cpu = self.cpu_model.run(dag)
+        return PlatformResult(
+            platform=self.name,
+            workload=dag.name,
+            operations=cpu.operations,
+            seconds=cpu.seconds / self.speedup_over_cpu_spu,
+            power_w=self.power_w,
+        )

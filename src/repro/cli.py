@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper artifact's ``run.sh`` workflow:
+
+* ``compile``  — compile a DAG file (JSON/edge-list) and report stats;
+* ``run``      — compile + simulate a workload and verify against the
+  golden model;
+* ``suite``    — compile the Table-I suite and print the fig. 14-style
+  throughput table;
+* ``dse``      — run the design-space exploration and print fig. 11's
+  optimum corners;
+* ``encode``   — emit the packed binary program for a DAG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .arch import ArchConfig, encode_program
+from .compiler import compile_dag
+from .graphs import from_edge_list, from_json, DAG
+from .sim import evaluate_dag, run_program
+from .workloads import DEFAULT_SCALE, build_workload, workload_names
+
+
+def _parse_config(text: str) -> ArchConfig:
+    """Parse ``D3-B64-R32`` style configuration strings."""
+    try:
+        parts = dict(
+            (piece[0].upper(), int(piece[1:]))
+            for piece in text.split("-")
+        )
+        return ArchConfig(
+            depth=parts["D"], banks=parts["B"], regs_per_bank=parts["R"]
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(
+            f"invalid config {text!r}; expected e.g. D3-B64-R32 ({exc})"
+        )
+
+
+def _load_dag(path: str) -> DAG:
+    text = Path(path).read_text()
+    if path.endswith(".json"):
+        return from_json(text)
+    return from_edge_list(text)
+
+
+def _resolve_workload(name_or_path: str, scale: float) -> DAG:
+    if Path(name_or_path).exists():
+        return _load_dag(name_or_path)
+    return build_workload(name_or_path, scale=scale)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "workload",
+        help="Table-I workload name (e.g. tretail) or a DAG file "
+        "(.json / edge list)",
+    )
+    parser.add_argument(
+        "--config", default="D3-B64-R32",
+        help="architecture point, default: the paper's min-EDP design",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help="workload regeneration scale (named workloads only)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    dag = _resolve_workload(args.workload, args.scale)
+    config = _parse_config(args.config)
+    result = compile_dag(dag, config, seed=args.seed)
+    s = result.stats
+    print(f"workload : {dag.name} ({s.num_nodes} nodes, "
+          f"{s.num_operations} binary ops)")
+    print(f"config   : {config} ({config.num_pes} PEs)")
+    print(f"blocks   : {s.num_blocks} (PE utilization "
+          f"{100 * s.pe_utilization:.0f}%)")
+    print(f"program  : {len(result.program.instructions)} instructions "
+          f"(exec {s.exec_instructions}, copy {s.copy_instructions}, "
+          f"load {s.load_instructions}, store {s.store_instructions}, "
+          f"nop {s.nop_instructions})")
+    print(f"conflicts: {s.bank_conflicts}   spills: {s.spills}")
+    print(f"compile  : {s.compile_seconds:.2f}s")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import random
+
+    dag = _resolve_workload(args.workload, args.scale)
+    config = _parse_config(args.config)
+    result = compile_dag(dag, config, seed=args.seed)
+    rng = random.Random(args.seed)
+    inputs = [rng.uniform(0.9, 1.1) for _ in range(dag.num_inputs)]
+    sim = run_program(result.program, inputs)
+    golden = evaluate_dag(dag, inputs)
+    import numpy as np
+
+    errors = 0
+    for node in dag.sinks():
+        var = result.node_map[node]
+        if not np.isclose(sim.values[var], golden[node], equal_nan=True):
+            errors += 1
+    ops = result.stats.num_operations
+    gops = ops / (sim.cycles / config.frequency_hz) / 1e9
+    print(f"{dag.name}: {sim.cycles} cycles, {gops:.2f} GOPS @"
+          f"{config.frequency_hz / 1e6:.0f}MHz")
+    if errors:
+        print(f"FAILED: {errors} output mismatches vs golden model")
+        return 1
+    print(f"verified: all {len(dag.sinks())} outputs match the golden "
+          "model")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .experiments.common import measure
+
+    config = _parse_config(args.config)
+    rows = []
+    for name in workload_names(("pc", "sptrsv")):
+        dag = build_workload(name, scale=args.scale)
+        m = measure(dag, config, seed=args.seed)
+        rows.append(
+            (
+                name,
+                dag.num_nodes,
+                m.counters.cycles,
+                round(m.throughput_gops, 2),
+                round(m.energy.energy_per_op_pj, 1),
+                m.compile_result.stats.bank_conflicts,
+            )
+        )
+    print(
+        format_table(
+            ["workload", "nodes", "cycles", "GOPS", "pJ/op", "conflicts"],
+            rows,
+            title=f"suite @ scale {args.scale} on {config}",
+        )
+    )
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from .experiments import fig11_dse
+
+    experiment = fig11_dse.run(scale=args.scale, seed=args.seed)
+    print(fig11_dse.render(experiment))
+    return 0
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    dag = _resolve_workload(args.workload, args.scale)
+    config = _parse_config(args.config)
+    result = compile_dag(dag, config, seed=args.seed)
+    encoded = encode_program(result.program, result.allocation.read_addrs)
+    out = Path(args.output)
+    out.write_bytes(encoded.data)
+    print(f"{encoded.total_bits} bits "
+          f"({encoded.instruction_count} instructions, "
+          f"IL={encoded.widths.il}b) -> {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DPU-v2 reproduction: compile/run irregular DAGs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and print statistics")
+    _add_common(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile, simulate, verify")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("suite", help="fig. 14-style suite table")
+    p.add_argument("--config", default="D3-B64-R32")
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("dse", help="fig. 11 design-space exploration")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_dse)
+
+    p = sub.add_parser("encode", help="emit the packed binary program")
+    _add_common(p)
+    p.add_argument("--output", default="program.bin")
+    p.set_defaults(func=cmd_encode)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

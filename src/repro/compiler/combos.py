@@ -1,0 +1,155 @@
+"""Slot management: packing cones of mixed depths into PE trees.
+
+Fig. 9(d) of the paper shows that a depth-D tree can host several
+smaller subgraphs at once — e.g. for D=3 the valid depth combinations
+are [3], [2,2], [2,1,1], [1,1,1,1] and their partial variants.  We
+manage this with classic buddy allocation over subtree *slots*: a slot
+of depth ``d`` rooted at (layer ``d``, index ``k``) can either host a
+cone of height ``d`` or split into its two depth-``d-1`` children
+(sacrificing its root PE).
+
+``possible_depth_combinations`` enumerates the fig. 9(d) combinations
+explicitly; the allocator realizes exactly that set (tested for
+equivalence), while also giving concrete positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import CompileError
+
+
+@lru_cache(maxsize=None)
+def _tree_combos(depth: int) -> frozenset[tuple[int, ...]]:
+    """All full-occupancy depth multisets one depth-``depth`` tree hosts."""
+    if depth == 1:
+        return frozenset({(1,)})
+    combos: set[tuple[int, ...]] = {(depth,)}
+    child = _tree_combos(depth - 1)
+    for a in child:
+        for b in child:
+            combos.add(tuple(sorted(a + b, reverse=True)))
+    return frozenset(combos)
+
+
+def possible_depth_combinations(depth: int, trees: int = 1) -> list[tuple[int, ...]]:
+    """Cone-depth combinations fillable into ``trees`` trees of ``depth``.
+
+    Includes partial fillings (prefixes), since a block need not use
+    every PE.  Matches ``possible_depth_combinations(D, T)`` of
+    Algorithm 1.
+    """
+    if depth < 1 or trees < 1:
+        raise CompileError("depth and trees must be >= 1")
+    per_tree = _tree_combos(depth)
+    full: set[tuple[int, ...]] = set()
+    acc: set[tuple[int, ...]] = {()}
+    for _ in range(trees):
+        acc = {
+            tuple(sorted(a + c, reverse=True)) for a in acc for c in per_tree
+        }
+    full = acc
+    # Partial fillings: any sub-multiset of a full combination.
+    out: set[tuple[int, ...]] = set()
+    for combo in full:
+        _sub_multisets(combo, 0, [], out)
+    out.discard(())
+    return sorted(out, key=lambda c: (-len(c), c), reverse=False)
+
+
+def _sub_multisets(
+    combo: tuple[int, ...], i: int, cur: list[int], out: set[tuple[int, ...]]
+) -> None:
+    if i == len(combo):
+        out.add(tuple(cur))
+        return
+    _sub_multisets(combo, i + 1, cur, out)
+    cur.append(combo[i])
+    _sub_multisets(combo, i + 1, cur, out)
+    cur.pop()
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A concrete subtree slot: root PE at (tree, layer=depth, index)."""
+
+    tree: int
+    depth: int
+    index: int
+
+
+class SlotAllocator:
+    """Buddy allocator over the PE-tree slots of one block.
+
+    Splits alternate between taking the left and right child so that,
+    over many partially filled blocks, cones spread evenly across the
+    banks under each tree — a systematic left bias would concentrate
+    register traffic on the low banks (hurting Algorithm 2's balance
+    objective J before it even runs).
+
+    Args:
+        depth: Tree depth D.
+        trees: Number of trees T.
+        phase: Starting parity of the split direction; callers rotate
+            it per block.
+    """
+
+    def __init__(self, depth: int, trees: int, phase: int = 0) -> None:
+        if depth < 1 or trees < 1:
+            raise CompileError("depth and trees must be >= 1")
+        self.depth = depth
+        self.trees = trees
+        self._flip = phase % 2
+        # free[d] = list of (tree, index) slots of depth d
+        self._free: list[list[tuple[int, int]]] = [
+            [] for _ in range(depth + 1)
+        ]
+        for t in range(trees):
+            self._free[depth].append((t, 0))
+        if phase % 2:
+            self._free[depth].reverse()
+
+    def max_free_depth(self) -> int:
+        """Deepest slot depth currently available (0 if none)."""
+        for d in range(self.depth, 0, -1):
+            if self._free[d]:
+                return d
+        return 0
+
+    def can_place(self, height: int) -> bool:
+        return 1 <= height <= self.max_free_depth()
+
+    def place(self, height: int) -> Slot:
+        """Allocate a slot for a cone of ``height``; splits as needed.
+
+        Splitting takes the *smallest* adequate free slot first (best
+        fit), so deep slots are preserved for deep cones.
+
+        Raises:
+            CompileError: If nothing fits.
+        """
+        if height < 1:
+            raise CompileError(f"cone height must be >= 1, got {height}")
+        for d in range(height, self.depth + 1):
+            if self._free[d]:
+                tree, index = self._free[d].pop()
+                # Split down to the requested height, freeing siblings;
+                # alternate which child is taken to avoid bank bias.
+                while d > height:
+                    d -= 1
+                    self._flip ^= 1
+                    taken = 2 * index + self._flip
+                    freed = 2 * index + (self._flip ^ 1)
+                    self._free[d].append((tree, freed))
+                    index = taken
+                return Slot(tree=tree, depth=height, index=index)
+        raise CompileError(f"no free slot of depth >= {height}")
+
+    def free_pe_capacity(self) -> int:
+        """PEs still available in free slots (for fill heuristics)."""
+        return sum(
+            len(slots) * ((1 << d) - 1)
+            for d, slots in enumerate(self._free)
+        )

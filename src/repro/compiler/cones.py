@@ -1,0 +1,190 @@
+"""Cone construction: tree-mappable subgraphs of the binarized DAG.
+
+Step 1 of the compiler decomposes the DAG into subgraphs that each map
+onto one PE (sub)tree.  Following fig. 9(c) of the paper, *any*
+connected subgraph with 2-input nodes, a single sink, and longest path
+length <= the tree depth can be mapped — non-tree subgraphs are handled
+by replicating shared nodes.
+
+We realize that via *unrolling*: the cone of a sink node ``s`` is the
+complete expansion of ``s``'s uncomputed ancestor region into a binary
+tree.  A node shared by two paths simply appears twice (replication);
+branches that bottom out early (one operand already computed) are
+padded with PASS stages so every leaf sits at the port level of the PE
+tree, because register read ports only feed layer-1 PEs.
+
+The cone's *height* is the slot depth it needs; its *leaves* are
+already-computed variables (earlier blocks' outputs or external
+inputs); its *nodes* are the uncomputed DAG nodes it covers — these
+become computed once the enclosing block executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+from ..graphs import DAG, OpType
+
+
+@dataclass(frozen=True)
+class LeafInst:
+    """A cone leaf: reads variable ``var`` from a register port."""
+
+    var: int
+
+
+@dataclass(frozen=True)
+class OpInst:
+    """An arithmetic instance computing DAG node ``node``."""
+
+    node: int
+    op: OpType
+    left: "Inst"
+    right: "Inst"
+
+
+@dataclass(frozen=True)
+class PassInst:
+    """A padding stage forwarding its (left) child unchanged."""
+
+    child: "Inst"
+
+
+Inst = LeafInst | OpInst | PassInst
+
+
+@dataclass(frozen=True)
+class Cone:
+    """One tree-mappable subgraph (fig. 9(c)), fully unrolled.
+
+    Attributes:
+        sink: DAG node computed at the cone root.
+        height: PE layers needed (= slot depth); leaves sit at depth
+            ``height`` below the root.
+        root: Root instance of the unrolled tree.
+        nodes: Distinct uncomputed DAG nodes covered by the cone.
+        leaf_vars: Distinct precomputed variables read at the ports.
+        num_instances: PE count used, including PASS padding and
+            replicas.
+    """
+
+    sink: int
+    height: int
+    root: Inst
+    nodes: frozenset[int]
+    leaf_vars: frozenset[int]
+    num_instances: int
+
+
+def cone_height(dag: DAG, computed, node: int, cap: int) -> int:
+    """Height of ``node``'s uncomputed cone, capped at ``cap + 1``.
+
+    ``computed`` is an indexable truth map (list/array of bool) marking
+    nodes whose values already live outside the datapath.  The returned
+    value is the PE-tree depth needed to evaluate ``node``; any value
+    greater than ``cap`` is reported as ``cap + 1`` ("does not fit") so
+    callers can bucket without unbounded recursion.
+
+    Iterative post-order walk — cones deeper than ``cap`` are cut off,
+    so the walk visits at most ``O(2^cap)`` instances.
+    """
+    if computed[node]:
+        return 0
+    overflow = cap + 1
+    # (node, depth_from_root); explicit stack with memo keyed by node
+    # *at this computed-state*: heights only depend on the computed map,
+    # so a per-call memo is sound and keeps replication cheap.
+    memo: dict[int, int] = {}
+
+    def height_of(n: int, budget: int) -> int:
+        if computed[n]:
+            return 0
+        if budget <= 0:
+            return overflow
+        cached = memo.get(n)
+        if cached is not None:
+            return cached
+        worst = 0
+        for p in dag.predecessors(n):
+            h = height_of(p, budget - 1)
+            if h >= budget:
+                memo[n] = overflow
+                return overflow
+            worst = max(worst, h)
+        result = worst + 1
+        memo[n] = result
+        return result
+
+    return height_of(node, cap)
+
+
+def build_cone(dag: DAG, computed, sink: int, max_height: int) -> Cone | None:
+    """Unroll ``sink``'s uncomputed region into a cone.
+
+    Returns ``None`` if the region is deeper than ``max_height`` (the
+    candidate is not schedulable yet) or if ``sink`` is already
+    computed.
+    """
+    height = cone_height(dag, computed, sink, max_height)
+    if height == 0 or height > max_height:
+        return None
+
+    nodes: set[int] = set()
+    leaf_vars: set[int] = set()
+    count = 0
+
+    def unroll(n: int, depth_below: int) -> Inst:
+        """Instance sitting ``depth_below`` levels above the port row."""
+        nonlocal count
+        if computed[n]:
+            # Pad with PASS stages down to the port level.
+            inst: Inst = LeafInst(var=n)
+            leaf_vars.add(n)
+            for _ in range(depth_below):
+                inst = PassInst(child=inst)
+                count += 1
+            return inst
+        preds = dag.predecessors(n)
+        if len(preds) != 2:
+            raise CompileError(
+                f"node {n} has fan-in {len(preds)}; DAG must be binarized"
+            )
+        nodes.add(n)
+        count += 1
+        left = unroll(preds[0], depth_below - 1)
+        right = unroll(preds[1], depth_below - 1)
+        return OpInst(node=n, op=dag.op(n), left=left, right=right)
+
+    root = unroll(sink, height)
+    return Cone(
+        sink=sink,
+        height=height,
+        root=root,
+        nodes=frozenset(nodes),
+        leaf_vars=frozenset(leaf_vars),
+        num_instances=count,
+    )
+
+
+def cone_depth_of(inst: Inst) -> int:
+    """Height of an instance subtree (LeafInst = 0); test helper."""
+    if isinstance(inst, LeafInst):
+        return 0
+    if isinstance(inst, PassInst):
+        return 1 + cone_depth_of(inst.child)
+    return 1 + max(cone_depth_of(inst.left), cone_depth_of(inst.right))
+
+
+def evaluate_cone(root: Inst, values: dict[int, float]) -> float:
+    """Reference evaluation of a cone given leaf-variable values.
+
+    Used by tests to check placement/datapath agreement.
+    """
+    if isinstance(root, LeafInst):
+        return values[root.var]
+    if isinstance(root, PassInst):
+        return evaluate_cone(root.child, values)
+    a = evaluate_cone(root.left, values)
+    b = evaluate_cone(root.right, values)
+    return root.op.apply(a, b)

@@ -1,0 +1,147 @@
+"""Liveness analysis: last-read marking (``valid_rst`` / ``free_source``).
+
+The automatic write policy (§III-B) frees a register when an
+instruction's per-bank ``valid_rst`` bit accompanies its last read.
+This pass scans the final instruction order, matches every register
+read to the *residence* it hits (a residence is one write of a
+(bank, var) pair — a variable can have several residences over time:
+its primary copy, conflict-resolution temporaries, and post-spill
+reloads), and sets the free flag on each residence's last read.
+
+Raises :class:`CompileError` when a read hits no live residence or a
+residence is never read — both indicate scheduler bugs, and catching
+them here keeps the simulator's error messages meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..arch import (
+    CopyInstr,
+    ExecInstr,
+    Instruction,
+    LoadInstr,
+    StoreInstr,
+    consumed_vars,
+    produced_vars,
+)
+from ..errors import CompileError
+
+
+@dataclass(frozen=True)
+class Residence:
+    """One lifetime of a (bank, var) pair in the register file."""
+
+    writer: int  # instruction index that created it
+    bank: int
+    var: int
+    reads: tuple[int, ...]  # instruction indices, ascending
+
+
+def analyze_residences(instrs: list[Instruction]) -> list[Residence]:
+    """Match reads to writes; returns all residences with their reads."""
+    live: dict[tuple[int, int], tuple[int, list[int]]] = {}
+    done: list[Residence] = []
+
+    def retire(key: tuple[int, int]) -> None:
+        writer, reads = live.pop(key)
+        done.append(
+            Residence(writer=writer, bank=key[0], var=key[1],
+                      reads=tuple(reads))
+        )
+
+    for idx, instr in enumerate(instrs):
+        for bank, var in consumed_vars(instr):
+            key = (bank, var)
+            if key not in live:
+                raise CompileError(
+                    f"instr {idx} ({instr.mnemonic}) reads var {var} from "
+                    f"bank {bank} with no live residence"
+                )
+            live[key][1].append(idx)
+        for bank, var in produced_vars(instr):
+            key = (bank, var)
+            if key in live:
+                prev_writer, prev_reads = live[key]
+                if not prev_reads:
+                    raise CompileError(
+                        f"instr {idx} overwrites unread residence of var "
+                        f"{var} in bank {bank} (written at {prev_writer})"
+                    )
+                retire(key)
+            live[key] = (idx, [])
+    for key in list(live):
+        retire(key)
+
+    for res in done:
+        if not res.reads:
+            raise CompileError(
+                f"var {res.var} written to bank {res.bank} at instr "
+                f"{res.writer} is never read (dead value leaks a register)"
+            )
+    return done
+
+
+def annotate_liveness(instrs: list[Instruction]) -> list[Instruction]:
+    """Return a copy of the schedule with free flags set on last reads."""
+    residences = analyze_residences(instrs)
+    # last_read[(instr_idx, bank)] marks that this instruction's read of
+    # this bank is the final read of its residence.
+    last_read: set[tuple[int, int]] = set()
+    for res in residences:
+        last_read.add((res.reads[-1], res.bank))
+
+    out: list[Instruction] = []
+    for idx, instr in enumerate(instrs):
+        if isinstance(instr, ExecInstr):
+            rst = frozenset(
+                bank
+                for bank, _ in instr.bank_reads
+                if (idx, bank) in last_read
+            )
+            out.append(dataclasses.replace(instr, valid_rst=rst))
+        elif isinstance(instr, CopyInstr):
+            moves = tuple(
+                dataclasses.replace(
+                    m, free_source=(idx, m.src_bank) in last_read
+                )
+                for m in instr.moves
+            )
+            out.append(CopyInstr(moves=moves))
+        elif isinstance(instr, StoreInstr):
+            slots = tuple(
+                dataclasses.replace(
+                    s, free_source=(idx, s.bank) in last_read
+                )
+                for s in instr.slots
+            )
+            out.append(dataclasses.replace(instr, slots=slots))
+        else:
+            out.append(instr)
+    return out
+
+
+def max_live_per_bank(
+    instrs: list[Instruction], banks: int
+) -> list[int]:
+    """Peak simultaneous residences per bank (pre-spill pressure).
+
+    Counts a residence live from its write to its last read, which is
+    exactly the automatic-policy occupancy.
+    """
+    residences = analyze_residences(instrs)
+    events: list[tuple[int, int, int]] = []  # (time, +1/-1, bank)
+    for res in residences:
+        events.append((res.writer, 1, res.bank))
+        events.append((res.reads[-1], -1, res.bank))
+    # Frees happen at read (issue) before the same instruction's own
+    # writes reserve, so sort frees first at equal time.
+    events.sort(key=lambda e: (e[0], e[1]))
+    live = [0] * banks
+    peak = [0] * banks
+    for _, delta, bank in events:
+        live[bank] += delta
+        peak[bank] = max(peak[bank], live[bank])
+    return peak

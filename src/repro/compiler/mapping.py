@@ -1,0 +1,318 @@
+"""Step 2 — register-bank mapping (Algorithm 2, §IV-B).
+
+Assigns a register bank to every *io variable* — every value that
+crosses a block boundary through the register file: external inputs
+and block outputs.  The constraints mirror the paper's:
+
+* F: distinct inputs of one block must land in distinct banks (banks
+  have one read port);
+* G: distinct outputs of one block must land in distinct banks (one
+  write port);
+* H: an output's bank must be writable from the PE computing it
+  (restricted output interconnect).
+
+The mapper is the paper's greedy: maintain the compatible-bank set
+``Sb`` of every unassigned io variable, always map the variable with
+the fewest compatible banks next (via the ``Mnodes`` bucket structure,
+O(B) selection), choose uniformly at random among compatible banks
+(objective J: balance), and fall back to the least-contended bank when
+none is compatible — which the scheduler later resolves with ``copy``
+instructions (bank conflicts, objective I).
+
+When an *output* runs out of compatible banks, constraint H cannot be
+traded for a copy (the value exists only in the datapath that cycle),
+so an augmenting-path repair relocates already-assigned outputs of the
+same block.  With the aligned output interconnect a perfect
+output->bank matching always exists (every depth-``d`` subtree writes
+into its own ``2^d`` banks and hosts at most ``2^d - 1`` outputs), so
+the repair provably succeeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..arch import ArchConfig, Interconnect
+from ..errors import MappingError
+from ..graphs import DAG, OpType
+from .blocks import Decomposition
+from .placement import BlockPlacement, place_block, writer_pe
+
+
+@dataclass
+class Mapping:
+    """Step-2 result.
+
+    Attributes:
+        bank_of: Bank of every io variable.
+        write_pe: For block outputs, the PE that writes them.
+        placements: Per-block hardware binding.
+        predicted_read_conflicts: Variables assigned to a contended
+            bank among co-read peers (lower bound on copies).
+        repairs: Augmenting-path relocations needed for outputs.
+    """
+
+    bank_of: dict[int, int]
+    write_pe: dict[int, int]
+    placements: list[BlockPlacement]
+    predicted_read_conflicts: int
+    repairs: int
+
+    def bank_histogram(self, banks: int) -> list[int]:
+        """Variables per bank — objective J's balance check."""
+        hist = [0] * banks
+        for bank in self.bank_of.values():
+            hist[bank] += 1
+        return hist
+
+
+def map_banks(
+    decomposition: Decomposition,
+    interconnect: Interconnect,
+    seed: int = 0,
+    strategy: str = "conflict_aware",
+) -> Mapping:
+    """Run step 2 on a decomposition.
+
+    Args:
+        strategy: ``"conflict_aware"`` (Algorithm 2) or ``"random"``
+            (the fig. 10(b) baseline: uniform over hardware-legal
+            banks, no conflict avoidance).
+    """
+    if strategy not in ("conflict_aware", "random"):
+        raise MappingError(f"unknown mapping strategy {strategy!r}")
+    rng = random.Random(seed)
+    config = decomposition.config
+    dag = decomposition.dag
+
+    placements = [place_block(b, config) for b in decomposition.blocks]
+
+    write_pe: dict[int, int] = {}
+    writable: dict[int, tuple[int, ...]] = {}
+    for block, placement in zip(decomposition.blocks, placements):
+        for var in block.output_vars:
+            pe = writer_pe(placement, var, config)
+            write_pe[var] = pe
+            writable[var] = interconnect.banks_writable_from(pe)
+
+    # Mutual-exclusion groups: inputs of a block (constraint F), outputs
+    # of a block (constraint G).
+    groups: list[list[int]] = []
+    var_groups: dict[int, list[int]] = {}
+    out_group_of: dict[int, int] = {}
+    for block in decomposition.blocks:
+        if block.input_vars:
+            gid = len(groups)
+            groups.append(sorted(block.input_vars))
+            for v in block.input_vars:
+                var_groups.setdefault(v, []).append(gid)
+        if block.output_vars:
+            gid = len(groups)
+            groups.append(sorted(block.output_vars))
+            for v in block.output_vars:
+                var_groups.setdefault(v, []).append(gid)
+                out_group_of[v] = gid
+
+    io_vars = sorted(var_groups)
+    if strategy == "random":
+        return _map_random(
+            rng, config, io_vars, writable, write_pe, placements,
+            out_group_of, groups,
+        )
+
+    all_banks = frozenset(range(config.banks))
+    sb: dict[int, set[int]] = {}
+    for v in io_vars:
+        base = set(writable[v]) if v in writable else set(all_banks)
+        sb[v] = base
+
+    # Mnodes: buckets keyed by |Sb| for O(B) min selection (Algorithm 2
+    # lines 9-18). Stale entries are skipped on pop.
+    buckets: list[set[int]] = [set() for _ in range(config.banks + 1)]
+    for v in io_vars:
+        buckets[len(sb[v])].add(v)
+
+    bank_of: dict[int, int] = {}
+    conflicts = 0
+    repairs = 0
+    unassigned = set(io_vars)
+
+    while unassigned:
+        v = _pop_min_sb(buckets, sb, unassigned, rng)
+        options = sb[v]
+        if options:
+            bank = _rng_choice(rng, options)
+        elif v in writable:
+            bank, moved = _repair_output(
+                v, writable, bank_of, out_group_of, groups, rng
+            )
+            repairs += moved
+        else:
+            bank = _least_contended(
+                v, all_banks, var_groups, groups, bank_of, rng
+            )
+            conflicts += 1
+        bank_of[v] = bank
+        unassigned.discard(v)
+        # Compatibility updates: peers sharing a group lose this bank.
+        for gid in var_groups[v]:
+            for peer in groups[gid]:
+                if peer in unassigned and bank in sb[peer]:
+                    size = len(sb[peer])
+                    sb[peer].discard(bank)
+                    buckets[size].discard(peer)
+                    buckets[size - 1].add(peer)
+
+    return Mapping(
+        bank_of=bank_of,
+        write_pe=write_pe,
+        placements=placements,
+        predicted_read_conflicts=conflicts,
+        repairs=repairs,
+    )
+
+
+def _pop_min_sb(
+    buckets: list[set[int]],
+    sb: dict[int, set[int]],
+    unassigned: set[int],
+    rng: random.Random,
+) -> int:
+    for size, bucket in enumerate(buckets):
+        while bucket:
+            v = _rng_choice(rng, bucket)
+            if v not in unassigned or len(sb[v]) != size:
+                bucket.discard(v)
+                continue
+            bucket.discard(v)
+            return v
+    raise MappingError("no unassigned variable found (bucket corruption)")
+
+
+def _rng_choice(rng: random.Random, items) -> int:
+    # Sets iterate in hash order which is stable for ints; sorting keeps
+    # the choice reproducible across runs and platforms.
+    seq = sorted(items)
+    return seq[rng.randrange(len(seq))]
+
+
+def _least_contended(
+    v: int,
+    candidates,
+    var_groups: dict[int, list[int]],
+    groups: list[list[int]],
+    bank_of: dict[int, int],
+    rng: random.Random,
+) -> int:
+    """Fallback of Algorithm 2 line 24: minimize simultaneous peers."""
+    contention = {b: 0 for b in candidates}
+    for gid in var_groups[v]:
+        for peer in groups[gid]:
+            b = bank_of.get(peer)
+            if b is not None and b in contention:
+                contention[b] += 1
+    best = min(contention.values())
+    return _rng_choice(rng, [b for b, c in contention.items() if c == best])
+
+
+def _repair_output(
+    v: int,
+    writable: dict[int, tuple[int, ...]],
+    bank_of: dict[int, int],
+    out_group_of: dict[int, int],
+    groups: list[list[int]],
+    rng: random.Random,
+) -> tuple[int, int]:
+    """Augmenting-path relocation for a bankless output (constraint H).
+
+    Returns (bank for ``v``, number of relocated peers).
+    """
+    gid = out_group_of[v]
+    peers = groups[gid]
+    taken: dict[int, int] = {}
+    for peer in peers:
+        b = bank_of.get(peer)
+        if b is not None:
+            taken[b] = peer
+
+    moved = 0
+
+    def try_take(var: int, visited: set[int]) -> int | None:
+        nonlocal moved
+        for b in writable[var]:
+            if b in visited:
+                continue
+            visited.add(b)
+            owner = taken.get(b)
+            if owner is None:
+                return b
+        for b in list(writable[var]):
+            owner = taken.get(b)
+            if owner is None or owner == var:
+                continue
+            alt = try_take(owner, visited)
+            if alt is not None:
+                taken[alt] = owner
+                bank_of[owner] = alt
+                moved += 1
+                return b
+        return None
+
+    bank = try_take(v, set())
+    if bank is None:
+        raise MappingError(
+            f"output var {v}: no writable bank even after repair — "
+            "output interconnect feasibility violated (compiler bug)"
+        )
+    taken[bank] = v
+    return bank, moved
+
+
+def _map_random(
+    rng: random.Random,
+    config: ArchConfig,
+    io_vars: list[int],
+    writable: dict[int, tuple[int, ...]],
+    write_pe: dict[int, int],
+    placements: list[BlockPlacement],
+    out_group_of: dict[int, int],
+    groups: list[list[int]],
+) -> Mapping:
+    """fig. 10(b) baseline: uniform banks, hardware-legal for outputs.
+
+    Write conflicts (two outputs of one block on one bank) would be
+    unencodable, so the random baseline keeps output banks distinct
+    within a block (what the hardware cannot express at all) while
+    doing nothing about read conflicts across blocks — the dominant
+    effect Algorithm 2 optimizes.
+    """
+    bank_of: dict[int, int] = {}
+    taken_in_group: dict[int, set[int]] = {}
+    for v in io_vars:
+        if v in writable:
+            gid = out_group_of[v]
+            taken = taken_in_group.setdefault(gid, set())
+            options = [b for b in writable[v] if b not in taken]
+            if not options:
+                bank, _ = _repair_output(
+                    v, writable, bank_of, out_group_of, groups, rng
+                )
+                # Re-derive the taken set after relocations.
+                taken.clear()
+                taken.update(
+                    bank_of[p] for p in groups[gid] if p in bank_of
+                )
+            else:
+                bank = options[rng.randrange(len(options))]
+            bank_of[v] = bank
+            taken.add(bank)
+        else:
+            bank_of[v] = rng.randrange(config.banks)
+    return Mapping(
+        bank_of=bank_of,
+        write_pe=write_pe,
+        placements=placements,
+        predicted_read_conflicts=-1,
+        repairs=0,
+    )

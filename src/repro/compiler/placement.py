@@ -1,0 +1,101 @@
+"""Cone -> concrete PE/port binding within an allocated slot.
+
+Positions are canonical (see the deviation note in
+``repro.compiler.blocks``): the cone root sits at its slot's root PE,
+an OpInst's left/right children go to the left/right child PEs, and a
+PassInst forwards its child through operand A.  Leaves land on the
+register read ports spanned by the slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch import ArchConfig, PEOp
+from ..errors import MappingError
+from ..graphs import OpType
+from .blocks import Block, PlacedCone
+from .cones import Inst, LeafInst, OpInst, PassInst
+
+
+@dataclass
+class BlockPlacement:
+    """Hardware binding of one block.
+
+    Attributes:
+        pe_ops: Operation per active global PE id.
+        port_vars: Variable consumed at each active global read port.
+        node_pes: For every DAG node in the block, the PEs computing it
+            (more than one when the node was replicated, fig. 9(c)).
+    """
+
+    pe_ops: dict[int, PEOp] = field(default_factory=dict)
+    port_vars: dict[int, int] = field(default_factory=dict)
+    node_pes: dict[int, list[int]] = field(default_factory=dict)
+
+    def distinct_input_vars(self) -> set[int]:
+        return set(self.port_vars.values())
+
+
+_OP_TO_PEOP = {OpType.ADD: PEOp.ADD, OpType.MUL: PEOp.MUL}
+
+
+def place_block(block: Block, config: ArchConfig) -> BlockPlacement:
+    """Bind every cone of ``block`` to PEs and ports."""
+    placement = BlockPlacement()
+    for placed in block.placed:
+        _place_cone(placed, config, placement)
+    return placement
+
+
+def _place_cone(
+    placed: PlacedCone, config: ArchConfig, out: BlockPlacement
+) -> None:
+    slot = placed.slot
+    height = slot.depth
+
+    def visit(inst: Inst, depth: int, offset: int) -> None:
+        layer = height - depth
+        if isinstance(inst, LeafInst):
+            if layer != 0:
+                raise MappingError(
+                    f"leaf of cone {placed.cone.sink} at layer {layer}"
+                )
+            port_index = slot.index * (1 << height) + offset
+            port = config.input_port(slot.tree, port_index)
+            prev = out.port_vars.get(port)
+            if prev is not None and prev != inst.var:
+                raise MappingError(
+                    f"port {port} claimed by vars {prev} and {inst.var}"
+                )
+            out.port_vars[port] = inst.var
+            return
+        index = slot.index * (1 << depth) + offset
+        pe = config.pe_id(slot.tree, layer, index)
+        if pe in out.pe_ops:
+            raise MappingError(f"PE {pe} double-booked within a block")
+        if isinstance(inst, PassInst):
+            out.pe_ops[pe] = PEOp.PASS_A
+            visit(inst.child, depth + 1, 2 * offset)
+            return
+        out.pe_ops[pe] = _OP_TO_PEOP[inst.op]
+        out.node_pes.setdefault(inst.node, []).append(pe)
+        visit(inst.left, depth + 1, 2 * offset)
+        visit(inst.right, depth + 1, 2 * offset + 1)
+
+    visit(placed.cone.root, 0, 0)
+
+
+def writer_pe(
+    placement: BlockPlacement, node: int, config: ArchConfig
+) -> int:
+    """PE designated to write ``node``'s value to the register file.
+
+    Among replicas, the deepest-layer PE is chosen: with the
+    one-PE-per-layer output interconnect, deeper layers reach more
+    banks, maximizing the mapper's freedom under constraint H.
+    """
+    pes = placement.node_pes.get(node)
+    if not pes:
+        raise MappingError(f"node {node} has no PE in this block")
+    return max(pes, key=config.pe_layer)

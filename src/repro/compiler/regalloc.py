@@ -1,0 +1,128 @@
+"""Compile-time register-address resolution (§III-B).
+
+The hardware never receives write addresses: its priority encoder
+writes to the lowest free register of each bank.  The compiler must
+therefore *predict* the addresses to encode read fields.  This pass
+replays the final instruction order against the documented policy —
+reserve-at-issue, free-at-flagged-read, frees before reserves within an
+instruction — producing, per instruction:
+
+* the resolved read address of every bank read,
+* the predicted write address of every register write (used by tests
+  to cross-check the hardware model's priority encoder choices).
+
+It also collects the per-bank occupancy trace behind fig. 10(c)/(d).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..arch import (
+    ArchConfig,
+    Instruction,
+    consumed_vars,
+    produced_vars,
+)
+from ..errors import CompileError
+
+
+@dataclass
+class Allocation:
+    """Resolved addresses + occupancy statistics.
+
+    Attributes:
+        read_addrs: Per instruction, ``bank -> address`` for its reads.
+        write_addrs: Per instruction, ``bank -> address`` its writes
+            will be assigned by the priority encoder.
+        peak_occupancy: Max simultaneous registers used, per bank.
+        trace: Per-sample per-bank occupancy (one sample per
+            instruction) when tracing was requested, else empty.
+    """
+
+    read_addrs: list[dict[int, int]]
+    write_addrs: list[dict[int, int]]
+    peak_occupancy: list[int]
+    trace: list[list[int]] = field(default_factory=list)
+
+
+def allocate_addresses(
+    instrs: list[Instruction],
+    config: ArchConfig,
+    trace: bool = False,
+) -> Allocation:
+    """Replay the automatic write policy over the final schedule.
+
+    Raises:
+        CompileError: On bank overflow (spill pass failed), a read of a
+            non-resident variable, or a double-occupancy — all compiler
+            bugs this pass exists to catch before simulation.
+    """
+    banks = config.banks
+    capacity = config.regs_per_bank
+    free: list[list[int]] = [list(range(capacity)) for _ in range(banks)]
+    for heap in free:
+        heapq.heapify(heap)
+    addr_of: list[dict[int, int]] = [dict() for _ in range(banks)]
+
+    read_addrs: list[dict[int, int]] = []
+    write_addrs: list[dict[int, int]] = []
+    peak = [0] * banks
+    samples: list[list[int]] = []
+
+    for idx, instr in enumerate(instrs):
+        reads: dict[int, int] = {}
+        for bank, var in consumed_vars(instr):
+            table = addr_of[bank]
+            if var not in table:
+                raise CompileError(
+                    f"instr {idx} ({instr.mnemonic}) reads var {var} from "
+                    f"bank {bank} but it is not allocated"
+                )
+            reads[bank] = table[var]
+        read_addrs.append(reads)
+
+        # Frees (valid_rst) before this instruction's own reserves.
+        for bank in instr.valid_rst:
+            var = _var_read_from(instr, bank, idx)
+            addr = addr_of[bank].pop(var)
+            heapq.heappush(free[bank], addr)
+
+        writes: dict[int, int] = {}
+        for bank, var in produced_vars(instr):
+            if var in addr_of[bank]:
+                raise CompileError(
+                    f"instr {idx}: var {var} already resident in bank "
+                    f"{bank} (aliasing residences)"
+                )
+            if not free[bank]:
+                raise CompileError(
+                    f"instr {idx}: bank {bank} overflow "
+                    f"(R={capacity}; spill pass failed)"
+                )
+            addr = heapq.heappop(free[bank])
+            addr_of[bank][var] = addr
+            writes[bank] = addr
+            peak[bank] = max(peak[bank], capacity - len(free[bank]))
+        write_addrs.append(writes)
+        if trace:
+            samples.append(
+                [capacity - len(free[b]) for b in range(banks)]
+            )
+
+    return Allocation(
+        read_addrs=read_addrs,
+        write_addrs=write_addrs,
+        peak_occupancy=peak,
+        trace=samples,
+    )
+
+
+def _var_read_from(instr: Instruction, bank: int, idx: int) -> int:
+    for b, var in consumed_vars(instr):
+        if b == bank:
+            return var
+    raise CompileError(
+        f"instr {idx} asserts valid_rst for bank {bank} without reading it"
+    )

@@ -1,0 +1,191 @@
+"""Step 3 — pipeline-aware reordering (§IV-C).
+
+The datapath has ``D + 1`` pipeline stages, so an instruction consuming
+an exec's result must issue at least ``D + 1`` slots after it.  This
+pass list-schedules the straight-line program: it walks the original
+order, hoisting independent later instructions (within a bounded
+lookahead window, 300 in the paper) into hazard gaps, and inserts
+``nop`` bubbles only where no independent work exists.
+
+Dependencies are variable-residence accurate:
+
+* RAW: a read of (bank, var) depends on the instruction that wrote that
+  residence, with the producer's latency (D+1 for exec, 1 for
+  copy/load);
+* WAR/WAW: a new residence of the same (bank, var) must wait for the
+  previous residence's reads (gap 1) — without this, two temporaries of
+  one variable could alias in a bank.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..arch import (
+    ArchConfig,
+    Instruction,
+    NopInstr,
+    consumed_vars,
+    produced_vars,
+    result_latency,
+)
+from ..errors import ScheduleError
+
+
+@dataclass
+class ReorderResult:
+    instructions: list[Instruction]
+    nops_inserted: int
+    hoisted: int  # instructions issued out of original order
+
+
+def build_dependencies(
+    instrs: list[Instruction],
+    config: ArchConfig,
+    extra_deps: list[tuple[int, int]] | None = None,
+) -> list[list[tuple[int, int]]]:
+    """Per-instruction (producer index, min issue gap) lists.
+
+    Args:
+        extra_deps: Additional (consumer, producer) ordering edges, e.g.
+            the scheduler's load anchors.
+    """
+    deps: list[list[tuple[int, int]]] = [[] for _ in instrs]
+    if extra_deps:
+        for consumer, producer in extra_deps:
+            deps[consumer].append((producer, 1))
+    writer: dict[tuple[int, int], int] = {}
+    readers: dict[tuple[int, int], list[int]] = {}
+    for idx, instr in enumerate(instrs):
+        for bank, var in consumed_vars(instr):
+            key = (bank, var)
+            if key not in writer:
+                raise ScheduleError(
+                    f"instr {idx} reads var {var} from bank {bank} "
+                    "before any write"
+                )
+            producer = writer[key]
+            deps[idx].append(
+                (producer, result_latency(instrs[producer], config))
+            )
+            readers.setdefault(key, []).append(idx)
+        for bank, var in produced_vars(instr):
+            key = (bank, var)
+            if key in writer:
+                for r in readers.get(key, []):
+                    deps[idx].append((r, 1))
+                deps[idx].append((writer[key], 1))
+            writer[key] = idx
+            readers[key] = []
+    return deps
+
+
+def reorder(
+    instrs: list[Instruction],
+    config: ArchConfig,
+    extra_deps: list[tuple[int, int]] | None = None,
+) -> ReorderResult:
+    """List-schedule with bounded lookahead; nops fill residual gaps."""
+    n = len(instrs)
+    deps = build_dependencies(instrs, config, extra_deps)
+    succs: list[list[tuple[int, int]]] = [[] for _ in instrs]
+    unique_succs: list[list[int]] = [[] for _ in instrs]
+    unmet = [0] * n
+    for idx, dep_list in enumerate(deps):
+        seen: set[int] = set()
+        for producer, gap in dep_list:
+            succs[producer].append((idx, gap))
+            if producer not in seen:
+                seen.add(producer)
+                unique_succs[producer].append(idx)
+                unmet[idx] += 1
+
+    issue_cycle = [-1] * n
+    earliest = [0] * n
+    ready: list[int] = [i for i in range(n) if unmet[i] == 0]
+    heapq.heapify(ready)
+    issued = [False] * n
+    oldest = 0  # first not-yet-issued original index
+    window = config.reorder_window
+
+    out: list[Instruction] = []
+    nops = 0
+    hoisted = 0
+    cycle = 0
+    remaining = n
+
+    while remaining:
+        while oldest < n and issued[oldest]:
+            oldest += 1
+        chosen = -1
+        stash: list[int] = []
+        while ready:
+            cand = heapq.heappop(ready)
+            if cand >= oldest + window:
+                stash.append(cand)
+                break  # heap is ordered: everything further is worse
+            if earliest[cand] <= cycle:
+                chosen = cand
+                break
+            stash.append(cand)
+        for item in stash:
+            heapq.heappush(ready, item)
+
+        if chosen < 0:
+            out.append(NopInstr())
+            nops += 1
+            cycle += 1
+            continue
+
+        issued[chosen] = True
+        issue_cycle[chosen] = cycle
+        if chosen != oldest:
+            hoisted += 1
+        out.append(instrs[chosen])
+        remaining -= 1
+        cycle += 1
+        for succ, gap in succs[chosen]:
+            earliest[succ] = max(earliest[succ], issue_cycle[chosen] + gap)
+        for succ in unique_succs[chosen]:
+            unmet[succ] -= 1
+            if unmet[succ] == 0:
+                heapq.heappush(ready, succ)
+
+    return ReorderResult(instructions=out, nops_inserted=nops, hoisted=hoisted)
+
+
+def verify_hazard_free(
+    instrs: list[Instruction], config: ArchConfig
+) -> None:
+    """Assert every consumer issues >= producer latency later.
+
+    Used by tests and the pipeline driver after reordering/spilling.
+    """
+    writer: dict[tuple[int, int], tuple[int, int]] = {}
+    readers: dict[tuple[int, int], int] = {}
+    for idx, instr in enumerate(instrs):
+        for bank, var in consumed_vars(instr):
+            key = (bank, var)
+            if key not in writer:
+                raise ScheduleError(
+                    f"instr {idx} reads unwritten var {var} (bank {bank})"
+                )
+            widx, latency = writer[key]
+            if idx - widx < latency:
+                raise ScheduleError(
+                    f"RAW hazard: instr {idx} reads var {var} only "
+                    f"{idx - widx} cycle(s) after producer {widx} "
+                    f"(needs {latency})"
+                )
+            readers[key] = idx
+        for bank, var in produced_vars(instr):
+            key = (bank, var)
+            if key in writer:
+                last_read = readers.get(key)
+                if last_read is None or last_read >= idx:
+                    raise ScheduleError(
+                        f"WAW without intervening read: var {var} bank "
+                        f"{bank} rewritten at {idx}"
+                    )
+            writer[key] = (idx, result_latency(instr, config))

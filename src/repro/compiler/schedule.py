@@ -1,0 +1,286 @@
+"""Instruction-list construction from decomposition + mapping.
+
+Walks the blocks in dependency order and materializes:
+
+* ``load`` instructions bringing external inputs into their mapped
+  banks the first time a block needs them (lanes are bank-aligned, so
+  a variable's memory lane equals its mapped bank);
+* ``copy`` instructions resolving *read* bank conflicts — when two
+  distinct inputs of a block share a bank, all but one are copied to
+  read-port-free banks through the crossbar (fig. 5(c)); each such
+  move is one "bank conflict" in the paper's fig. 6(e)/10(b) metric;
+* one ``exec`` per block;
+* trailing vector ``store`` instructions writing every DAG output back
+  to data memory.
+
+``valid_rst`` / ``free_source`` flags are left cleared here; the
+liveness pass fills them after reordering settles the final read order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch import (
+    CopyInstr,
+    CopyMove,
+    ExecInstr,
+    Instruction,
+    LoadInstr,
+    PEOp,
+    StoreInstr,
+    StoreSlot,
+    WriteSpec,
+)
+from ..errors import ScheduleError
+from ..graphs import DAG, OpType
+from .blocks import Decomposition
+from .mapping import Mapping
+
+
+@dataclass
+class ScheduleStats:
+    """Raw counts produced while materializing the schedule."""
+
+    conflict_copies: int = 0  # copied variables (= bank conflicts)
+    copy_instructions: int = 0
+    load_instructions: int = 0
+    store_instructions: int = 0
+    exec_instructions: int = 0
+
+
+@dataclass
+class Schedule:
+    """Step-2.5 result: the straight-line instruction list.
+
+    ``anchor_deps`` are ordering edges (consumer_idx, producer_idx)
+    keeping loads from drifting arbitrarily far ahead of their
+    consuming block during reordering: a hoisted load occupies
+    registers, so unbounded hoisting trades nops for spills — a bad
+    deal the reorder pass cannot see on its own.
+    """
+
+    instructions: list[Instruction]
+    input_layout: dict[int, tuple[int, int]]
+    output_layout: dict[int, tuple[int, int]]
+    num_rows: int
+    stats: ScheduleStats = field(default_factory=ScheduleStats)
+    anchor_deps: list[tuple[int, int]] = field(default_factory=list)
+
+
+#: Loads may run at most this many blocks ahead of their consumer.
+LOAD_LOOKAHEAD_BLOCKS = 4
+
+
+def build_schedule(
+    decomposition: Decomposition,
+    mapping: Mapping,
+    keep_vars: frozenset[int] = frozenset(),
+) -> Schedule:
+    """Materialize the instruction list for a mapped decomposition.
+
+    Args:
+        keep_vars: Extra variables (beyond the DAG sinks) to store to
+            data memory at the end — the caller wants to read them
+            back.  They must already be block outputs (the pipeline
+            driver forces that before mapping).
+    """
+    dag = decomposition.dag
+    config = decomposition.config
+    bank_of = mapping.bank_of
+    stats = ScheduleStats()
+    instrs: list[Instruction] = []
+
+    input_layout: dict[int, tuple[int, int]] = {}
+    next_row = 0
+    loaded: set[int] = set()
+    exec_positions: list[int] = []  # instruction index of each block's exec
+    load_positions: list[tuple[int, int]] = []  # (instr idx, block id)
+
+    for block, placement in zip(decomposition.blocks, mapping.placements):
+        # ---- loads for first-use external inputs -------------------
+        # Rows are allocated per consuming block so one vector load
+        # feeds the whole block: inputs mapped to distinct banks (which
+        # Algorithm 2 ensures modulo conflicts) share a single row.
+        fresh = sorted(
+            v
+            for v in block.input_vars
+            if dag.op(v) is OpType.INPUT and v not in loaded
+        )
+        block_rows: list[dict[int, int]] = []  # per row: bank -> var
+        for v in fresh:
+            bank = bank_of[v]
+            for lanes in block_rows:
+                if bank not in lanes:
+                    lanes[bank] = v
+                    break
+            else:
+                block_rows.append({bank: v})
+            loaded.add(v)
+        for offset, lanes in enumerate(block_rows):
+            row = next_row + offset
+            dests = tuple(sorted((bank, v) for bank, v in lanes.items()))
+            for bank, v in dests:
+                input_layout[v] = (row, bank)
+            load_positions.append((len(instrs), block.id))
+            instrs.append(LoadInstr(row=row, dests=dests))
+            stats.load_instructions += 1
+        next_row += len(block_rows)
+
+        # ---- read-conflict resolution ------------------------------
+        reads, moves = _resolve_read_conflicts(block.input_vars, bank_of, config)
+        stats.conflict_copies += len(moves)
+        for copy in _pack_copies(moves):
+            instrs.append(copy)
+            stats.copy_instructions += 1
+        read_bank_of = {var: bank for bank, var in reads.items()}
+
+        # ---- the exec itself ---------------------------------------
+        port_source: list[int | None] = [None] * config.banks
+        for port, var in placement.port_vars.items():
+            port_source[port] = read_bank_of[var]
+        pe_ops = [PEOp.IDLE] * config.num_pes
+        for pe, op in placement.pe_ops.items():
+            pe_ops[pe] = op
+        writes = tuple(
+            WriteSpec(pe=mapping.write_pe[v], bank=bank_of[v], var=v)
+            for v in sorted(block.output_vars)
+        )
+        _check_write_ports(writes, block.id)
+        exec_positions.append(len(instrs))
+        instrs.append(
+            ExecInstr(
+                bank_reads=tuple(sorted(reads.items())),
+                port_source=tuple(port_source),
+                pe_ops=tuple(pe_ops),
+                writes=writes,
+                block_id=block.id,
+            )
+        )
+        stats.exec_instructions += 1
+
+    # ---- trailing stores of the DAG outputs ------------------------
+    output_layout, num_rows = _emit_output_stores(
+        dag, bank_of, instrs, stats, base_row=next_row,
+        keep_vars=keep_vars,
+    )
+    anchor_deps = [
+        (load_idx, exec_positions[block_id - LOAD_LOOKAHEAD_BLOCKS])
+        for load_idx, block_id in load_positions
+        if block_id >= LOAD_LOOKAHEAD_BLOCKS
+    ]
+    return Schedule(
+        instructions=instrs,
+        input_layout=input_layout,
+        output_layout=output_layout,
+        num_rows=num_rows,
+        stats=stats,
+        anchor_deps=anchor_deps,
+    )
+
+
+def _resolve_read_conflicts(
+    input_vars: set[int], bank_of: dict[int, int], config
+) -> tuple[dict[int, int], list[CopyMove]]:
+    """Pick a read bank per input var; emit moves for collisions.
+
+    Returns (``bank -> var`` read map, copy moves).  The first variable
+    (smallest id) of each colliding group stays in place; the rest are
+    copied into banks whose read port is free this exec.
+    """
+    by_bank: dict[int, list[int]] = {}
+    for v in input_vars:
+        by_bank.setdefault(bank_of[v], []).append(v)
+    reads: dict[int, int] = {}
+    movers: list[int] = []
+    for bank, group in by_bank.items():
+        group.sort()
+        reads[bank] = group[0]
+        movers.extend(group[1:])
+    if not movers:
+        return reads, []
+    free_banks = sorted(set(range(config.banks)) - set(reads))
+    if len(free_banks) < len(movers):
+        raise ScheduleError(
+            f"{len(movers)} conflicting reads but only "
+            f"{len(free_banks)} free banks (block too wide)"
+        )
+    moves: list[CopyMove] = []
+    for v, dst in zip(sorted(movers), free_banks):
+        moves.append(
+            CopyMove(src_bank=bank_of[v], dst_bank=dst, var=v)
+        )
+        reads[dst] = v
+    return reads, moves
+
+
+def _pack_copies(moves: list[CopyMove]) -> list[CopyInstr]:
+    """Split moves into copy instructions honouring 1R/1W bank ports."""
+    remaining = list(moves)
+    packed: list[CopyInstr] = []
+    while remaining:
+        used_src: set[int] = set()
+        used_dst: set[int] = set()
+        round_moves: list[CopyMove] = []
+        rest: list[CopyMove] = []
+        for m in remaining:
+            if m.src_bank in used_src or m.dst_bank in used_dst:
+                rest.append(m)
+                continue
+            used_src.add(m.src_bank)
+            used_dst.add(m.dst_bank)
+            round_moves.append(m)
+        packed.append(CopyInstr(moves=tuple(round_moves)))
+        remaining = rest
+    return packed
+
+
+def _check_write_ports(writes: tuple[WriteSpec, ...], block_id: int) -> None:
+    banks = [w.bank for w in writes]
+    if len(banks) != len(set(banks)):
+        raise ScheduleError(
+            f"block {block_id}: two outputs share a write bank "
+            "(constraint G violated — mapping bug)"
+        )
+    pes = [w.pe for w in writes]
+    if len(pes) != len(set(pes)):
+        raise ScheduleError(
+            f"block {block_id}: one PE writes two outputs"
+        )
+
+
+def _emit_output_stores(
+    dag: DAG,
+    bank_of: dict[int, int],
+    instrs: list[Instruction],
+    stats: ScheduleStats,
+    base_row: int,
+    keep_vars: frozenset[int] = frozenset(),
+) -> tuple[dict[int, tuple[int, int]], int]:
+    """Store every DAG sink (+ kept vars) to memory, row-packed."""
+    sinks = sorted(
+        {
+            v
+            for v in dag.nodes()
+            if not dag.successors(v) and dag.op(v) is not OpType.INPUT
+        }
+        | {v for v in keep_vars if dag.op(v) is not OpType.INPUT}
+    )
+    queues: dict[int, list[int]] = {}
+    for v in sinks:
+        queues.setdefault(bank_of[v], []).append(v)
+    output_layout: dict[int, tuple[int, int]] = {}
+    depth = max((len(q) for q in queues.values()), default=0)
+    row = base_row
+    for level in range(depth):
+        slots: list[StoreSlot] = []
+        for bank in sorted(queues):
+            queue = queues[bank]
+            if level < len(queue):
+                var = queue[level]
+                slots.append(StoreSlot(bank=bank, var=var))
+                output_layout[var] = (row, bank)
+        instrs.append(StoreInstr(row=row, slots=tuple(slots)))
+        stats.store_instructions += 1
+        row += 1
+    return output_layout, row

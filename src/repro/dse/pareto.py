@@ -1,0 +1,66 @@
+"""Pareto analysis of the DSE sweep (fig. 12 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sweep import DsePoint, DseResult
+
+
+@dataclass(frozen=True)
+class ParetoSummary:
+    """The optimum corners the paper highlights in §V-B."""
+
+    min_latency: DsePoint
+    min_energy: DsePoint
+    min_edp: DsePoint
+
+    def as_rows(self) -> list[tuple[str, str, float, float, float]]:
+        return [
+            (
+                name,
+                point.label,
+                point.latency_per_op_ns,
+                point.energy_per_op_pj,
+                point.edp_per_op,
+            )
+            for name, point in (
+                ("min latency", self.min_latency),
+                ("min energy", self.min_energy),
+                ("min EDP", self.min_edp),
+            )
+        ]
+
+
+def summarize(result: DseResult) -> ParetoSummary:
+    return ParetoSummary(
+        min_latency=result.min_latency(),
+        min_energy=result.min_energy(),
+        min_edp=result.min_edp(),
+    )
+
+
+def pareto_front(result: DseResult) -> list[DsePoint]:
+    """Latency-energy Pareto-optimal points, sorted by latency."""
+    points = sorted(
+        result.points, key=lambda p: (p.latency_per_op_ns, p.energy_per_op_pj)
+    )
+    front: list[DsePoint] = []
+    best_energy = float("inf")
+    for p in points:
+        if p.energy_per_op_pj < best_energy:
+            front.append(p)
+            best_energy = p.energy_per_op_pj
+    return front
+
+
+def constant_edp_curve(
+    point: DsePoint, latencies: list[float]
+) -> list[float]:
+    """Energy values tracing the iso-EDP curve through ``point``.
+
+    fig. 12 draws the constant-EDP hyperbola through the min-EDP design
+    to show how the design space trades latency against energy.
+    """
+    edp = point.edp_per_op
+    return [edp / lat if lat > 0 else float("inf") for lat in latencies]

@@ -1,0 +1,102 @@
+"""Design-space exploration sweep (§V-B, fig. 11).
+
+Compiles a set of workloads for every (D, B, R) point of the paper's
+grid, derives latency/energy/EDP per operation from the static
+activity counters, and averages over the workloads exactly as the
+paper does ("mean latency, energy, and EDP per operation, averaged
+over the workloads").
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, Interconnect, dse_grid
+from ..compiler import compile_dag
+from ..graphs import DAG
+from ..sim.activity import count_activity
+from ..sim.energy import EnergyReport, energy_of_run
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One configuration's averaged metrics over the workload set."""
+
+    config: ArchConfig
+    latency_per_op_ns: float
+    energy_per_op_pj: float
+
+    @property
+    def edp_per_op(self) -> float:
+        return self.latency_per_op_ns * self.energy_per_op_pj
+
+    @property
+    def label(self) -> str:
+        return str(self.config)
+
+
+@dataclass
+class DseResult:
+    """Full sweep outcome."""
+
+    points: list[DsePoint]
+    workloads: list[str]
+
+    def min_latency(self) -> DsePoint:
+        return min(self.points, key=lambda p: p.latency_per_op_ns)
+
+    def min_energy(self) -> DsePoint:
+        return min(self.points, key=lambda p: p.energy_per_op_pj)
+
+    def min_edp(self) -> DsePoint:
+        return min(self.points, key=lambda p: p.edp_per_op)
+
+    def by_config(self, depth: int, banks: int, regs: int) -> DsePoint:
+        for p in self.points:
+            cfg = p.config
+            if (
+                cfg.depth == depth
+                and cfg.banks == banks
+                and cfg.regs_per_bank == regs
+            ):
+                return p
+        raise KeyError(f"no point D{depth}-B{banks}-R{regs}")
+
+
+def evaluate_config(
+    config: ArchConfig, workloads: dict[str, DAG], seed: int = 0
+) -> DsePoint:
+    """Compile + statically evaluate all workloads on one config."""
+    latencies: list[float] = []
+    energies: list[float] = []
+    for dag in workloads.values():
+        result = compile_dag(
+            dag, config, seed=seed, validate_input=False
+        )
+        interconnect = Interconnect(result.program.config)
+        counters = count_activity(result.program, interconnect)
+        report: EnergyReport = energy_of_run(
+            result.program.config,
+            counters,
+            result.stats.num_operations,
+            interconnect,
+        )
+        latencies.append(report.latency_per_op_ns)
+        energies.append(report.energy_per_op_pj)
+    return DsePoint(
+        config=config,
+        latency_per_op_ns=statistics.mean(latencies),
+        energy_per_op_pj=statistics.mean(energies),
+    )
+
+
+def run_sweep(
+    workloads: dict[str, DAG],
+    configs: list[ArchConfig] | None = None,
+    seed: int = 0,
+) -> DseResult:
+    """Run the 48-point sweep (or a custom config list)."""
+    grid = configs if configs is not None else dse_grid()
+    points = [evaluate_config(cfg, workloads, seed=seed) for cfg in grid]
+    return DseResult(points=points, workloads=sorted(workloads))

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so a
+caller can catch one type to intercept anything the library raises while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A DAG is malformed (cyclic, wrong arity, dangling node, ...)."""
+
+
+class CycleError(GraphError):
+    """The input graph contains a cycle and is therefore not a DAG."""
+
+
+class ConfigError(ReproError):
+    """An architecture configuration is inconsistent or unsupported."""
+
+
+class CompileError(ReproError):
+    """The compiler could not produce a valid program."""
+
+
+class MappingError(CompileError):
+    """PE / register-bank mapping failed (constraints E-H violated)."""
+
+
+class ScheduleError(CompileError):
+    """Instruction scheduling failed (unresolvable hazard or overflow)."""
+
+
+class SpillError(CompileError):
+    """Register spilling could not keep occupancy within R."""
+
+
+class EncodingError(ReproError):
+    """Instruction encoding / decoding failed or round-trip mismatch."""
+
+
+class SimulationError(ReproError):
+    """The architectural simulator detected an illegal operation."""
+
+
+class HazardError(SimulationError):
+    """A read-after-write hazard occurred at run time (compiler bug)."""
+
+
+class BankConflictError(SimulationError):
+    """Two simultaneous accesses hit the same register bank port."""
+
+
+class RegisterFileError(SimulationError):
+    """Register-file misuse (overflow, read of invalid register, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received unsatisfiable parameters."""

@@ -1,0 +1,44 @@
+"""Per-table/figure experiment drivers (see DESIGN.md's index)."""
+
+from . import (
+    fig01_motivation,
+    fig03_utilization,
+    fig06_interconnect,
+    fig10_conflicts,
+    fig11_dse,
+    fig12_edp_curves,
+    fig13_breakdown,
+    fig14_throughput,
+    footprint,
+    table1_workloads,
+    table2_area_power,
+    table3_comparison,
+)
+from .common import Measurement, measure
+from .spatial import (
+    UtilizationPoint,
+    systolic_peak_utilization,
+    tree_peak_utilization,
+    utilization_sweep,
+)
+
+__all__ = [
+    "measure",
+    "Measurement",
+    "tree_peak_utilization",
+    "systolic_peak_utilization",
+    "utilization_sweep",
+    "UtilizationPoint",
+    "fig01_motivation",
+    "fig03_utilization",
+    "fig06_interconnect",
+    "fig10_conflicts",
+    "fig11_dse",
+    "fig12_edp_curves",
+    "fig13_breakdown",
+    "fig14_throughput",
+    "table1_workloads",
+    "table2_area_power",
+    "table3_comparison",
+    "footprint",
+]

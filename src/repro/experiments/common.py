@@ -1,0 +1,54 @@
+"""Shared plumbing for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, Interconnect, Topology
+from ..compiler import CompileResult, compile_dag
+from ..graphs import DAG
+from ..sim.activity import count_activity
+from ..sim.energy import EnergyReport, energy_of_run
+from ..sim.functional import ActivityCounters
+from ..sim.performance import PerfReport, perf_report
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Everything the evaluation needs from one (workload, config) run."""
+
+    compile_result: CompileResult
+    counters: ActivityCounters
+    perf: PerfReport
+    energy: EnergyReport
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.perf.throughput_gops
+
+
+def measure(
+    dag: DAG,
+    config: ArchConfig,
+    topology: Topology = Topology.OUTPUT_PER_LAYER,
+    seed: int = 0,
+) -> Measurement:
+    """Compile a workload and derive perf/energy from static activity.
+
+    Static activity is exact for this architecture (execution is fully
+    data-independent), so no value-level simulation is needed here;
+    functional correctness is covered by the test suite.
+    """
+    result = compile_dag(
+        dag, config, topology=topology, seed=seed, validate_input=False
+    )
+    interconnect = Interconnect(result.program.config, topology)
+    counters = count_activity(result.program, interconnect)
+    ops = result.stats.num_operations
+    perf = perf_report(dag.name, result.program.config, ops, counters.cycles)
+    energy = energy_of_run(
+        result.program.config, counters, ops, interconnect
+    )
+    return Measurement(
+        compile_result=result, counters=counters, perf=perf, energy=energy
+    )

@@ -1,0 +1,84 @@
+"""Fig. 1(c): CPU and GPU throughput collapse on irregular DAGs.
+
+The paper's motivation figure plots measured CPU/GPU throughput
+against DAG size, showing (1) both far below peak, and (2) the GPU
+*below the CPU* until roughly 100k nodes, where level-parallel
+execution finally amortizes kernel launches.
+
+Here the analytic platform models are evaluated on synthetic PCs of
+increasing size (full-size analytic evaluation — no scale
+compensation, since the x-axis *is* the size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import CPUModel, GPUModel
+from ..workloads.pc import PCParams, generate_pc
+
+
+@dataclass(frozen=True)
+class MotivationPoint:
+    nodes: int
+    cpu_gops: float
+    gpu_gops: float
+
+
+@dataclass(frozen=True)
+class MotivationResult:
+    points: list[MotivationPoint]
+
+    def crossover_nodes(self) -> int | None:
+        """First size where the GPU overtakes the CPU (paper: ~100k)."""
+        for p in self.points:
+            if p.gpu_gops > p.cpu_gops:
+                return p.nodes
+        return None
+
+
+def run(
+    sizes: tuple[int, ...] = (1_000, 5_000, 20_000, 60_000, 150_000, 400_000),
+    seed: int = 42,
+) -> MotivationResult:
+    cpu = CPUModel()
+    gpu = GPUModel()
+    points: list[MotivationPoint] = []
+    for size in sizes:
+        depth = max(int(size ** 0.33), 8)
+        params = PCParams(
+            num_vars=max(int(size**0.5 / 2), 4),
+            target_nodes=size,
+            depth=depth,
+            seed=seed,
+        )
+        dag = generate_pc(params, name=f"pc{size}")
+        points.append(
+            MotivationPoint(
+                nodes=dag.num_nodes,
+                cpu_gops=cpu.run(dag).throughput_gops,
+                gpu_gops=gpu.run(dag).throughput_gops,
+            )
+        )
+    return MotivationResult(points=points)
+
+
+def render(result: MotivationResult) -> str:
+    from ..analysis import format_table
+
+    rows = [
+        (p.nodes, round(p.cpu_gops, 3), round(p.gpu_gops, 3))
+        for p in result.points
+    ]
+    table = format_table(
+        ["nodes", "CPU GOPS", "GPU GOPS"],
+        rows,
+        title="fig. 1(c) — general-purpose platforms on irregular DAGs",
+    )
+    cross = result.crossover_nodes()
+    note = (
+        f"\nGPU overtakes CPU at ~{cross} nodes (paper: ~100k)"
+        if cross
+        else "\nGPU never overtakes CPU in this range"
+    )
+    return table + note

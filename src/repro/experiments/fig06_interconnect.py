@@ -1,0 +1,98 @@
+"""Fig. 6(e): bank conflicts across interconnect topologies.
+
+The paper maps the workloads with the same compiler against the three
+crossbar-bearing design points and reports conflicts normalized to the
+full-crossbar design (a): (b) costs ~2.4x the conflicts (for ~1% added
+latency), and (c) ~19x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, MIN_EDP_CONFIG, Topology
+from ..workloads import DEFAULT_SCALE, build_suite
+from .common import measure
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    topology: Topology
+    conflicts: int
+    cycles: int
+    conflicts_normalized: float
+    latency_normalized: float
+
+
+@dataclass(frozen=True)
+class InterconnectResult:
+    rows: list[TopologyRow]
+
+
+TOPOLOGIES = (
+    Topology.CROSSBAR_BOTH,
+    Topology.OUTPUT_PER_LAYER,
+    Topology.OUTPUT_SINGLE,
+)
+
+
+def run(
+    config: ArchConfig = MIN_EDP_CONFIG,
+    scale: float = DEFAULT_SCALE,
+    groups: tuple[str, ...] = ("pc", "sptrsv"),
+    seed: int = 0,
+) -> InterconnectResult:
+    suite = build_suite(groups=groups, scale=scale)
+    totals: dict[Topology, tuple[int, int]] = {}
+    for topology in TOPOLOGIES:
+        conflicts = 0
+        cycles = 0
+        for dag in suite.values():
+            m = measure(dag, config, topology=topology, seed=seed)
+            conflicts += m.compile_result.stats.bank_conflicts
+            cycles += m.counters.cycles
+        totals[topology] = (conflicts, cycles)
+    base_conflicts, base_cycles = totals[Topology.CROSSBAR_BOTH]
+    # Our mapper often reaches *zero* conflicts on the full crossbar
+    # (the paper's (a) is its 1x reference); fall back to design (b)
+    # as the reference so the ratios stay meaningful.
+    reference = base_conflicts or totals[Topology.OUTPUT_PER_LAYER][0] or 1
+    rows = [
+        TopologyRow(
+            topology=t,
+            conflicts=c,
+            cycles=cy,
+            conflicts_normalized=c / reference,
+            latency_normalized=cy / base_cycles if base_cycles else 1.0,
+        )
+        for t, (c, cy) in totals.items()
+    ]
+    return InterconnectResult(rows=rows)
+
+
+def render(result: InterconnectResult) -> str:
+    from ..analysis import format_table
+
+    label = {
+        Topology.CROSSBAR_BOTH: "(a) crossbar both",
+        Topology.OUTPUT_PER_LAYER: "(b) one PE/layer out",
+        Topology.OUTPUT_SINGLE: "(c) one PE out",
+    }
+    rows = [
+        (
+            label[r.topology],
+            r.conflicts,
+            f"{r.conflicts_normalized:.1f}x",
+            f"{r.latency_normalized:.3f}x",
+        )
+        for r in result.rows
+    ]
+    return format_table(
+        ["design", "conflicts", "vs ref", "latency vs (a)"],
+        rows,
+        title=(
+            "fig. 6(e) — bank conflicts by topology "
+            "(paper: (a)=1x, (b)=2.4x, (c)=19x; (b) latency +1%; "
+            "ref = (a), or (b) when (a) hits zero)"
+        ),
+    )

@@ -1,0 +1,117 @@
+"""Fig. 10(b)-(d): mapping quality — conflicts and bank occupancy.
+
+* (b): conflict-aware bank mapping (Algorithm 2) vs random allocation
+  (paper: 292x fewer conflicts);
+* (c)/(d): active registers per bank stay balanced; spilling caps the
+  occupancy when R is small.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..analysis import OccupancyProfile, occupancy_profile
+from ..arch import ArchConfig, MIN_EDP_CONFIG
+from ..compiler import compile_dag
+from ..workloads import DEFAULT_SCALE, build_workload
+
+
+@dataclass(frozen=True)
+class ConflictComparison:
+    workload: str
+    ours: int
+    random: int
+
+    @property
+    def improvement(self) -> float:
+        if self.ours == 0:
+            return float("inf") if self.random else 1.0
+        return self.random / self.ours
+
+
+def run_conflicts(
+    workload: str = "mnist",
+    config: ArchConfig = MIN_EDP_CONFIG,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> ConflictComparison:
+    """fig. 10(b): ours vs random bank allocation."""
+    dag = build_workload(workload, scale=scale)
+    ours = compile_dag(
+        dag, config, seed=seed, mapping_strategy="conflict_aware",
+        validate_input=False,
+    )
+    rnd = compile_dag(
+        dag, config, seed=seed, mapping_strategy="random",
+        validate_input=False,
+    )
+    return ConflictComparison(
+        workload=workload,
+        ours=ours.stats.bank_conflicts,
+        random=rnd.stats.bank_conflicts,
+    )
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    workload: str
+    regs_per_bank: int
+    without_spill: OccupancyProfile
+    with_spill: OccupancyProfile
+    spills: int
+
+
+def run_occupancy(
+    workload: str = "msweb",
+    scale: float = DEFAULT_SCALE,
+    regs_per_bank: int = 8,
+    seed: int = 0,
+) -> OccupancyResult:
+    """fig. 10(c)/(d): occupancy without and with register spilling.
+
+    "Without spilling" is obtained by compiling with an R large enough
+    that nothing spills (the paper does the same: 10(c) is the
+    unconstrained occupancy, 10(d) the R-limited one).
+    """
+    dag = build_workload(workload, scale=scale)
+    unconstrained = ArchConfig(depth=3, banks=64, regs_per_bank=1024)
+    limited = dataclasses.replace(
+        unconstrained, regs_per_bank=regs_per_bank
+    )
+    free = compile_dag(
+        dag, unconstrained, seed=seed, trace_occupancy=True,
+        validate_input=False,
+    )
+    capped = compile_dag(
+        dag, limited, seed=seed, trace_occupancy=True,
+        validate_input=False,
+    )
+    return OccupancyResult(
+        workload=workload,
+        regs_per_bank=regs_per_bank,
+        without_spill=occupancy_profile(free.allocation),
+        with_spill=occupancy_profile(capped.allocation),
+        spills=capped.stats.spills,
+    )
+
+
+def render_conflicts(result: ConflictComparison) -> str:
+    return (
+        f"fig. 10(b) — bank conflicts on {result.workload}: "
+        f"ours={result.ours}, random={result.random} "
+        f"({result.improvement:.0f}x reduction; paper: 292x)"
+    )
+
+
+def render_occupancy(result: OccupancyResult) -> str:
+    a, b = result.without_spill, result.with_spill
+    return (
+        f"fig. 10(c)/(d) — occupancy on {result.workload}:\n"
+        f"  unconstrained: peak/bank max={a.global_peak} "
+        f"mean={a.mean_peak:.1f} balance={a.balance:.2f}\n"
+        f"  R={result.regs_per_bank}: peak/bank max={b.global_peak} "
+        f"mean={b.mean_peak:.1f} balance={b.balance:.2f} "
+        f"spills={result.spills}\n"
+        f"  (paper: occupancy balanced across banks; spilling caps it at R)"
+    )

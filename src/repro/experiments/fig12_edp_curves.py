@@ -1,0 +1,66 @@
+"""Fig. 12: latency-energy scatter with the iso-EDP curve.
+
+Re-uses the fig. 11 sweep; this driver extracts the scatter, the
+Pareto front, and the constant-EDP hyperbola through the min-EDP
+point.  The paper reads off the curve's slope that "latency has more
+variation than the energy" — we report both spreads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dse import constant_edp_curve, pareto_front
+from .fig11_dse import DseExperiment, run as run_dse
+
+
+@dataclass(frozen=True)
+class EdpCurves:
+    experiment: DseExperiment
+    scatter: list[tuple[str, float, float]]  # (label, ns/op, pJ/op)
+    front: list[tuple[str, float, float]]
+    iso_edp: list[tuple[float, float]]  # (ns/op, pJ/op) along the curve
+    latency_spread: float  # max/min over the grid
+    energy_spread: float
+
+
+def run(experiment: DseExperiment | None = None, **kwargs) -> EdpCurves:
+    exp = experiment or run_dse(**kwargs)
+    points = exp.result.points
+    scatter = [
+        (p.label, p.latency_per_op_ns, p.energy_per_op_pj) for p in points
+    ]
+    front = [
+        (p.label, p.latency_per_op_ns, p.energy_per_op_pj)
+        for p in pareto_front(exp.result)
+    ]
+    lats = sorted(p.latency_per_op_ns for p in points)
+    curve_lats = [lats[0] * (lats[-1] / lats[0]) ** (i / 19) for i in range(20)]
+    iso = list(
+        zip(curve_lats, constant_edp_curve(exp.summary.min_edp, curve_lats))
+    )
+    energies = [p.energy_per_op_pj for p in points]
+    return EdpCurves(
+        experiment=exp,
+        scatter=scatter,
+        front=front,
+        iso_edp=iso,
+        latency_spread=lats[-1] / lats[0],
+        energy_spread=max(energies) / min(energies),
+    )
+
+
+def render(curves: EdpCurves) -> str:
+    from ..analysis import format_table
+
+    front = format_table(
+        ["config", "ns/op", "pJ/op"],
+        [(l, round(a, 3), round(b, 1)) for l, a, b in curves.front],
+        title="fig. 12 — latency-energy Pareto front",
+    )
+    spread = (
+        f"latency spread {curves.latency_spread:.1f}x vs energy spread "
+        f"{curves.energy_spread:.1f}x "
+        "(paper: latency varies more than energy)"
+    )
+    return front + "\n" + spread

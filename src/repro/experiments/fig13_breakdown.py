@@ -1,0 +1,48 @@
+"""Fig. 13: instruction-category breakdown per workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import InstructionBreakdown, instruction_breakdown
+from ..arch import ArchConfig, MIN_EDP_CONFIG
+from ..compiler import compile_dag
+from ..workloads import DEFAULT_SCALE, build_suite
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    rows: list[InstructionBreakdown]
+
+
+def run(
+    config: ArchConfig = MIN_EDP_CONFIG,
+    scale: float = DEFAULT_SCALE,
+    groups: tuple[str, ...] = ("pc", "sptrsv"),
+    seed: int = 0,
+) -> BreakdownResult:
+    suite = build_suite(groups=groups, scale=scale)
+    rows = []
+    for dag in suite.values():
+        result = compile_dag(dag, config, seed=seed, validate_input=False)
+        rows.append(instruction_breakdown(result.program))
+    return BreakdownResult(rows=rows)
+
+
+def render(result: BreakdownResult) -> str:
+    from ..analysis import CATEGORIES, format_table
+
+    table_rows = []
+    for b in result.rows:
+        fracs = b.fractions()
+        table_rows.append(
+            (b.workload, *(f"{100 * fracs[c]:.0f}%" for c in CATEGORIES))
+        )
+    return format_table(
+        ["workload", *CATEGORIES],
+        table_rows,
+        title=(
+            "fig. 13 — instruction mix (paper: exec dominates, "
+            "copies minor, loads/stores grow with pressure)"
+        ),
+    )

@@ -1,0 +1,149 @@
+"""Fig. 14 + Table III: throughput comparison across platforms.
+
+(a) the small suite (PC + SpTRSV) on the min-EDP DPU-v2 vs DPU-v1,
+    CPU, GPU;
+(b) large PCs on the 4-core DPU-v2 (L) vs SPU, CPU_SPU, CPU, GPU.
+
+DPU-v2 numbers come from actually compiling and (statically)
+evaluating the programs; the other platforms use the calibrated
+analytic models (see ``repro.baselines``).  Workloads are regenerated
+at a configurable scale — fixed platform overheads are compensated per
+``repro.baselines.scaling`` so the published overhead-to-work ratios
+are preserved.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..arch import ArchConfig, LARGE_CORE_CONFIG, MIN_EDP_CONFIG
+from ..baselines import (
+    CPU_SPU_MODEL,
+    PlatformResult,
+    SPUModel,
+    scaled_cpu,
+    scaled_gpu,
+    scaled_models,
+)
+from ..workloads import DEFAULT_SCALE, build_suite
+from .common import measure
+
+
+@dataclass(frozen=True)
+class WorkloadThroughput:
+    workload: str
+    gops: dict[str, float]  # platform -> GOPS
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    rows: list[WorkloadThroughput]
+    platforms: tuple[str, ...]
+    dpu_v2_power_w: float = 0.0
+    dpu_v2_edp: float = 0.0
+    baseline_edp: dict[str, float] = field(default_factory=dict)
+
+    def geomean(self, platform: str) -> float:
+        return statistics.geometric_mean(
+            max(r.gops[platform], 1e-9) for r in self.rows
+        )
+
+    def speedup_over(self, platform: str) -> float:
+        return self.geomean("DPU-v2") / self.geomean(platform)
+
+
+def run_small(
+    config: ArchConfig = MIN_EDP_CONFIG,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> ThroughputResult:
+    """fig. 14(a): PC + SpTRSV suite."""
+    suite = build_suite(groups=("pc", "sptrsv"), scale=scale)
+    cpu, gpu, dpu1 = scaled_models(scale)
+    rows: list[WorkloadThroughput] = []
+    powers: list[float] = []
+    edps: list[float] = []
+    base_edp: dict[str, list[float]] = {"DPU": [], "CPU": [], "GPU": []}
+    for name, dag in suite.items():
+        m = measure(dag, config, seed=seed)
+        gops = {
+            "DPU-v2": m.throughput_gops,
+            "DPU": dpu1.run(dag).throughput_gops,
+            "CPU": cpu.run(dag).throughput_gops,
+            "GPU": gpu.run(dag).throughput_gops,
+        }
+        rows.append(WorkloadThroughput(workload=name, gops=gops))
+        powers.append(m.energy.power_w)
+        edps.append(m.energy.edp_per_op)
+        base_edp["DPU"].append(dpu1.run(dag).edp)
+        base_edp["CPU"].append(cpu.run(dag).edp)
+        base_edp["GPU"].append(gpu.run(dag).edp)
+    return ThroughputResult(
+        rows=rows,
+        platforms=("DPU-v2", "DPU", "CPU", "GPU"),
+        dpu_v2_power_w=statistics.mean(powers),
+        dpu_v2_edp=statistics.geometric_mean(edps),
+        baseline_edp={
+            k: statistics.geometric_mean(v) for k, v in base_edp.items()
+        },
+    )
+
+
+def run_large(
+    config: ArchConfig = LARGE_CORE_CONFIG,
+    scale: float = 0.01,
+    cores: int = 4,
+    seed: int = 0,
+) -> ThroughputResult:
+    """fig. 14(b): large PCs on the 4-core DPU-v2 (L) vs SPU et al.
+
+    The paper's DPU-v2 (L) runs 4 cores in batch mode — aggregate
+    throughput is ``cores x`` a single core's (each core executes an
+    independent evaluation of the same static program).
+    """
+    suite = build_suite(groups=("large_pc",), scale=scale)
+    cpu = scaled_cpu(scale)
+    gpu = scaled_gpu(scale)
+    cpu_spu = scaled_cpu(scale, base=CPU_SPU_MODEL)
+    spu = SPUModel(cpu_model=cpu_spu)
+    rows: list[WorkloadThroughput] = []
+    powers: list[float] = []
+    edps: list[float] = []
+    for name, dag in suite.items():
+        m = measure(dag, config, seed=seed)
+        gops = {
+            "DPU-v2": m.throughput_gops * cores,
+            "SPU": spu.run(dag).throughput_gops,
+            "CPU_SPU": cpu_spu.run(dag).throughput_gops,
+            "CPU": cpu.run(dag).throughput_gops,
+            "GPU": gpu.run(dag).throughput_gops,
+        }
+        rows.append(WorkloadThroughput(workload=name, gops=gops))
+        powers.append(m.energy.power_w * cores)
+        edps.append(m.energy.edp_per_op / cores)
+    return ThroughputResult(
+        rows=rows,
+        platforms=("DPU-v2", "SPU", "CPU_SPU", "CPU", "GPU"),
+        dpu_v2_power_w=statistics.mean(powers),
+        dpu_v2_edp=statistics.geometric_mean(edps),
+    )
+
+
+def render(result: ThroughputResult, title: str) -> str:
+    from ..analysis import format_table
+
+    rows = [
+        (r.workload, *(round(r.gops[p], 2) for p in result.platforms))
+        for r in result.rows
+    ]
+    rows.append(
+        ("geomean", *(round(result.geomean(p), 2) for p in result.platforms))
+    )
+    table = format_table(["workload", *result.platforms], rows, title=title)
+    speedups = "  ".join(
+        f"vs {p}: {result.speedup_over(p):.1f}x"
+        for p in result.platforms
+        if p != "DPU-v2"
+    )
+    return f"{table}\nDPU-v2 speedups (geomean): {speedups}"

@@ -1,0 +1,87 @@
+"""§III-B / §IV-E: program- and memory-footprint claims.
+
+* automatic write addressing shrinks programs ~30%;
+* total footprint (instructions + data) is ~48% below a CSR baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, Interconnect, MIN_EDP_CONFIG
+from ..compiler import FootprintReport, compile_dag, footprint_report
+from ..graphs import binarize
+from ..workloads import DEFAULT_SCALE, build_suite
+
+
+@dataclass(frozen=True)
+class FootprintRow:
+    workload: str
+    report: FootprintReport
+
+
+@dataclass(frozen=True)
+class FootprintResult:
+    rows: list[FootprintRow]
+
+    def mean_auto_write_saving(self) -> float:
+        return sum(r.report.auto_write_saving for r in self.rows) / len(
+            self.rows
+        )
+
+    def mean_vs_csr_saving(self) -> float:
+        return sum(r.report.vs_csr_saving for r in self.rows) / len(self.rows)
+
+
+def run(
+    config: ArchConfig = MIN_EDP_CONFIG,
+    scale: float = DEFAULT_SCALE,
+    groups: tuple[str, ...] = ("pc", "sptrsv"),
+    seed: int = 0,
+) -> FootprintResult:
+    suite = build_suite(groups=groups, scale=scale)
+    rows = []
+    for name, dag in suite.items():
+        result = compile_dag(dag, config, seed=seed, validate_input=False)
+        interconnect = Interconnect(result.program.config)
+        bdag = binarize(dag).dag
+        report = footprint_report(
+            result.program, bdag, result.allocation.read_addrs, interconnect
+        )
+        rows.append(FootprintRow(workload=name, report=report))
+    return FootprintResult(rows=rows)
+
+
+def render(result: FootprintResult) -> str:
+    from ..analysis import format_table
+
+    rows = [
+        (
+            r.workload,
+            r.report.packed_program_bits // 8,
+            f"{100 * r.report.auto_write_saving:.0f}%",
+            f"{100 * r.report.packing_saving:.0f}%",
+            r.report.csr_bits // 8,
+            f"{100 * r.report.vs_csr_saving:.0f}%",
+        )
+        for r in result.rows
+    ]
+    table = format_table(
+        [
+            "workload",
+            "program B",
+            "auto-wr save",
+            "packing save",
+            "CSR B",
+            "vs CSR",
+        ],
+        rows,
+        title="footprint (paper: ~30% auto-write saving, ~48% vs CSR)",
+    )
+    return (
+        table
+        + f"\nmean auto-write saving: "
+        f"{100 * result.mean_auto_write_saving():.0f}% (paper 30%)"
+        + f"\nmean total saving vs CSR: "
+        f"{100 * result.mean_vs_csr_saving():.0f}% (paper 48%)"
+    )

@@ -1,0 +1,147 @@
+"""Spatial-mapping study for fig. 3: systolic arrays vs PE trees.
+
+The paper uses the constrained-optimization mapper of [34] to find the
+largest DAG subgraph mappable to each datapath and reports *peak
+utilization* — the best achievable PE occupancy for any subgraph of
+the workload.  That mapper is closed-source and too slow for large
+DAGs; we use exact counting for trees (where the mappable-subgraph
+structure is simply a cone) and a randomized greedy wavefront mapper
+for systolic arrays (which upper-bounds poorly but reproduces the
+qualitative collapse of fig. 3(c)).
+
+Datapath shapes follow the paper: with ``n`` inputs, the systolic
+array has ``(n/2)^2`` PEs and the tree has ``n - 1``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graphs import DAG, OpType
+
+
+@dataclass(frozen=True)
+class UtilizationPoint:
+    inputs: int
+    tree_utilization: float
+    systolic_utilization: float
+
+
+def tree_peak_utilization(dag: DAG, depth: int) -> float:
+    """Best PE occupancy of a depth-``depth`` tree over all cones.
+
+    A subgraph mapped to a tree is the complete unrolling of some node
+    to ``depth`` levels (fig. 9(c)); PEs padded by early inputs idle.
+    Exact via one bottom-up pass per depth level.
+    """
+    total_pes = (1 << depth) - 1
+    if total_pes == 0:
+        return 0.0
+    # count[d][n] = arithmetic instances in n's unrolling to depth d.
+    prev = [0] * dag.num_nodes  # depth 0: no PEs
+    for _ in range(depth):
+        cur = [0] * dag.num_nodes
+        for n in range(dag.num_nodes):
+            if dag.op(n) is OpType.INPUT:
+                continue
+            preds = dag.predecessors(n)
+            cur[n] = 1 + sum(prev[p] for p in preds)
+        prev = cur
+    best = max(prev, default=0)
+    return min(best / total_pes, 1.0)
+
+
+def systolic_peak_utilization(
+    dag: DAG, rows: int, cols: int, seeds: int = 24, rng_seed: int = 0
+) -> float:
+    """Greedy wavefront estimate of the best systolic-array occupancy.
+
+    Array semantics: the PE at (i, j) consumes the outputs of its top
+    and left neighbours (edge PEs take external inputs).  We grow
+    mappings from many random seed nodes and keep the best.
+    """
+    total = rows * cols
+    if total == 0:
+        return 0.0
+    rng = random.Random(rng_seed)
+    arithmetic = [
+        n for n in dag.nodes() if dag.op(n) is not OpType.INPUT
+    ]
+    if not arithmetic:
+        return 0.0
+    best = 0
+    for _ in range(seeds):
+        seed = arithmetic[rng.randrange(len(arithmetic))]
+        placed = _grow_wavefront(dag, seed, rows, cols, rng)
+        best = max(best, placed)
+        if best == total:
+            break
+    return best / total
+
+
+def _grow_wavefront(
+    dag: DAG, seed: int, rows: int, cols: int, rng: random.Random
+) -> int:
+    """Place nodes on the grid wavefront by wavefront."""
+    grid: dict[tuple[int, int], int] = {(0, 0): seed}
+    used = {seed}
+    # Process positions in wavefront (anti-diagonal) order.
+    for wave in range(1, rows + cols - 1):
+        for i in range(max(0, wave - cols + 1), min(rows, wave + 1)):
+            j = wave - i
+            top = grid.get((i - 1, j))
+            left = grid.get((i, j - 1))
+            candidate = _find_consumer(dag, top, left, used, rng)
+            if candidate is not None:
+                grid[(i, j)] = candidate
+                used.add(candidate)
+    return len(grid)
+
+
+def _find_consumer(
+    dag: DAG,
+    top: int | None,
+    left: int | None,
+    used: set[int],
+    rng: random.Random,
+) -> int | None:
+    """A node consuming the available neighbour outputs.
+
+    Interior PEs must consume both neighbours' values; edge PEs (one
+    or zero mapped neighbours) may take external inputs for the rest.
+    """
+    feeders = [f for f in (top, left) if f is not None]
+    if not feeders:
+        return None
+    candidates: list[int] = []
+    first = feeders[0]
+    for succ in dag.successors(first):
+        if succ in used or dag.op(succ) is OpType.INPUT:
+            continue
+        preds = set(dag.predecessors(succ))
+        if all(f in preds for f in feeders):
+            candidates.append(succ)
+    if not candidates:
+        return None
+    return candidates[rng.randrange(len(candidates))]
+
+
+def utilization_sweep(
+    dag: DAG, input_counts: tuple[int, ...] = (2, 4, 8, 16)
+) -> list[UtilizationPoint]:
+    """fig. 3(c): peak utilization vs datapath input count."""
+    points = []
+    for n in input_counts:
+        depth = max((n - 1).bit_length(), 1)  # tree with n inputs
+        side = max(n // 2, 1)
+        points.append(
+            UtilizationPoint(
+                inputs=n,
+                tree_utilization=tree_peak_utilization(dag, depth),
+                systolic_utilization=systolic_peak_utilization(
+                    dag, side, side
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,85 @@
+"""Table I: benchmark statistics and compile times."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, MIN_EDP_CONFIG
+from ..compiler import compile_dag
+from ..graphs import DagStats, dag_stats
+from ..workloads import DEFAULT_SCALE, build_workload, get_spec, workload_names
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    stats: DagStats
+    paper_nodes: int
+    paper_longest_path: int
+    compile_seconds: float
+
+    @property
+    def scale_achieved(self) -> float:
+        return self.stats.nodes / self.paper_nodes
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: list[Table1Row]
+    scale: float
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    groups: tuple[str, ...] = ("pc", "sptrsv"),
+    config: ArchConfig = MIN_EDP_CONFIG,
+    compile_timing: bool = True,
+) -> Table1Result:
+    rows: list[Table1Row] = []
+    for name in workload_names(groups):
+        spec = get_spec(name)
+        dag = build_workload(name, scale=scale)
+        seconds = 0.0
+        if compile_timing:
+            t0 = time.perf_counter()
+            compile_dag(dag, config, validate_input=False)
+            seconds = time.perf_counter() - t0
+        rows.append(
+            Table1Row(
+                stats=dag_stats(dag),
+                paper_nodes=spec.paper_nodes,
+                paper_longest_path=spec.paper_longest_path,
+                compile_seconds=seconds,
+            )
+        )
+    return Table1Result(rows=rows, scale=scale)
+
+
+def render(result: Table1Result) -> str:
+    from ..analysis import format_table
+
+    rows = [
+        (
+            r.stats.name,
+            r.stats.nodes,
+            r.stats.longest_path,
+            round(r.stats.avg_parallelism, 1),
+            f"{r.paper_nodes / 1000:.0f}k",
+            r.paper_longest_path,
+            f"{r.compile_seconds:.1f}s",
+        )
+        for r in result.rows
+    ]
+    return format_table(
+        [
+            "workload",
+            "nodes (n)",
+            "longest (l)",
+            "n/l",
+            "paper n",
+            "paper l",
+            "compile",
+        ],
+        rows,
+        title=f"Table I — workloads at scale={result.scale}",
+    )

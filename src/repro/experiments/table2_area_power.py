@@ -1,0 +1,94 @@
+"""Table II: area and power breakdown of the min-EDP design.
+
+Our energy/area models are *calibrated* to Table II at the anchor
+point (that is the substitution for gate-level synthesis), so this
+experiment is a consistency report rather than an independent
+measurement: it runs the suite on the min-EDP design, converts the
+measured activity into per-component power, and prints it next to the
+published numbers.  Deviations reflect the difference between our
+measured activity rates and the paper's anchor rates.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, MIN_EDP_CONFIG
+from ..sim.area import AreaBreakdown, area_of, paper_area_breakdown_mm2
+from ..sim.energy import paper_power_breakdown_mw
+from ..workloads import DEFAULT_SCALE, build_suite
+from .common import measure
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    config: ArchConfig
+    power_mw: dict[str, float]
+    paper_power_mw: dict[str, float]
+    area: AreaBreakdown
+    paper_area_mm2: dict[str, float]
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(self.power_mw.values())
+
+    @property
+    def paper_total_power_mw(self) -> float:
+        return sum(self.paper_power_mw.values())
+
+
+def run(
+    config: ArchConfig = MIN_EDP_CONFIG,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> Table2Result:
+    suite = build_suite(scale=scale)
+    component_power: dict[str, list[float]] = {}
+    for dag in suite.values():
+        m = measure(dag, config, seed=seed)
+        seconds = m.counters.cycles / config.frequency_hz
+        for comp, pj in m.energy.breakdown.as_dict().items():
+            mw = pj * 1e-12 / seconds * 1e3
+            component_power.setdefault(comp, []).append(mw)
+    power = {
+        comp: statistics.mean(vals) for comp, vals in component_power.items()
+    }
+    return Table2Result(
+        config=config,
+        power_mw=power,
+        paper_power_mw=paper_power_breakdown_mw(),
+        area=area_of(config),
+        paper_area_mm2=paper_area_breakdown_mm2(),
+    )
+
+
+def render(result: Table2Result) -> str:
+    from ..analysis import format_table
+
+    area = result.area.as_dict()
+    rows = []
+    for comp in result.paper_power_mw:
+        rows.append(
+            (
+                comp,
+                round(area[comp], 2),
+                round(result.paper_area_mm2[comp], 2),
+                round(result.power_mw[comp], 1),
+                round(result.paper_power_mw[comp], 1),
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            round(result.area.total_mm2, 2),
+            round(sum(result.paper_area_mm2.values()), 2),
+            round(result.total_power_mw, 1),
+            round(result.paper_total_power_mw, 1),
+        )
+    )
+    return format_table(
+        ["component", "mm2", "paper mm2", "mW", "paper mW"],
+        rows,
+        title=f"Table II — area/power of {result.config}",
+    )

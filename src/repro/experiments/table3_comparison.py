@@ -1,0 +1,103 @@
+"""Table III: the headline cross-platform comparison.
+
+Aggregates the fig. 14 runs into the paper's summary table: throughput,
+speedup over CPU, power, and EDP for both regimes (small suite and
+large PCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import LARGE_CORE_CONFIG, MIN_EDP_CONFIG
+from ..sim.area import area_of
+from ..workloads import DEFAULT_SCALE
+from .fig14_throughput import ThroughputResult, run_large, run_small
+
+#: Paper Table III reference values (GOPS / speedup-vs-CPU / W).
+PAPER_SMALL = {
+    "DPU-v2": (4.2, 3.5, 0.11),
+    "DPU": (3.1, 2.6, 0.07),
+    "CPU": (1.2, 1.0, 55.0),
+    "GPU": (0.4, 0.3, 98.0),
+}
+PAPER_LARGE = {
+    "DPU-v2": (34.6, 20.7, 1.1),
+    "SPU": (22.2, 13.3, 16.0),
+    "CPU_SPU": (1.7, 1.0, 61.0),
+    "CPU": (1.8, 1.1, 65.0),
+    "GPU": (4.6, 2.8, 155.0),
+}
+
+_MODEL_POWER_W = {
+    "DPU": 0.07,
+    "CPU": 55.0,
+    "GPU": 98.0,
+    "SPU": 16.0,
+    "CPU_SPU": 61.0,
+}
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    small: ThroughputResult
+    large: ThroughputResult
+    small_area_mm2: float
+    large_area_mm2: float
+
+
+def run(
+    scale: float = DEFAULT_SCALE, large_scale: float = 0.01, seed: int = 0
+) -> Table3Result:
+    return Table3Result(
+        small=run_small(scale=scale, seed=seed),
+        large=run_large(scale=large_scale, seed=seed),
+        small_area_mm2=area_of(MIN_EDP_CONFIG).total_mm2,
+        large_area_mm2=4 * area_of(LARGE_CORE_CONFIG).total_mm2,
+    )
+
+
+def _rows(result: ThroughputResult, paper: dict, cpu_key: str) -> list:
+    cpu_gops = result.geomean(cpu_key)
+    rows = []
+    for platform in result.platforms:
+        gops = result.geomean(platform)
+        paper_gops, paper_speedup, paper_power = paper[platform]
+        power = (
+            result.dpu_v2_power_w
+            if platform == "DPU-v2"
+            else _MODEL_POWER_W[platform]
+        )
+        rows.append(
+            (
+                platform,
+                round(gops, 2),
+                f"{gops / cpu_gops:.1f}x",
+                f"{paper_speedup:.1f}x",
+                round(power, 2),
+                paper_gops,
+            )
+        )
+    return rows
+
+
+def render(result: Table3Result) -> str:
+    from ..analysis import format_table
+
+    small = format_table(
+        ["platform", "GOPS", "speedup", "paper speedup", "W", "paper GOPS"],
+        _rows(result.small, PAPER_SMALL, "CPU"),
+        title=(
+            f"Table III (small suite) — DPU-v2 area "
+            f"{result.small_area_mm2:.1f}mm2 (paper 3.2mm2)"
+        ),
+    )
+    large = format_table(
+        ["platform", "GOPS", "speedup", "paper speedup", "W", "paper GOPS"],
+        _rows(result.large, PAPER_LARGE, "CPU_SPU"),
+        title=(
+            f"Table III (large PCs) — DPU-v2 (L) 4-core area "
+            f"{result.large_area_mm2:.1f}mm2 (paper 40.4mm2)"
+        ),
+    )
+    return small + "\n\n" + large

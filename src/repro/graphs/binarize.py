@@ -1,0 +1,106 @@
+"""Binarization: rewrite multi-input nodes as trees of 2-input nodes.
+
+Compilation begins by converting the input DAG to a *binary* DAG
+(§IV-A): an n-input sum/product node becomes a balanced tree of
+``n - 1`` two-input nodes of the same associative operation, so every
+node maps directly onto a 2-input PE.  Single-input arithmetic nodes
+(which arise in some PC formats) are absorbed by wiring their consumer
+directly to their producer — a PE bypass would also work, but removing
+them keeps the op count meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from .dag import DAG, DAGBuilder
+from .node import OpType
+from .traversal import topological_order
+
+
+@dataclass(frozen=True)
+class BinarizeResult:
+    """Outcome of :func:`binarize`.
+
+    Attributes:
+        dag: The binary DAG.
+        node_map: For every original node id, the id in ``dag`` that
+            carries its value (the root of its expansion tree).
+    """
+
+    dag: DAG
+    node_map: tuple[int, ...]
+
+
+def binarize(dag: DAG, balanced: bool = True) -> BinarizeResult:
+    """Return a semantically equivalent DAG with only 2-input nodes.
+
+    Args:
+        dag: Any DAG (fan-in >= 1 for arithmetic nodes).
+        balanced: If True, expansion trees are balanced (minimizing the
+            added depth, ``ceil(log2(fan_in))``); otherwise they are
+            left-leaning chains (used to stress pipeline behaviour in
+            tests).
+
+    Raises:
+        GraphError: If the DAG contains a cycle.
+    """
+    builder = DAGBuilder()
+    node_map: list[int] = [-1] * dag.num_nodes
+
+    for node in topological_order(dag):
+        op = dag.op(node)
+        if op is OpType.INPUT:
+            node_map[node] = builder.add_input()
+            continue
+        operands = [node_map[p] for p in dag.predecessors(node)]
+        if any(o < 0 for o in operands):
+            raise GraphError(f"predecessor of node {node} not yet expanded")
+        node_map[node] = _expand(builder, op, operands, balanced)
+
+    binary = builder.build(name=f"{dag.name}.bin")
+    return BinarizeResult(dag=binary, node_map=tuple(node_map))
+
+
+def _expand(
+    builder: DAGBuilder, op: OpType, operands: list[int], balanced: bool
+) -> int:
+    """Reduce ``operands`` with 2-input ``op`` nodes; return root id."""
+    if len(operands) == 1:
+        # Single-input node: forward the producer directly.
+        return operands[0]
+    if len(operands) == 2:
+        return builder.add_op(op, operands)
+    if balanced:
+        work = list(operands)
+        while len(work) > 1:
+            nxt: list[int] = []
+            for i in range(0, len(work) - 1, 2):
+                nxt.append(builder.add_op(op, (work[i], work[i + 1])))
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+    acc = operands[0]
+    for operand in operands[1:]:
+        acc = builder.add_op(op, (acc, operand))
+    return acc
+
+
+def binarization_overhead(dag: DAG) -> float:
+    """Fraction of extra nodes introduced by binarization.
+
+    A fan-in ``k`` node becomes ``k - 1`` nodes, so the overhead is
+    computable without building the binary DAG.
+    """
+    original = dag.num_operations
+    if original == 0:
+        return 0.0
+    expanded = 0
+    for node in dag.nodes():
+        k = dag.in_degree(node)
+        if k >= 2:
+            expanded += k - 1
+        # fan-in 1 nodes disappear entirely
+    return expanded / original - 1.0

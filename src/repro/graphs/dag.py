@@ -1,0 +1,275 @@
+"""The core DAG container used throughout the package.
+
+The representation is deliberately simple and array-based: node ids are
+dense integers ``0..N-1``, each node stores its operation and an ordered
+tuple of predecessor ids.  Edges point from producer to consumer; a node
+may feed any number of consumers (irregular fan-out is exactly what the
+paper is about).
+
+``DAG`` instances are immutable after construction; use
+:class:`DAGBuilder` to create them incrementally.  The container is
+index-oriented rather than object-oriented because the compiler
+manipulates DAGs with tens of thousands of nodes and needs cheap
+integer bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import GraphError
+from .node import NodeRecord, OpType
+
+
+class DAG:
+    """An immutable computation DAG with dense integer node ids.
+
+    Args:
+        ops: Operation of every node, indexed by node id.
+        predecessors: Ordered predecessor ids for every node.  Leaves
+            (``OpType.INPUT``) must have no predecessors; arithmetic
+            nodes must have at least one.
+        input_slots: For each INPUT node, its index in the external
+            input vector.  If omitted, inputs are numbered in node-id
+            order.
+        name: Optional human-readable workload name.
+
+    Raises:
+        GraphError: If arities are inconsistent or an edge references an
+            unknown node.  (Acyclicity is validated lazily by
+            :func:`repro.graphs.validate.check_acyclic` or on first
+            topological traversal.)
+    """
+
+    __slots__ = (
+        "_ops",
+        "_preds",
+        "_succs",
+        "_input_slots",
+        "_num_inputs",
+        "name",
+    )
+
+    def __init__(
+        self,
+        ops: Sequence[OpType],
+        predecessors: Sequence[Sequence[int]],
+        input_slots: Sequence[int] | None = None,
+        name: str = "dag",
+    ) -> None:
+        if len(ops) != len(predecessors):
+            raise GraphError(
+                f"ops ({len(ops)}) and predecessors ({len(predecessors)}) "
+                "must have the same length"
+            )
+        n = len(ops)
+        self._ops: tuple[OpType, ...] = tuple(ops)
+        preds: list[tuple[int, ...]] = []
+        succs: list[list[int]] = [[] for _ in range(n)]
+        for node, node_preds in enumerate(predecessors):
+            tpreds = tuple(node_preds)
+            op = self._ops[node]
+            if op is OpType.INPUT and tpreds:
+                raise GraphError(f"input node {node} has predecessors {tpreds}")
+            if op is not OpType.INPUT and not tpreds:
+                raise GraphError(f"arithmetic node {node} has no predecessors")
+            for p in tpreds:
+                if not 0 <= p < n:
+                    raise GraphError(f"node {node} references unknown node {p}")
+                succs[p].append(node)
+            preds.append(tpreds)
+        self._preds: tuple[tuple[int, ...], ...] = tuple(preds)
+        self._succs: tuple[tuple[int, ...], ...] = tuple(
+            tuple(s) for s in succs
+        )
+        self._input_slots = self._assign_input_slots(input_slots)
+        self._num_inputs = sum(
+            1 for op in self._ops if op is OpType.INPUT
+        )
+        self.name = name
+
+    def _assign_input_slots(
+        self, input_slots: Sequence[int] | None
+    ) -> tuple[int, ...]:
+        slots = [-1] * len(self._ops)
+        if input_slots is None:
+            next_slot = 0
+            for node, op in enumerate(self._ops):
+                if op is OpType.INPUT:
+                    slots[node] = next_slot
+                    next_slot += 1
+            return tuple(slots)
+        leaf_ids = [
+            node for node, op in enumerate(self._ops) if op is OpType.INPUT
+        ]
+        if len(input_slots) != len(leaf_ids):
+            raise GraphError(
+                f"expected {len(leaf_ids)} input slots, got {len(input_slots)}"
+            )
+        if sorted(input_slots) != list(range(len(leaf_ids))):
+            raise GraphError("input slots must be a permutation of 0..k-1")
+        for node, slot in zip(leaf_ids, input_slots):
+            slots[node] = slot
+        return tuple(slots)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes (inputs included)."""
+        return len(self._ops)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of INPUT (leaf) nodes."""
+        return self._num_inputs
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges."""
+        return sum(len(p) for p in self._preds)
+
+    @property
+    def num_operations(self) -> int:
+        """Number of arithmetic (non-input) nodes.
+
+        This is the "operations" count used for GOPS throughput numbers
+        in the paper's evaluation.
+        """
+        return self.num_nodes - self.num_inputs
+
+    def op(self, node: int) -> OpType:
+        """Operation of ``node``."""
+        return self._ops[node]
+
+    def predecessors(self, node: int) -> tuple[int, ...]:
+        """Ordered predecessor ids of ``node``."""
+        return self._preds[node]
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        """Consumer ids of ``node`` (order follows construction)."""
+        return self._succs[node]
+
+    def out_degree(self, node: int) -> int:
+        return len(self._succs[node])
+
+    def in_degree(self, node: int) -> int:
+        return len(self._preds[node])
+
+    def input_slot(self, node: int) -> int:
+        """External-input index of a leaf node (``-1`` for non-leaves)."""
+        return self._input_slots[node]
+
+    def node(self, node: int) -> NodeRecord:
+        """Immutable record view of one node."""
+        return NodeRecord(
+            index=node,
+            op=self._ops[node],
+            predecessors=self._preds[node],
+            input_slot=self._input_slots[node],
+        )
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids."""
+        return iter(range(self.num_nodes))
+
+    def leaves(self) -> Iterator[int]:
+        """Iterate over INPUT node ids."""
+        return (
+            node
+            for node, op in enumerate(self._ops)
+            if op is OpType.INPUT
+        )
+
+    def sinks(self) -> list[int]:
+        """Nodes with no successors (the DAG outputs)."""
+        return [n for n in self.nodes() if not self._succs[n]]
+
+    def sources(self) -> list[int]:
+        """Nodes with no predecessors (same as the leaves)."""
+        return [n for n in self.nodes() if not self._preds[n]]
+
+    def is_binary(self) -> bool:
+        """True if every arithmetic node has exactly two inputs."""
+        return all(
+            len(self._preds[n]) == 2
+            for n in self.nodes()
+            if self._ops[n] is not OpType.INPUT
+        )
+
+    def max_fan_in(self) -> int:
+        return max((len(p) for p in self._preds), default=0)
+
+    def max_fan_out(self) -> int:
+        return max((len(s) for s in self._succs), default=0)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DAG(name={self.name!r}, nodes={self.num_nodes}, "
+            f"inputs={self.num_inputs}, edges={self.num_edges})"
+        )
+
+
+class DAGBuilder:
+    """Incremental builder for :class:`DAG`.
+
+    Example:
+        >>> b = DAGBuilder()
+        >>> x = b.add_input()
+        >>> y = b.add_input()
+        >>> s = b.add_op(OpType.ADD, [x, y])
+        >>> dag = b.build("tiny")
+        >>> dag.num_nodes
+        3
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[OpType] = []
+        self._preds: list[tuple[int, ...]] = []
+
+    def add_input(self) -> int:
+        """Append an external-input leaf; returns its node id."""
+        self._ops.append(OpType.INPUT)
+        self._preds.append(())
+        return len(self._ops) - 1
+
+    def add_op(self, op: OpType, predecessors: Iterable[int]) -> int:
+        """Append an arithmetic node; returns its node id.
+
+        Predecessors must already exist (ids smaller than the new id),
+        which makes cycles impossible by construction.
+        """
+        if op is OpType.INPUT:
+            raise GraphError("use add_input() for INPUT nodes")
+        preds = tuple(predecessors)
+        if not preds:
+            raise GraphError("arithmetic node needs at least one input")
+        new_id = len(self._ops)
+        for p in preds:
+            if not 0 <= p < new_id:
+                raise GraphError(
+                    f"predecessor {p} does not exist yet (next id {new_id})"
+                )
+        self._ops.append(op)
+        self._preds.append(preds)
+        return new_id
+
+    def add_add(self, predecessors: Iterable[int]) -> int:
+        """Shorthand for ``add_op(OpType.ADD, ...)``."""
+        return self.add_op(OpType.ADD, predecessors)
+
+    def add_mul(self, predecessors: Iterable[int]) -> int:
+        """Shorthand for ``add_op(OpType.MUL, ...)``."""
+        return self.add_op(OpType.MUL, predecessors)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ops)
+
+    def build(self, name: str = "dag") -> DAG:
+        """Freeze the builder into an immutable :class:`DAG`."""
+        return DAG(self._ops, self._preds, name=name)

@@ -1,0 +1,74 @@
+"""Node-level definitions for computation DAGs.
+
+A DAG node represents a fine-grained arithmetic operation (§II of the
+paper): an addition, a multiplication, or an external input (leaf).
+Probabilistic-circuit sums/products and the multiply-add chains of a
+sparse triangular solve all reduce to these two operators once the
+matrix reciprocals / negations are folded into leaf values (see
+``repro.workloads.sptrsv``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpType(enum.Enum):
+    """Operation performed by a DAG node."""
+
+    INPUT = "input"
+    ADD = "add"
+    MUL = "mul"
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for nodes with no predecessors (external inputs)."""
+        return self is OpType.INPUT
+
+    @property
+    def symbol(self) -> str:
+        """Single-character symbol used in textual dumps."""
+        return {OpType.INPUT: "i", OpType.ADD: "+", OpType.MUL: "*"}[self]
+
+    def identity(self) -> float:
+        """Neutral element of the operation (used when padding trees)."""
+        if self is OpType.ADD:
+            return 0.0
+        if self is OpType.MUL:
+            return 1.0
+        raise ValueError("INPUT nodes have no identity element")
+
+    def apply(self, left: float, right: float) -> float:
+        """Evaluate the binary operation on two operands."""
+        if self is OpType.ADD:
+            return left + right
+        if self is OpType.MUL:
+            return left * right
+        raise ValueError("INPUT nodes cannot be applied")
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Immutable view of one node, as returned by :meth:`DAG.node`.
+
+    Attributes:
+        index: Node id in ``range(dag.num_nodes)``.
+        op: The node's operation.
+        predecessors: Ordered tuple of input node ids (empty for leaves).
+        input_slot: For INPUT nodes, the index into the external input
+            vector; ``-1`` otherwise.
+    """
+
+    index: int
+    op: OpType
+    predecessors: tuple[int, ...]
+    input_slot: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.op.is_leaf
+
+    @property
+    def fan_in(self) -> int:
+        return len(self.predecessors)

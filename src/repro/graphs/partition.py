@@ -1,0 +1,132 @@
+"""GRAPHOPT-style coarse partitioning for very large DAGs.
+
+The paper (§V-B, "Compilation time") notes that for large PCs the block
+decomposition becomes too slow, so the DAG is first coarsely decomposed
+into partitions of ~20k nodes each using the linear-time technique of
+GRAPHOPT [44], and each partition is then compiled independently.
+
+We implement the same idea: a topological sweep that greedily fills
+partitions while respecting dependencies, so that the sequence of
+partitions is itself acyclic (partition i only depends on partitions
+j < i).  Each partition can then be handed to the block decomposer in
+isolation: values crossing a partition boundary are simply block
+inputs/outputs living in the register file or spilled to memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from .dag import DAG
+from .node import OpType
+from .traversal import topological_order
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """Result of :func:`partition_topological`.
+
+    Attributes:
+        parts: Node-id lists, one per partition, in dependency order.
+        part_of: Partition index of every node.
+        cut_edges: Number of edges crossing partition boundaries.
+    """
+
+    parts: tuple[tuple[int, ...], ...]
+    part_of: tuple[int, ...]
+    cut_edges: int
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+
+def partition_topological(dag: DAG, max_nodes: int = 20_000) -> Partitioning:
+    """Split a DAG into dependency-ordered partitions of bounded size.
+
+    A depth-first variant of a topological sweep is used: nodes are
+    assigned in an order that keeps producer/consumer pairs in the same
+    partition when possible, which reduces cut edges versus a plain
+    BFS-by-level sweep (the same locality goal GRAPHOPT optimizes for).
+
+    Args:
+        max_nodes: Upper bound on nodes per partition (paper uses 20k).
+
+    Raises:
+        GraphError: If ``max_nodes`` < 1.
+    """
+    if max_nodes < 1:
+        raise GraphError("max_nodes must be positive")
+
+    # Depth-first topological order: ready nodes are taken LIFO so a
+    # consumer is visited right after its last producer when possible.
+    indegree = [dag.in_degree(n) for n in dag.nodes()]
+    stack = [n for n in dag.nodes() if indegree[n] == 0]
+    stack.reverse()
+    order: list[int] = []
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for succ in dag.successors(node):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                stack.append(succ)
+    if len(order) != dag.num_nodes:
+        raise GraphError("cycle detected during partitioning")
+
+    parts: list[tuple[int, ...]] = []
+    part_of = [-1] * dag.num_nodes
+    for start in range(0, len(order), max_nodes):
+        chunk = tuple(order[start : start + max_nodes])
+        for node in chunk:
+            part_of[node] = len(parts)
+        parts.append(chunk)
+
+    cut = sum(
+        1
+        for node in dag.nodes()
+        for pred in dag.predecessors(node)
+        if part_of[pred] != part_of[node]
+    )
+    return Partitioning(parts=tuple(parts), part_of=tuple(part_of), cut_edges=cut)
+
+
+def check_partitioning(dag: DAG, partitioning: Partitioning) -> None:
+    """Validate the partition invariants (used by tests).
+
+    * every node is in exactly one partition;
+    * edges only point from a partition to the same or a later one.
+    """
+    seen: set[int] = set()
+    for part in partitioning.parts:
+        for node in part:
+            if node in seen:
+                raise GraphError(f"node {node} appears in two partitions")
+            seen.add(node)
+    if len(seen) != dag.num_nodes:
+        raise GraphError("partitioning does not cover all nodes")
+    for node in dag.nodes():
+        for pred in dag.predecessors(node):
+            if partitioning.part_of[pred] > partitioning.part_of[node]:
+                raise GraphError(
+                    f"edge {pred}->{node} points backwards across partitions"
+                )
+
+
+def boundary_values(dag: DAG, partitioning: Partitioning) -> list[set[int]]:
+    """For each partition, the producer nodes it imports from earlier ones.
+
+    These correspond to vector ``load`` traffic when partitions are
+    executed back to back with the register file cleared in between.
+    """
+    imports: list[set[int]] = [set() for _ in partitioning.parts]
+    for node in dag.nodes():
+        my_part = partitioning.part_of[node]
+        for pred in dag.predecessors(node):
+            if (
+                partitioning.part_of[pred] != my_part
+                and dag.op(pred) is not OpType.INPUT
+            ):
+                imports[my_part].add(pred)
+    return imports

@@ -1,0 +1,84 @@
+"""Workload statistics as reported in Table I of the paper.
+
+For every benchmark DAG the paper reports the node count ``n``, the
+longest path ``l``, and the average parallelism ``n/l``.  We add a few
+quantities the analysis sections use (width profile percentiles, fan-in
+and fan-out distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dag import DAG
+from .node import OpType
+from .traversal import longest_path_length, width_profile
+
+
+@dataclass(frozen=True)
+class DagStats:
+    """Summary statistics of one workload DAG (Table I row)."""
+
+    name: str
+    nodes: int
+    inputs: int
+    operations: int
+    edges: int
+    longest_path: int
+    avg_parallelism: float
+    max_fan_in: int
+    max_fan_out: int
+    max_width: int
+    mean_width: float
+    add_fraction: float
+
+    def as_row(self) -> dict[str, object]:
+        """Render as a Table-I-style row."""
+        return {
+            "workload": self.name,
+            "nodes (n)": self.nodes,
+            "longest path (l)": self.longest_path,
+            "n/l": round(self.avg_parallelism, 1),
+        }
+
+
+def dag_stats(dag: DAG) -> DagStats:
+    """Compute :class:`DagStats` for a DAG."""
+    widths = width_profile(dag)
+    longest = longest_path_length(dag)
+    adds = sum(1 for n in dag.nodes() if dag.op(n) is OpType.ADD)
+    ops = dag.num_operations
+    return DagStats(
+        name=dag.name,
+        nodes=dag.num_nodes,
+        inputs=dag.num_inputs,
+        operations=ops,
+        edges=dag.num_edges,
+        longest_path=longest,
+        avg_parallelism=dag.num_nodes / max(longest, 1),
+        max_fan_in=dag.max_fan_in(),
+        max_fan_out=dag.max_fan_out(),
+        max_width=max(widths, default=0),
+        mean_width=(sum(widths) / len(widths)) if widths else 0.0,
+        add_fraction=(adds / ops) if ops else 0.0,
+    )
+
+
+def fan_in_histogram(dag: DAG) -> dict[int, int]:
+    """Histogram of arithmetic-node fan-in."""
+    hist: dict[int, int] = {}
+    for node in dag.nodes():
+        if dag.op(node) is OpType.INPUT:
+            continue
+        k = dag.in_degree(node)
+        hist[k] = hist.get(k, 0) + 1
+    return hist
+
+
+def fan_out_histogram(dag: DAG) -> dict[int, int]:
+    """Histogram of node fan-out (irregularity indicator)."""
+    hist: dict[int, int] = {}
+    for node in dag.nodes():
+        k = dag.out_degree(node)
+        hist[k] = hist.get(k, 0) + 1
+    return hist

@@ -1,0 +1,69 @@
+"""Structural validation of DAGs.
+
+These checks run on externally loaded graphs (``repro.graphs.io``) and
+inside tests; builder-produced DAGs are valid by construction.
+"""
+
+from __future__ import annotations
+
+from ..errors import CycleError, GraphError
+from .dag import DAG
+from .node import OpType
+from .traversal import topological_order
+
+
+def check_acyclic(dag: DAG) -> None:
+    """Raise :class:`CycleError` if the graph has a cycle."""
+    topological_order(dag)  # raises CycleError on failure
+
+
+def check_arities(dag: DAG, binary_only: bool = False) -> None:
+    """Validate node arities.
+
+    Args:
+        binary_only: Additionally require every arithmetic node to have
+            exactly two inputs (the compiler's post-binarization
+            invariant).
+    """
+    for node in dag.nodes():
+        op = dag.op(node)
+        fan_in = dag.in_degree(node)
+        if op is OpType.INPUT and fan_in != 0:
+            raise GraphError(f"input node {node} has {fan_in} predecessors")
+        if op is not OpType.INPUT:
+            if fan_in == 0:
+                raise GraphError(f"arithmetic node {node} has no inputs")
+            if binary_only and fan_in != 2:
+                raise GraphError(
+                    f"node {node} has fan-in {fan_in}; expected 2"
+                )
+
+
+def check_connected_to_outputs(dag: DAG) -> None:
+    """Raise if some node cannot reach any output (dead computation).
+
+    Outputs are *arithmetic* sinks; an input leaf with no consumers is
+    dead by definition (it would be loaded and never read).
+    """
+    alive = {
+        n for n in dag.sinks() if dag.op(n) is not OpType.INPUT
+    }
+    stack = list(alive)
+    while stack:
+        node = stack.pop()
+        for p in dag.predecessors(node):
+            if p not in alive:
+                alive.add(p)
+                stack.append(p)
+    dead = [n for n in dag.nodes() if n not in alive]
+    if dead:
+        raise GraphError(
+            f"{len(dead)} node(s) feed no output, e.g. node {dead[0]}"
+        )
+
+
+def validate(dag: DAG, binary_only: bool = False) -> None:
+    """Run all structural checks; raises on the first failure."""
+    check_arities(dag, binary_only=binary_only)
+    check_acyclic(dag)
+    check_connected_to_outputs(dag)

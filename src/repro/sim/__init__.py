@@ -1,0 +1,39 @@
+"""Simulation: golden model, architectural simulator, perf/energy/area."""
+
+from .activity import count_activity
+from .area import AreaBreakdown, area_of, paper_area_breakdown_mm2
+from .energy import (
+    EnergyBreakdown,
+    EnergyReport,
+    energy_of_run,
+    paper_power_breakdown_mw,
+)
+from .functional import ActivityCounters, SimResult, Simulator, run_program
+from .performance import (
+    PerfReport,
+    estimate_cycles_from_program,
+    perf_from_sim,
+    perf_report,
+)
+from .reference import evaluate_dag, evaluate_outputs
+
+__all__ = [
+    "count_activity",
+    "evaluate_dag",
+    "evaluate_outputs",
+    "Simulator",
+    "SimResult",
+    "ActivityCounters",
+    "run_program",
+    "PerfReport",
+    "perf_report",
+    "perf_from_sim",
+    "estimate_cycles_from_program",
+    "EnergyReport",
+    "EnergyBreakdown",
+    "energy_of_run",
+    "paper_power_breakdown_mw",
+    "AreaBreakdown",
+    "area_of",
+    "paper_area_breakdown_mm2",
+]

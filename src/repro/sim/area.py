@@ -1,0 +1,132 @@
+"""Parametric area model, calibrated to Table II (3.2mm2 total).
+
+Same substitution philosophy as the energy model: anchor every
+component's area at the paper's min-EDP breakdown and scale with the
+design parameters using standard structural laws (registers scale
+linearly with count, crossbars quadratically-ish with port count,
+memories with capacity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch import ArchConfig, Interconnect, instruction_widths
+
+_ANCHOR_D, _ANCHOR_B, _ANCHOR_R = 3, 64, 32
+_ANCHOR_PES = 56
+_ANCHOR_IL = 1132
+
+# Table II area rows (mm^2).
+_A_PES = 0.13
+_A_PIPE_REGS = 0.04
+_A_IN_XBAR = 0.14
+_A_OUT_ICN = 0.01
+_A_BANKS = 0.35
+_A_WR_ADDR = 0.03
+_A_INSTR_FETCH = 0.06
+_A_DECODE = 0.04
+_A_CTRL_PIPE = 0.01
+_A_IMEM = 1.20
+_A_DMEM = 1.20
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component silicon area (mm^2) for one configuration."""
+
+    pes: float
+    pipeline_regs: float
+    input_interconnect: float
+    output_interconnect: float
+    banks: float
+    write_addr_gen: float
+    instr_fetch: float
+    decode: float
+    control_pipeline: float
+    instr_memory: float
+    data_memory: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.pes
+            + self.pipeline_regs
+            + self.input_interconnect
+            + self.output_interconnect
+            + self.banks
+            + self.write_addr_gen
+            + self.instr_fetch
+            + self.decode
+            + self.control_pipeline
+            + self.instr_memory
+            + self.data_memory
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "PEs": self.pes,
+            "Pipelining registers (datapath)": self.pipeline_regs,
+            "Input interconnect": self.input_interconnect,
+            "Output interconnect": self.output_interconnect,
+            "Register banks": self.banks,
+            "Wr addr generator": self.write_addr_gen,
+            "Instr fetch": self.instr_fetch,
+            "Decode": self.decode,
+            "Pipelining registers (control)": self.control_pipeline,
+            "Instruction memory": self.instr_memory,
+            "Data memory": self.data_memory,
+        }
+
+
+def area_of(
+    config: ArchConfig, interconnect: Interconnect | None = None
+) -> AreaBreakdown:
+    """Estimate the silicon area of a configuration."""
+    inter = interconnect or Interconnect(config)
+    il = instruction_widths(config, inter).il
+    b_ratio = config.banks / _ANCHOR_B
+    return AreaBreakdown(
+        pes=_A_PES * config.num_pes / _ANCHOR_PES,
+        pipeline_regs=_A_PIPE_REGS * config.num_pes / _ANCHOR_PES,
+        # Crossbar area ~ B^2 mux cells (wires dominate).
+        input_interconnect=_A_IN_XBAR * b_ratio**2,
+        output_interconnect=_A_OUT_ICN
+        * b_ratio
+        * (config.depth + 1)
+        / (_ANCHOR_D + 1),
+        banks=_A_BANKS
+        * config.total_registers
+        / (_ANCHOR_B * _ANCHOR_R),
+        write_addr_gen=_A_WR_ADDR
+        * b_ratio
+        * math.sqrt(config.regs_per_bank / _ANCHOR_R),
+        instr_fetch=_A_INSTR_FETCH * il / _ANCHOR_IL,
+        decode=_A_DECODE * il / _ANCHOR_IL,
+        control_pipeline=_A_CTRL_PIPE
+        * il
+        / _ANCHOR_IL
+        * config.depth
+        / _ANCHOR_D,
+        # On-chip memories are fixed capacity in the paper's design.
+        instr_memory=_A_IMEM,
+        data_memory=_A_DMEM,
+    )
+
+
+def paper_area_breakdown_mm2() -> dict[str, float]:
+    """Table II's published area rows (mm^2)."""
+    return {
+        "PEs": _A_PES,
+        "Pipelining registers (datapath)": _A_PIPE_REGS,
+        "Input interconnect": _A_IN_XBAR,
+        "Output interconnect": _A_OUT_ICN,
+        "Register banks": _A_BANKS,
+        "Wr addr generator": _A_WR_ADDR,
+        "Instr fetch": _A_INSTR_FETCH,
+        "Decode": _A_DECODE,
+        "Pipelining registers (control)": _A_CTRL_PIPE,
+        "Instruction memory": _A_IMEM,
+        "Data memory": _A_DMEM,
+    }

@@ -1,0 +1,82 @@
+"""Performance metrics: cycles, throughput, and the Table III axes.
+
+The simulator's cycle count is definitive (one instruction per cycle,
+stall-free fetch, plus pipeline drain); this module converts it into
+the quantities the paper reports: throughput in GOPS (arithmetic DAG
+operations per second at the 300MHz design point), latency per
+operation, and — combined with the energy model — energy-delay product
+per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import ArchConfig
+from .functional import SimResult
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Performance summary of one workload on one configuration."""
+
+    workload: str
+    config: str
+    operations: int
+    cycles: int
+    frequency_hz: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    @property
+    def throughput_gops(self) -> float:
+        """Giga arithmetic operations per second (fig. 14 metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.operations / self.seconds / 1e9
+
+    @property
+    def ops_per_cycle(self) -> float:
+        return self.operations / self.cycles if self.cycles else 0.0
+
+    @property
+    def latency_per_op_ns(self) -> float:
+        """Mean latency per operation (fig. 11(a) metric)."""
+        if self.operations == 0:
+            return 0.0
+        return self.seconds * 1e9 / self.operations
+
+
+def perf_report(
+    workload: str,
+    config: ArchConfig,
+    operations: int,
+    cycles: int,
+) -> PerfReport:
+    """Build a report from a cycle count."""
+    return PerfReport(
+        workload=workload,
+        config=str(config),
+        operations=operations,
+        cycles=cycles,
+        frequency_hz=config.frequency_hz,
+    )
+
+
+def perf_from_sim(
+    workload: str, config: ArchConfig, operations: int, sim: SimResult
+) -> PerfReport:
+    """Build a report from an architectural-simulation result."""
+    return perf_report(workload, config, operations, sim.cycles)
+
+
+def estimate_cycles_from_program(num_instructions: int, config: ArchConfig) -> int:
+    """Cycle count without simulating (stream length + drain).
+
+    The simulator and this estimate agree exactly because execution is
+    fully static; the DSE sweep uses this to avoid re-simulating when
+    only energy constants change.
+    """
+    return num_instructions + config.pipeline_stages

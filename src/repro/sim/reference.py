@@ -1,0 +1,50 @@
+"""Golden model: plain topological DAG evaluation.
+
+Everything the compiled program computes is checked against this —
+it is the semantic definition of "executing a DAG" (§II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graphs import DAG, OpType, topological_order
+
+
+def evaluate_dag(dag: DAG, inputs: list[float]) -> np.ndarray:
+    """Evaluate every node; returns a value per node id.
+
+    Args:
+        inputs: External input vector, indexed by input slot.
+
+    Raises:
+        SimulationError: If the input vector has the wrong length.
+    """
+    if len(inputs) != dag.num_inputs:
+        raise SimulationError(
+            f"expected {dag.num_inputs} inputs, got {len(inputs)}"
+        )
+    values = np.zeros(dag.num_nodes, dtype=np.float64)
+    for node in topological_order(dag):
+        op = dag.op(node)
+        if op is OpType.INPUT:
+            values[node] = inputs[dag.input_slot(node)]
+        else:
+            preds = dag.predecessors(node)
+            if op is OpType.ADD:
+                acc = 0.0
+                for p in preds:
+                    acc += values[p]
+            else:
+                acc = 1.0
+                for p in preds:
+                    acc *= values[p]
+            values[node] = acc
+    return values
+
+
+def evaluate_outputs(dag: DAG, inputs: list[float]) -> dict[int, float]:
+    """Values of the DAG sinks only."""
+    values = evaluate_dag(dag, inputs)
+    return {node: float(values[node]) for node in dag.sinks()}

@@ -1,0 +1,44 @@
+"""Workload generators: probabilistic circuits and SpTRSV DAGs."""
+
+from .matrices import (
+    banded_lower,
+    check_lower_triangular,
+    kite_lower,
+    make_lower_triangular,
+    random_lower,
+    skyline_lower,
+)
+from .pc import PCParams, evaluate_pc, generate_pc, random_leaf_probabilities
+from .sptrsv import SpTRSVProblem, solve_via_dag, sptrsv_dag
+from .suite import (
+    DEFAULT_SCALE,
+    TABLE_I,
+    WorkloadSpec,
+    build_suite,
+    build_workload,
+    get_spec,
+    workload_names,
+)
+
+__all__ = [
+    "PCParams",
+    "generate_pc",
+    "evaluate_pc",
+    "random_leaf_probabilities",
+    "SpTRSVProblem",
+    "sptrsv_dag",
+    "solve_via_dag",
+    "banded_lower",
+    "random_lower",
+    "kite_lower",
+    "skyline_lower",
+    "make_lower_triangular",
+    "check_lower_triangular",
+    "WorkloadSpec",
+    "TABLE_I",
+    "DEFAULT_SCALE",
+    "workload_names",
+    "get_spec",
+    "build_workload",
+    "build_suite",
+]

@@ -1,0 +1,173 @@
+"""Synthetic sparse lower-triangular matrices.
+
+The paper's SpTRSV workloads come from SuiteSparse (bp_200, west2021,
+sieber, jagmesh4, rdb968, dw2048).  Those exact matrices are not
+shipped here, so this module generates sparse lower-triangular factors
+with the same *structural character*:
+
+* ``banded``     — narrow band plus random fill (jagmesh4/rdb968-like
+  meshes and reaction-diffusion operators: moderate parallelism),
+* ``random``     — uniformly random strictly-lower entries
+  (bp_200/west2021-like chemical-engineering bases: wide and shallow),
+* ``kite``       — long dependency chains with side fill (dw2048-like:
+  small n/l, the hardest case for parallel SpTRSV),
+* ``skyline``    — per-row bandwidth drawn from a heavy-tailed
+  distribution (sieber-like).
+
+All generators return ``scipy.sparse.csr_matrix`` lower-triangular
+matrices with unit-free nonzero diagonals, suitable for
+``repro.workloads.sptrsv.sptrsv_dag``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import WorkloadError
+
+
+def _finalize(n: int, rows: list[int], cols: list[int], vals: list[float],
+              rng: np.random.Generator) -> sparse.csr_matrix:
+    """Assemble a CSR lower-triangular matrix with a safe diagonal."""
+    diag_rows = list(range(n))
+    diag_vals = rng.uniform(1.0, 2.0, size=n)
+    all_rows = np.concatenate([np.asarray(rows, dtype=np.int64), diag_rows])
+    all_cols = np.concatenate([np.asarray(cols, dtype=np.int64), diag_rows])
+    all_vals = np.concatenate([np.asarray(vals, dtype=np.float64), diag_vals])
+    mat = sparse.coo_matrix((all_vals, (all_rows, all_cols)), shape=(n, n))
+    mat.sum_duplicates()
+    return mat.tocsr()
+
+
+def banded_lower(
+    n: int, bandwidth: int = 8, fill_prob: float = 0.5, seed: int = 0
+) -> sparse.csr_matrix:
+    """Band matrix with random in-band fill (mesh-like factors)."""
+    if n < 1:
+        raise WorkloadError("n must be >= 1")
+    if bandwidth < 1:
+        raise WorkloadError("bandwidth must be >= 1")
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i in range(1, n):
+        lo = max(0, i - bandwidth)
+        for j in range(lo, i):
+            if rng.random() < fill_prob:
+                rows.append(i)
+                cols.append(j)
+                vals.append(float(rng.uniform(-1.0, 1.0)))
+    return _finalize(n, rows, cols, vals, rng)
+
+
+def random_lower(
+    n: int, nnz_per_row: float = 3.0, seed: int = 0
+) -> sparse.csr_matrix:
+    """Uniformly random strictly-lower fill (wide, shallow DAGs)."""
+    if n < 1:
+        raise WorkloadError("n must be >= 1")
+    if nnz_per_row < 0:
+        raise WorkloadError("nnz_per_row must be >= 0")
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i in range(1, n):
+        k = min(i, rng.poisson(nnz_per_row))
+        if k == 0:
+            continue
+        picks = rng.choice(i, size=k, replace=False)
+        for j in picks:
+            rows.append(i)
+            cols.append(int(j))
+            vals.append(float(rng.uniform(-1.0, 1.0)))
+    return _finalize(n, rows, cols, vals, rng)
+
+
+def kite_lower(
+    n: int, chain_fraction: float = 0.6, side_nnz: float = 2.0, seed: int = 0
+) -> sparse.csr_matrix:
+    """Long sequential chains with random side inputs (dw2048-like).
+
+    A fraction of rows depend on their immediate predecessor, creating
+    a dependency chain of roughly ``chain_fraction * n`` rows; the rest
+    attach randomly.  This produces DAGs with small n/l, where parallel
+    platforms struggle the most (fig. 14's dw2048 column).
+    """
+    if not 0.0 <= chain_fraction <= 1.0:
+        raise WorkloadError("chain_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i in range(1, n):
+        if rng.random() < chain_fraction:
+            rows.append(i)
+            cols.append(i - 1)
+            vals.append(float(rng.uniform(-1.0, 1.0)))
+        k = min(i, rng.poisson(side_nnz))
+        if k:
+            for j in rng.choice(i, size=k, replace=False):
+                rows.append(i)
+                cols.append(int(j))
+                vals.append(float(rng.uniform(-1.0, 1.0)))
+    return _finalize(n, rows, cols, vals, rng)
+
+
+def skyline_lower(
+    n: int, mean_bandwidth: int = 12, tail: float = 1.5, seed: int = 0
+) -> sparse.csr_matrix:
+    """Heavy-tailed per-row bandwidth (sieber-like skylines)."""
+    if mean_bandwidth < 1:
+        raise WorkloadError("mean_bandwidth must be >= 1")
+    rng = np.random.default_rng(seed)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i in range(1, n):
+        bw = int(min(i, 1 + rng.pareto(tail) * mean_bandwidth))
+        lo = i - bw
+        for j in range(lo, i):
+            if rng.random() < 0.4:
+                rows.append(i)
+                cols.append(j)
+                vals.append(float(rng.uniform(-1.0, 1.0)))
+    return _finalize(n, rows, cols, vals, rng)
+
+
+_GENERATORS = {
+    "banded": banded_lower,
+    "random": random_lower,
+    "kite": kite_lower,
+    "skyline": skyline_lower,
+}
+
+
+def make_lower_triangular(
+    kind: str, n: int, seed: int = 0, **kwargs
+) -> sparse.csr_matrix:
+    """Dispatch to a named generator.
+
+    Args:
+        kind: One of ``banded``, ``random``, ``kite``, ``skyline``.
+
+    Raises:
+        WorkloadError: For an unknown kind.
+    """
+    if kind not in _GENERATORS:
+        raise WorkloadError(
+            f"unknown matrix kind {kind!r}; choose from {sorted(_GENERATORS)}"
+        )
+    return _GENERATORS[kind](n, seed=seed, **kwargs)
+
+
+def check_lower_triangular(mat: sparse.spmatrix) -> None:
+    """Raise if the matrix is not lower-triangular with nonzero diagonal."""
+    coo = mat.tocoo()
+    if np.any(coo.col > coo.row):
+        raise WorkloadError("matrix has entries above the diagonal")
+    diag = mat.tocsr().diagonal()
+    if np.any(diag == 0.0):
+        raise WorkloadError("matrix has zero diagonal entries")

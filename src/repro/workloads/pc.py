@@ -1,0 +1,244 @@
+"""Synthetic probabilistic circuits (sum-product networks).
+
+The paper benchmarks PCs learned from density-estimation datasets
+(tretail, mnist, nltcs, msnbc, msweb, bnetflix, and the "large PC"
+Bayesian-network circuits pigs/andes/munin/mildew).  The learned
+circuit files are not redistributable here, so we generate synthetic
+circuits that match the *structural* statistics the compiler actually
+sees: node count, depth, average parallelism n/l (Table I), alternating
+sum/product structure, fan-in around 2, and irregular fan-out.
+
+Generation model
+----------------
+A PC over ``num_vars`` boolean variables is grown bottom-up in layers:
+
+* Layer 0: two leaf inputs per variable (the indicator/weight pairs).
+* Odd layers: *product* nodes combining 2..max_fan_in children chosen
+  from the previous layer(s) with a locality bias (children are sampled
+  around a random center, mimicking the variable-decomposition locality
+  of learned PSDDs while retaining irregular connectivity).
+* Even layers: *sum* nodes, same sampling (weights appear as extra leaf
+  inputs feeding a product below the sum, as in PSDDs; we fold them
+  into leaves).
+* A final sum node forms the single root.
+
+The ``skip_connection_prob`` lets nodes draw children from any earlier
+layer, producing long-range irregular edges — the feature that defeats
+caches/SIMD and motivates the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..graphs import DAG, DAGBuilder, OpType
+
+
+@dataclass(frozen=True)
+class PCParams:
+    """Generation parameters for a synthetic probabilistic circuit.
+
+    Attributes:
+        num_vars: Number of model variables (sets the leaf count).
+        target_nodes: Approximate total node count to grow to.
+        depth: Approximate number of alternating sum/product layers.
+        max_fan_in: Maximum children per internal node.
+        skip_connection_prob: Probability a child comes from a layer
+            older than the immediately preceding one.
+        locality: Width (as fraction of previous-layer size) of the
+            window children are sampled from; smaller = more local.
+        seed: RNG seed (generation is deterministic given the seed).
+    """
+
+    num_vars: int = 16
+    target_nodes: int = 1000
+    depth: int = 20
+    max_fan_in: int = 4
+    skip_connection_prob: float = 0.15
+    locality: float = 0.25
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_vars < 1:
+            raise WorkloadError("num_vars must be >= 1")
+        if self.target_nodes < 4 * self.num_vars:
+            raise WorkloadError(
+                "target_nodes too small: need at least "
+                f"{4 * self.num_vars} for {self.num_vars} variables"
+            )
+        if self.depth < 2:
+            raise WorkloadError("depth must be >= 2")
+        if self.max_fan_in < 2:
+            raise WorkloadError("max_fan_in must be >= 2")
+        if not 0.0 <= self.skip_connection_prob <= 1.0:
+            raise WorkloadError("skip_connection_prob must be in [0, 1]")
+        if not 0.0 < self.locality <= 1.0:
+            raise WorkloadError("locality must be in (0, 1]")
+
+
+def generate_pc(params: PCParams, name: str = "pc") -> DAG:
+    """Generate a synthetic probabilistic circuit DAG.
+
+    The result alternates ADD (sum) and MUL (product) layers, has one
+    sink (the root), and every node reaches the root.
+
+    Raises:
+        WorkloadError: If the parameters are unsatisfiable.
+    """
+    params.validate()
+    rng = random.Random(params.seed)
+    builder = DAGBuilder()
+
+    # Leaf layer: two indicators per variable.
+    layers: list[list[int]] = []
+    leaves = [builder.add_input() for _ in range(2 * params.num_vars)]
+    layers.append(leaves)
+
+    internal_budget = params.target_nodes - len(leaves) - 1  # -1 for root
+    num_layers = max(params.depth - 1, 1)
+    per_layer = max(internal_budget // num_layers, 1)
+
+    consumed: set[int] = set()
+    for layer_idx in range(1, num_layers + 1):
+        op = OpType.MUL if layer_idx % 2 == 1 else OpType.ADD
+        # Shrink upper layers so the circuit tapers towards the root,
+        # like learned PCs do.
+        taper = 1.0 - 0.5 * (layer_idx / num_layers)
+        layer_size = max(int(per_layer * taper * 2 / 1.5), 1)
+        layer_size = min(layer_size, internal_budget)
+        if layer_size <= 0:
+            break
+        internal_budget -= layer_size
+        new_layer: list[int] = []
+        prev = layers[-1]
+        # Learned PCs consume each layer's values promptly: cycle through
+        # the yet-unconsumed previous-layer nodes first so values have
+        # short, realistic lifetimes instead of dangling to the root.
+        # Kept in positional order so the pops stay band-aligned.
+        unconsumed = deque(n for n in prev if n not in consumed)
+        for node_idx in range(layer_size):
+            # Band-diagonal alignment: node i of this layer draws from
+            # the corresponding region of the previous layer, mimicking
+            # the vtree locality of learned PSDDs.  Without it every
+            # value stays live for a whole layer and the circuit's cut
+            # width (hence register pressure) becomes unrealistically
+            # large.
+            frac = node_idx / max(layer_size, 1)
+            picks = set(
+                _sample_children(rng, layers, prev, params, frac)
+            )
+            while unconsumed and len(picks) < params.max_fan_in:
+                picks.add(unconsumed.popleft())
+            while len(picks) < 2:  # tiny layers: top up from prev
+                picks.add(prev[rng.randrange(len(prev))])
+                if len(prev) < 2:
+                    picks.add(layers[0][0])
+            children = sorted(picks)
+            node = builder.add_op(op, children)
+            consumed.update(children)
+            new_layer.append(node)
+        layers.append(new_layer)
+        if internal_budget <= 0:
+            break
+
+    _add_root(builder, layers, consumed, rng, params)
+    return builder.build(name=name)
+
+
+def _sample_children(
+    rng: random.Random,
+    layers: list[list[int]],
+    prev: list[int],
+    params: PCParams,
+    position_frac: float,
+) -> list[int]:
+    """Sample a fan-in-k child set with locality + skip connections."""
+    k = rng.randint(2, params.max_fan_in)
+    children: set[int] = set()
+    center = int(position_frac * len(prev)) % len(prev)
+    window = max(int(len(prev) * params.locality), k)
+    attempts = 0
+    while len(children) < k and attempts < 20 * k:
+        attempts += 1
+        if len(layers) > 2 and rng.random() < params.skip_connection_prob:
+            source_layer = layers[rng.randrange(len(layers) - 1)]
+            children.add(source_layer[rng.randrange(len(source_layer))])
+        else:
+            offset = rng.randint(-window, window)
+            children.add(prev[(center + offset) % len(prev)])
+    while len(children) < 2:  # guarantee binary-compatible fan-in
+        children.add(prev[rng.randrange(len(prev))])
+    return sorted(children)
+
+
+def _add_root(
+    builder: DAGBuilder,
+    layers: list[list[int]],
+    consumed: set[int],
+    rng: random.Random,
+    params: PCParams,
+) -> None:
+    """Tie every unconsumed node into a single root sum.
+
+    Learned PCs have a single root; the generator may leave orphans in
+    intermediate layers, so they are folded in with a reduction tree of
+    alternating ops to keep fan-in bounded.
+    """
+    orphans = [
+        node
+        for layer in layers  # leaves included: no dead inputs allowed
+        for node in layer
+        if node not in consumed
+    ]
+    if not orphans:
+        orphans = [layers[-1][-1]]
+    work = orphans
+    toggle = True
+    while len(work) > 1:
+        op = OpType.ADD if toggle else OpType.MUL
+        toggle = not toggle
+        nxt: list[int] = []
+        for i in range(0, len(work), params.max_fan_in):
+            group = work[i : i + params.max_fan_in]
+            if len(group) == 1:
+                nxt.append(group[0])
+            else:
+                nxt.append(builder.add_op(op, group))
+        work = nxt
+    if builder.num_nodes == work[0] + 1 and len(orphans) == 1:
+        # Root already exists but ensure the sink is a sum as in PCs.
+        builder.add_op(OpType.ADD, [work[0], layers[0][0]])
+
+
+def evaluate_pc(dag: DAG, leaf_values: list[float]) -> float:
+    """Reference evaluation of a PC at its root (plain topological).
+
+    Provided for workload-level sanity checks; the simulator-grade
+    golden model lives in ``repro.sim.reference``.
+    """
+    from ..graphs.traversal import topological_order
+
+    values: list[float] = [0.0] * dag.num_nodes
+    for node in topological_order(dag):
+        op = dag.op(node)
+        if op is OpType.INPUT:
+            values[node] = leaf_values[dag.input_slot(node)]
+        elif op is OpType.ADD:
+            values[node] = math.fsum(values[p] for p in dag.predecessors(node))
+        else:
+            prod = 1.0
+            for p in dag.predecessors(node):
+                prod *= values[p]
+            values[node] = prod
+    sinks = dag.sinks()
+    return values[sinks[0]] if len(sinks) == 1 else max(values[s] for s in sinks)
+
+
+def random_leaf_probabilities(dag: DAG, seed: int = 0) -> list[float]:
+    """Random leaf inputs in (0, 1], suitable as PC indicator weights."""
+    rng = random.Random(seed)
+    return [rng.uniform(0.05, 1.0) for _ in range(dag.num_inputs)]

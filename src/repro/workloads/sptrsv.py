@@ -1,0 +1,151 @@
+"""Sparse triangular solve (SpTRSV) expressed as a computation DAG.
+
+Solving ``L x = b`` with lower-triangular ``L`` is the inductive
+recurrence::
+
+    x_i = (b_i - sum_{j<i} L_ij * x_j) / L_ii
+
+The DPU-v2 datapath only has ``+`` and ``×`` PEs, so the recurrence is
+rewritten with the signs and reciprocals folded into constants::
+
+    x_i = (b_i + sum_j (-L_ij) * x_j) * (1 / L_ii)
+
+Each ``(-L_ij)`` and ``(1/L_ii)`` becomes an INPUT leaf whose value is
+fixed by the matrix; each ``b_i`` is an INPUT leaf that changes per
+solve.  This matches the paper's usage: the sparsity pattern (and hence
+the DAG and its compiled program) is static, while numerical values and
+the right-hand side change across executions (§I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve_triangular
+
+from ..errors import WorkloadError
+from ..graphs import DAG, DAGBuilder, OpType
+from .matrices import check_lower_triangular
+
+
+@dataclass(frozen=True)
+class SpTRSVProblem:
+    """A triangular-solve DAG plus the bookkeeping to run it.
+
+    Attributes:
+        dag: The computation DAG.
+        row_node: For each matrix row ``i``, the DAG node computing
+            ``x_i``.
+        coeff_slots: Input-slot index of each folded ``-L_ij`` leaf,
+            keyed by ``(i, j)``.
+        recip_slots: Input-slot index of each ``1/L_ii`` leaf.
+        rhs_slots: Input-slot index of each ``b_i`` leaf.
+        matrix: The CSR matrix the DAG was built from.
+    """
+
+    dag: DAG
+    row_node: tuple[int, ...]
+    coeff_slots: dict[tuple[int, int], int]
+    recip_slots: tuple[int, ...]
+    rhs_slots: tuple[int, ...]
+    matrix: sparse.csr_matrix
+
+    @property
+    def n(self) -> int:
+        return len(self.row_node)
+
+    def input_vector(self, b: np.ndarray) -> list[float]:
+        """Assemble the DAG's external input vector for a given RHS."""
+        if b.shape != (self.n,):
+            raise WorkloadError(
+                f"rhs has shape {b.shape}; expected ({self.n},)"
+            )
+        values = [0.0] * self.dag.num_inputs
+        csr = self.matrix
+        for (i, j), slot in self.coeff_slots.items():
+            values[slot] = -csr[i, j]
+        diag = csr.diagonal()
+        for i, slot in enumerate(self.recip_slots):
+            values[slot] = 1.0 / diag[i]
+        for i, slot in enumerate(self.rhs_slots):
+            values[slot] = float(b[i])
+        return values
+
+    def extract_solution(self, node_values: np.ndarray) -> np.ndarray:
+        """Pull ``x`` out of a full node-value vector."""
+        return np.asarray([node_values[n] for n in self.row_node])
+
+    def reference_solve(self, b: np.ndarray) -> np.ndarray:
+        """Golden solution via scipy."""
+        return spsolve_triangular(self.matrix.tocsr(), b, lower=True)
+
+
+def sptrsv_dag(matrix: sparse.spmatrix, name: str = "sptrsv") -> SpTRSVProblem:
+    """Build the SpTRSV computation DAG for a lower-triangular matrix.
+
+    Row ``i`` with off-diagonal entries ``j1..jk`` becomes::
+
+        x_i = (b_i + (-L_ij1)*x_j1 + ... + (-L_ijk)*x_jk) * (1/L_ii)
+
+    i.e. one k+1-input ADD fed by k 2-input MULs, then a 2-input MUL by
+    the reciprocal leaf.  Rows with no off-diagonals reduce to
+    ``x_i = b_i * (1/L_ii)``.
+
+    Raises:
+        WorkloadError: If the matrix is not lower-triangular or has a
+            zero diagonal.
+    """
+    check_lower_triangular(matrix)
+    csr = matrix.tocsr()
+    n = csr.shape[0]
+    builder = DAGBuilder()
+
+    rhs_nodes = [builder.add_input() for _ in range(n)]
+    recip_nodes = [builder.add_input() for _ in range(n)]
+
+    coeff_nodes: dict[tuple[int, int], int] = {}
+    indptr, indices = csr.indptr, csr.indices
+    for i in range(n):
+        for idx in range(indptr[i], indptr[i + 1]):
+            j = int(indices[idx])
+            if j < i:
+                coeff_nodes[(i, j)] = builder.add_input()
+
+    row_node: list[int] = [-1] * n
+    for i in range(n):
+        terms = [rhs_nodes[i]]
+        for idx in range(indptr[i], indptr[i + 1]):
+            j = int(indices[idx])
+            if j >= i:
+                continue
+            prod = builder.add_mul([coeff_nodes[(i, j)], row_node[j]])
+            terms.append(prod)
+        acc = terms[0] if len(terms) == 1 else builder.add_add(terms)
+        row_node[i] = builder.add_mul([acc, recip_nodes[i]])
+
+    dag = builder.build(name=name)
+    return SpTRSVProblem(
+        dag=dag,
+        row_node=tuple(row_node),
+        coeff_slots={
+            key: dag.input_slot(node) for key, node in coeff_nodes.items()
+        },
+        recip_slots=tuple(dag.input_slot(node) for node in recip_nodes),
+        rhs_slots=tuple(dag.input_slot(node) for node in rhs_nodes),
+        matrix=csr,
+    )
+
+
+def solve_via_dag(problem: SpTRSVProblem, b: np.ndarray) -> np.ndarray:
+    """Solve ``L x = b`` by plain topological evaluation of the DAG.
+
+    This is the workload-level reference; compiling the same DAG for
+    DPU-v2 and simulating must give the same values (tested in the
+    integration suite).
+    """
+    from ..sim.reference import evaluate_dag
+
+    values = evaluate_dag(problem.dag, problem.input_vector(b))
+    return problem.extract_solution(values)

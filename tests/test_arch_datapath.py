@@ -1,0 +1,81 @@
+"""Unit tests for PE-tree evaluation."""
+
+import math
+
+import pytest
+
+from repro.arch import ArchConfig, PEOp, check_finite, evaluate_trees
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def cfg():
+    return ArchConfig(depth=2, banks=8, regs_per_bank=16)  # 2 trees x 3 PEs
+
+
+class TestEvaluateTrees:
+    def test_full_tree_reduction(self, cfg):
+        # Tree 0: ((1+2) * (3+4)) = 21
+        ports = [1.0, 2.0, 3.0, 4.0, None, None, None, None]
+        ops = [PEOp.ADD, PEOp.ADD, PEOp.MUL] + [PEOp.IDLE] * 3
+        out = evaluate_trees(cfg, ports, tuple(ops))
+        assert out[0] == 3.0
+        assert out[1] == 7.0
+        assert out[2] == 21.0
+
+    def test_second_tree_independent(self, cfg):
+        ports = [None] * 4 + [2.0, 5.0, 1.0, 1.0]
+        ops = [PEOp.IDLE] * 3 + [PEOp.MUL, PEOp.ADD, PEOp.ADD]
+        out = evaluate_trees(cfg, ports, tuple(ops))
+        assert out[3] == 10.0
+        assert out[4] == 2.0
+        assert out[5] == 12.0
+
+    def test_pass_a_forwards_left(self, cfg):
+        ports = [9.0, None, None, None] + [None] * 4
+        ops = [PEOp.PASS_A, PEOp.IDLE, PEOp.IDLE] + [PEOp.IDLE] * 3
+        out = evaluate_trees(cfg, ports, tuple(ops))
+        assert out[0] == 9.0
+
+    def test_pass_b_forwards_right(self, cfg):
+        ports = [None, 4.0, None, None] + [None] * 4
+        ops = [PEOp.PASS_B, PEOp.IDLE, PEOp.IDLE] + [PEOp.IDLE] * 3
+        out = evaluate_trees(cfg, ports, tuple(ops))
+        assert out[0] == 4.0
+
+    def test_pass_chain_through_layers(self, cfg):
+        ports = [7.0, None, None, None] + [None] * 4
+        ops = [PEOp.PASS_A, PEOp.IDLE, PEOp.PASS_A] + [PEOp.IDLE] * 3
+        out = evaluate_trees(cfg, ports, tuple(ops))
+        assert out[2] == 7.0
+
+    def test_idle_pes_output_none(self, cfg):
+        out = evaluate_trees(cfg, [None] * 8, tuple([PEOp.IDLE] * 6))
+        assert all(v is None for v in out)
+
+    def test_missing_operand_raises(self, cfg):
+        ports = [1.0, None, None, None] + [None] * 4
+        ops = [PEOp.ADD] + [PEOp.IDLE] * 5
+        with pytest.raises(SimulationError):
+            evaluate_trees(cfg, ports, tuple(ops))
+
+    def test_wrong_port_count_raises(self, cfg):
+        with pytest.raises(SimulationError):
+            evaluate_trees(cfg, [None] * 4, tuple([PEOp.IDLE] * 6))
+
+    def test_wrong_pe_count_raises(self, cfg):
+        with pytest.raises(SimulationError):
+            evaluate_trees(cfg, [None] * 8, tuple([PEOp.IDLE] * 3))
+
+
+class TestCheckFinite:
+    def test_accepts_normal_values(self):
+        check_finite([1.0, None, -2.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(SimulationError):
+            check_finite([math.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(SimulationError):
+            check_finite([math.inf])

@@ -1,0 +1,89 @@
+"""Unit tests for the interconnect topologies (fig. 6)."""
+
+import pytest
+
+from repro.arch import ArchConfig, Interconnect, Topology
+
+
+@pytest.fixture
+def cfg():
+    return ArchConfig(depth=3, banks=16, regs_per_bank=16)
+
+
+class TestCrossbarBoth:
+    def test_every_pe_writes_every_bank(self, cfg):
+        ic = Interconnect(cfg, Topology.CROSSBAR_BOTH)
+        for bank in range(cfg.banks):
+            assert len(ic.pes_writing_to(bank)) == cfg.num_pes
+        for pe in range(cfg.num_pes):
+            assert len(ic.banks_writable_from(pe)) == cfg.banks
+
+
+class TestOutputPerLayer:
+    def test_one_pe_per_layer_per_bank(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        for bank in range(cfg.banks):
+            pes = ic.pes_writing_to(bank)
+            assert len(pes) == cfg.depth
+            layers = sorted(cfg.pe_layer(pe) for pe in pes)
+            assert layers == list(range(1, cfg.depth + 1))
+
+    def test_pe_reaches_2_to_layer_banks(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        for pe in range(cfg.num_pes):
+            layer = cfg.pe_layer(pe)
+            assert len(ic.banks_writable_from(pe)) == 2**layer
+
+    def test_banks_stay_within_tree(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        for pe in range(cfg.num_pes):
+            tree = cfg.pe_position(pe)[0]
+            lo, hi = tree * cfg.tree_inputs, (tree + 1) * cfg.tree_inputs
+            assert all(lo <= b < hi for b in ic.banks_writable_from(pe))
+
+    def test_writable_banks_are_subtree_ports(self, cfg):
+        # A PE's writable banks must be exactly the ports under it —
+        # the alignment the mapper's feasibility argument relies on.
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        for pe in range(cfg.num_pes):
+            assert sorted(ic.banks_writable_from(pe)) == cfg.ports_under_pe(
+                pe
+            )
+
+
+class TestOutputSingle:
+    def test_one_pe_per_bank(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_SINGLE)
+        for bank in range(cfg.banks):
+            assert len(ic.pes_writing_to(bank)) == 1
+
+    def test_every_pe_covered(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_SINGLE)
+        covered = {
+            pe for bank in range(cfg.banks) for pe in ic.pes_writing_to(bank)
+        }
+        assert covered == set(range(cfg.num_pes))
+
+
+class TestInputSide:
+    def test_crossbar_reads_any_bank(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        assert ic.can_read(0, cfg.banks - 1)
+        assert len(ic.banks_readable_by_port(3)) == cfg.banks
+
+    def test_one_to_one_restricts_reads(self, cfg):
+        ic = Interconnect(cfg, Topology.ONE_TO_ONE)
+        assert ic.can_read(2, 2)
+        assert not ic.can_read(2, 3)
+        assert ic.banks_readable_by_port(5) == (5,)
+
+    def test_can_write_matches_tables(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        for bank in range(cfg.banks):
+            for pe in ic.pes_writing_to(bank):
+                assert ic.can_write(pe, bank)
+
+    def test_write_mux_options(self, cfg):
+        ic = Interconnect(cfg, Topology.OUTPUT_PER_LAYER)
+        # D PEs + load + copy paths.
+        assert ic.write_mux_options(0) == cfg.depth + 2

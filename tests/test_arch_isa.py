@@ -1,0 +1,140 @@
+"""Unit tests for the instruction IR helpers."""
+
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    CopyInstr,
+    CopyMove,
+    ExecInstr,
+    LoadInstr,
+    NopInstr,
+    PEOp,
+    StoreInstr,
+    StoreSlot,
+    WriteSpec,
+    consumed_vars,
+    produced_vars,
+    result_latency,
+)
+
+
+@pytest.fixture
+def cfg():
+    return ArchConfig(depth=2, banks=4, regs_per_bank=8)
+
+
+def make_exec(cfg):
+    return ExecInstr(
+        bank_reads=((0, 10), (2, 11)),
+        port_source=(0, 2, None, None),
+        pe_ops=tuple([PEOp.ADD] + [PEOp.IDLE] * (cfg.num_pes - 1)),
+        writes=(WriteSpec(pe=0, bank=1, var=12),),
+        valid_rst=frozenset({2}),
+    )
+
+
+class TestMnemonics:
+    def test_exec(self, cfg):
+        assert make_exec(cfg).mnemonic == "exec"
+
+    def test_copy_compact_threshold(self):
+        small = CopyInstr(
+            moves=tuple(
+                CopyMove(src_bank=i, dst_bank=i + 4, var=i)
+                for i in range(4)
+            )
+        )
+        big = CopyInstr(
+            moves=tuple(
+                CopyMove(src_bank=i, dst_bank=i + 5, var=i)
+                for i in range(5)
+            )
+        )
+        assert small.mnemonic == "copy_4"
+        assert big.mnemonic == "copy"
+
+    def test_store_compact_threshold(self):
+        small = StoreInstr(
+            row=0, slots=tuple(StoreSlot(bank=i, var=i) for i in range(4))
+        )
+        big = StoreInstr(
+            row=0, slots=tuple(StoreSlot(bank=i, var=i) for i in range(5))
+        )
+        assert small.mnemonic == "store_4"
+        assert big.mnemonic == "store"
+
+    def test_nop(self):
+        assert NopInstr().mnemonic == "nop"
+
+
+class TestDataflowHelpers:
+    def test_exec_produced_consumed(self, cfg):
+        instr = make_exec(cfg)
+        assert consumed_vars(instr) == [(0, 10), (2, 11)]
+        assert produced_vars(instr) == [(1, 12)]
+
+    def test_copy_produced_consumed(self):
+        instr = CopyInstr(
+            moves=(CopyMove(src_bank=0, dst_bank=3, var=7,
+                            free_source=True),)
+        )
+        assert consumed_vars(instr) == [(0, 7)]
+        assert produced_vars(instr) == [(3, 7)]
+        assert instr.valid_rst == frozenset({0})
+
+    def test_load_produces_only(self):
+        instr = LoadInstr(row=2, dests=((0, 5), (1, 6)))
+        assert consumed_vars(instr) == []
+        assert produced_vars(instr) == [(0, 5), (1, 6)]
+        assert instr.valid_rst == frozenset()
+
+    def test_store_consumes_only(self):
+        instr = StoreInstr(
+            row=1, slots=(StoreSlot(bank=2, var=9, free_source=True),)
+        )
+        assert consumed_vars(instr) == [(2, 9)]
+        assert produced_vars(instr) == []
+        assert instr.valid_rst == frozenset({2})
+
+    def test_nop_neutral(self):
+        assert consumed_vars(NopInstr()) == []
+        assert produced_vars(NopInstr()) == []
+
+
+class TestLatencies:
+    def test_exec_latency_is_pipeline_depth(self, cfg):
+        assert result_latency(make_exec(cfg), cfg) == cfg.pipeline_stages
+
+    def test_copy_and_load_single_cycle(self, cfg):
+        copy = CopyInstr(moves=(CopyMove(0, 1, 5),))
+        load = LoadInstr(row=0, dests=((0, 5),))
+        assert result_latency(copy, cfg) == 1
+        assert result_latency(load, cfg) == 1
+
+    def test_store_and_nop_zero(self, cfg):
+        store = StoreInstr(row=0, slots=())
+        assert result_latency(store, cfg) == 0
+        assert result_latency(NopInstr(), cfg) == 0
+
+
+class TestExecHelpers:
+    def test_reads_of_bank(self, cfg):
+        instr = make_exec(cfg)
+        assert instr.reads_of_bank(0) == 10
+        assert instr.reads_of_bank(1) is None
+
+    def test_active_and_arithmetic_counts(self, cfg):
+        instr = make_exec(cfg)
+        assert instr.active_pes() == 1
+        assert instr.arithmetic_pes() == 1
+        with_pass = ExecInstr(
+            bank_reads=(),
+            port_source=(None,) * cfg.banks,
+            pe_ops=tuple(
+                [PEOp.PASS_A, PEOp.MUL] + [PEOp.IDLE] * (cfg.num_pes - 2)
+            ),
+            writes=(),
+        )
+        assert with_pass.active_pes() == 2
+        assert with_pass.arithmetic_pes() == 1

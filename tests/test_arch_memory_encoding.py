@@ -1,0 +1,176 @@
+"""Unit tests for memories and the variable-length instruction encoding."""
+
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    BitReader,
+    BitWriter,
+    DataMemory,
+    InstructionMemoryStats,
+    Interconnect,
+    MIN_EDP_CONFIG,
+    decode_program,
+    encode_program,
+    instruction_widths,
+)
+from repro.compiler import compile_dag
+from repro.errors import EncodingError, SimulationError
+from conftest import make_random_dag
+
+
+class TestDataMemory:
+    def test_write_then_load_row(self):
+        cfg = ArchConfig(depth=1, banks=2, regs_per_bank=4)
+        mem = DataMemory(cfg)
+        mem.write_lane(3, 0, var=7, value=1.5)
+        mem.write_lane(3, 1, var=8, value=2.5)
+        lanes = mem.load_row(3)
+        assert lanes == [(7, 1.5), (8, 2.5)]
+
+    def test_store_lanes_masked(self):
+        cfg = ArchConfig(depth=1, banks=4, regs_per_bank=4)
+        mem = DataMemory(cfg)
+        mem.store_lanes(0, [(1, 9, 3.0)])
+        assert mem.peek(0, 1) == (9, 3.0)
+        assert mem.peek(0, 0) == (-1, 0.0)
+
+    def test_row_out_of_range(self):
+        cfg = ArchConfig(depth=1, banks=2, regs_per_bank=4, data_mem_rows=8)
+        mem = DataMemory(cfg)
+        with pytest.raises(SimulationError):
+            mem.load_row(8)
+
+    def test_access_counters(self):
+        cfg = ArchConfig(depth=1, banks=2, regs_per_bank=4)
+        mem = DataMemory(cfg)
+        mem.load_row(0)
+        mem.store_lanes(1, [])
+        assert mem.reads == 1 and mem.writes == 1
+
+
+class TestInstructionMemoryStats:
+    def test_dense_packing_accounting(self):
+        stats = InstructionMemoryStats(fetch_width_bits=100)
+        stats.append(100)
+        stats.append(30)
+        stats.append(30)
+        assert stats.packed_size_bits == 160
+        assert stats.padded_size_bits == 300
+        assert stats.fetches == 2  # ceil(160/100)
+        assert stats.packing_efficiency == pytest.approx(160 / 300)
+
+    def test_oversized_instruction_rejected(self):
+        stats = InstructionMemoryStats(fetch_width_bits=64)
+        with pytest.raises(SimulationError):
+            stats.append(65)
+
+
+class TestBitStream:
+    def test_round_trip_fields(self):
+        w = BitWriter()
+        w.write(5, 4)
+        w.write(1023, 10)
+        w.write(0, 3)
+        w.write(1, 1)
+        r = BitReader(w.to_bytes(), w.bit_length)
+        assert r.read(4) == 5
+        assert r.read(10) == 1023
+        assert r.read(3) == 0
+        assert r.read(1) == 1
+        assert r.remaining == 0
+
+    def test_overflowing_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(EncodingError):
+            w.write(16, 4)
+
+    def test_underrun_rejected(self):
+        w = BitWriter()
+        w.write(1, 2)
+        r = BitReader(w.to_bytes(), w.bit_length)
+        r.read(2)
+        with pytest.raises(EncodingError):
+            r.read(1)
+
+
+class TestInstructionWidths:
+    def test_nop_is_4_bits(self):
+        w = instruction_widths(MIN_EDP_CONFIG, Interconnect(MIN_EDP_CONFIG))
+        assert w.nop == 4  # matches the paper's example table
+
+    def test_exec_is_longest(self):
+        w = instruction_widths(MIN_EDP_CONFIG, Interconnect(MIN_EDP_CONFIG))
+        assert w.il == w.exec
+
+    def test_widths_grow_with_banks(self):
+        small = ArchConfig(depth=3, banks=8, regs_per_bank=32)
+        big = ArchConfig(depth=3, banks=64, regs_per_bank=32)
+        ws = instruction_widths(small, Interconnect(small))
+        wb = instruction_widths(big, Interconnect(big))
+        assert wb.exec > ws.exec
+        assert wb.copy > ws.copy
+
+    def test_compact_formats_shorter(self):
+        w = instruction_widths(MIN_EDP_CONFIG, Interconnect(MIN_EDP_CONFIG))
+        assert w.copy4 < w.copy
+        assert w.store4 < w.store
+
+
+class TestProgramEncoding:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        dag = make_random_dag(41, num_ops=80)
+        cfg = ArchConfig(depth=2, banks=8, regs_per_bank=8)
+        return compile_dag(dag, cfg), cfg
+
+    def test_encode_decode_structure(self, compiled):
+        result, cfg = compiled
+        encoded = encode_program(
+            result.program, result.allocation.read_addrs
+        )
+        decoded = decode_program(encoded, cfg)
+        assert len(decoded) == len(result.program.instructions)
+        for instr, dec in zip(result.program.instructions, decoded):
+            assert instr.mnemonic == dec.mnemonic
+
+    def test_decoded_exec_fields_match(self, compiled):
+        result, cfg = compiled
+        encoded = encode_program(result.program, result.allocation.read_addrs)
+        decoded = decode_program(encoded, cfg)
+        for instr, dec, addrs in zip(
+            result.program.instructions,
+            decoded,
+            result.allocation.read_addrs,
+        ):
+            if instr.mnemonic != "exec":
+                continue
+            reads = dec.fields["reads"]
+            for bank, var in instr.bank_reads:
+                assert reads[bank] is not None
+                assert reads[bank][0] == addrs[bank]
+            assert dec.fields["pe_ops"] == instr.pe_ops
+            write_pe = dec.fields["write_pe"]
+            for w in instr.writes:
+                assert write_pe[w.bank] == w.pe
+
+    def test_packing_is_dense(self, compiled):
+        result, _ = compiled
+        encoded = encode_program(result.program, result.allocation.read_addrs)
+        assert encoded.total_bits == sum(encoded.lengths)
+        assert encoded.total_bits < encoded.padded_bits
+
+    def test_lengths_match_format_table(self, compiled):
+        result, cfg = compiled
+        ic = Interconnect(cfg)
+        widths = instruction_widths(cfg, ic)
+        encoded = encode_program(result.program, result.allocation.read_addrs, ic)
+        for instr, length in zip(
+            result.program.instructions, encoded.lengths
+        ):
+            assert length == widths.of(instr.mnemonic)
+
+    def test_read_addr_list_length_checked(self, compiled):
+        result, _ = compiled
+        with pytest.raises(EncodingError):
+            encode_program(result.program, [])

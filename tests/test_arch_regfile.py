@@ -1,0 +1,104 @@
+"""Unit tests for the banked register file and automatic write policy."""
+
+import pytest
+
+from repro.arch import ArchConfig, RegisterBank, RegisterFile
+from repro.errors import RegisterFileError
+
+
+class TestRegisterBank:
+    def test_priority_encoder_picks_lowest_free(self):
+        bank = RegisterBank(0, 4)
+        assert bank.reserve(var=10) == 0
+        assert bank.reserve(var=11) == 1
+        bank.commit(0, 10, 1.0)
+        bank.release(0)
+        # Address 0 freed: the encoder must return to it.
+        assert bank.reserve(var=12) == 0
+
+    def test_commit_then_read(self):
+        bank = RegisterBank(0, 4)
+        addr = bank.reserve(var=5)
+        bank.commit(addr, 5, 2.5)
+        assert bank.read(addr) == (5, 2.5)
+
+    def test_read_of_reserved_raises(self):
+        bank = RegisterBank(0, 4)
+        addr = bank.reserve(var=5)
+        with pytest.raises(RegisterFileError):
+            bank.read(addr)
+
+    def test_commit_wrong_var_raises(self):
+        bank = RegisterBank(0, 4)
+        addr = bank.reserve(var=5)
+        with pytest.raises(RegisterFileError):
+            bank.commit(addr, 6, 1.0)
+
+    def test_commit_to_free_raises(self):
+        bank = RegisterBank(0, 4)
+        with pytest.raises(RegisterFileError):
+            bank.commit(0, 5, 1.0)
+
+    def test_double_release_raises(self):
+        bank = RegisterBank(0, 4)
+        addr = bank.reserve(var=5)
+        bank.commit(addr, 5, 1.0)
+        bank.release(addr)
+        with pytest.raises(RegisterFileError):
+            bank.release(addr)
+
+    def test_overflow_raises(self):
+        bank = RegisterBank(0, 2)
+        bank.reserve(1)
+        bank.reserve(2)
+        with pytest.raises(RegisterFileError):
+            bank.reserve(3)
+
+    def test_occupancy_and_peak_tracking(self):
+        bank = RegisterBank(0, 4)
+        a = bank.reserve(1)
+        b = bank.reserve(2)
+        assert bank.occupancy == 2
+        bank.commit(a, 1, 0.0)
+        bank.release(a)
+        assert bank.occupancy == 1
+        assert bank.peak_occupancy == 2
+
+    def test_addr_of_resident_var(self):
+        bank = RegisterBank(0, 4)
+        addr = bank.reserve(var=42)
+        assert bank.addr_of(42) == addr
+        with pytest.raises(RegisterFileError):
+            bank.addr_of(43)
+
+    def test_resident_vars(self):
+        bank = RegisterBank(0, 4)
+        bank.reserve(7)
+        bank.reserve(9)
+        assert sorted(bank.resident_vars()) == [7, 9]
+
+    def test_reads_do_not_clear_valid(self):
+        # §III-B: a value can be reused; only valid_rst frees it.
+        bank = RegisterBank(0, 4)
+        addr = bank.reserve(var=5)
+        bank.commit(addr, 5, 3.0)
+        for _ in range(4):
+            assert bank.read(addr) == (5, 3.0)
+        assert bank.occupancy == 1
+
+
+class TestRegisterFile:
+    def test_has_one_bank_per_config_bank(self):
+        cfg = ArchConfig(depth=2, banks=8, regs_per_bank=16)
+        rf = RegisterFile(cfg)
+        assert len(rf.banks) == 8
+        assert rf[3].size == 16
+
+    def test_occupancy_profile(self):
+        cfg = ArchConfig(depth=1, banks=2, regs_per_bank=4)
+        rf = RegisterFile(cfg)
+        rf[0].reserve(1)
+        rf[1].reserve(2)
+        rf[1].reserve(3)
+        assert rf.occupancy_profile() == [1, 2]
+        assert rf.total_occupancy() == 3

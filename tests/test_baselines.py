@@ -1,0 +1,119 @@
+"""Unit tests for the baseline platform models."""
+
+import pytest
+
+from repro.baselines import (
+    CPU_SPU_MODEL,
+    CPUModel,
+    DPUv1Model,
+    GPUModel,
+    SPUModel,
+    scaled_cpu,
+    scaled_gpu,
+    scaled_models,
+)
+from conftest import make_chain_dag, make_random_dag, make_wide_dag
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return make_random_dag(95, num_ops=500, num_leaves=40)
+
+
+class TestCPUModel:
+    def test_positive_throughput(self, dag):
+        result = CPUModel().run(dag)
+        assert result.throughput_gops > 0
+        assert result.operations == dag.num_operations
+
+    def test_deep_dags_slower_per_op(self):
+        # More levels = more barriers = worse throughput.
+        chain = make_chain_dag(length=200)
+        wide = make_wide_dag(width=100)
+        cpu = CPUModel()
+        assert (
+            cpu.run(wide).throughput_gops > cpu.run(chain).throughput_gops
+        )
+
+    def test_parallelism_caps_cores(self):
+        chain = make_chain_dag(length=50)
+        # n/l ~ 2: effectively serial.
+        cpu = CPUModel()
+        t = cpu.run(chain)
+        serial_bound = chain.num_operations * cpu.cycles_per_op / (
+            cpu.frequency_hz
+        )
+        assert t.seconds >= serial_bound
+
+    def test_energy_and_edp(self, dag):
+        r = CPUModel().run(dag)
+        assert r.energy_j == pytest.approx(r.power_w * r.seconds)
+        assert r.edp > 0
+
+    def test_cpu_spu_variant_slower(self, dag):
+        assert (
+            CPU_SPU_MODEL.run(dag).seconds >= CPUModel().run(dag).seconds
+        )
+
+
+class TestGPUModel:
+    def test_launch_cost_dominates_small_dags(self):
+        small = make_random_dag(96, num_ops=100)
+        gpu = GPUModel()
+        result = gpu.run(small)
+        from repro.graphs import longest_path_length
+
+        min_launch = (longest_path_length(small) - 1) * gpu.launch_seconds
+        assert result.seconds >= min_launch
+
+    def test_gpu_beats_cpu_only_on_large_wide_dags(self):
+        small = make_random_dag(97, num_ops=300)
+        cpu, gpu = CPUModel(), GPUModel()
+        assert (
+            cpu.run(small).throughput_gops > gpu.run(small).throughput_gops
+        )
+
+
+class TestDPUv1Model:
+    def test_counts_binarized_operations(self, dag):
+        r = DPUv1Model().run(dag)
+        assert r.operations >= dag.num_operations
+
+    def test_conflicts_hurt(self, dag):
+        clean = DPUv1Model(conflict_rate=0.0)
+        dirty = DPUv1Model(conflict_rate=0.43)
+        assert clean.run(dag).seconds < dirty.run(dag).seconds
+
+    def test_throughput_bounded_by_units(self, dag):
+        m = DPUv1Model()
+        peak = m.units * m.frequency_hz / 1e9
+        assert m.run(dag).throughput_gops <= peak
+
+
+class TestSPUModel:
+    def test_scales_cpu_spu(self, dag):
+        spu = SPUModel()
+        cpu_time = spu.cpu_model.run(dag).seconds
+        assert spu.run(dag).seconds == pytest.approx(
+            cpu_time / spu.speedup_over_cpu_spu
+        )
+
+    def test_power_from_table3(self):
+        assert SPUModel().power_w == 16.0
+
+
+class TestScaling:
+    def test_compensation_reduces_fixed_costs(self, dag):
+        full = CPUModel()
+        scaled = scaled_cpu(0.05)
+        assert scaled.barrier_seconds < full.barrier_seconds
+        assert scaled_gpu(0.05).launch_seconds < GPUModel().launch_seconds
+
+    def test_no_compensation_at_full_scale(self):
+        assert scaled_cpu(1.0).barrier_seconds == CPUModel().barrier_seconds
+
+    def test_scaled_models_tuple(self):
+        cpu, gpu, dpu = scaled_models(0.1)
+        assert isinstance(cpu, CPUModel)
+        assert isinstance(gpu, GPUModel)
+        assert isinstance(dpu, DPUv1Model)

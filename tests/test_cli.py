@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_config, main
+from repro.graphs import save_json
+from conftest import make_random_dag
+
+
+class TestConfigParsing:
+    def test_valid(self):
+        cfg = _parse_config("D3-B64-R32")
+        assert (cfg.depth, cfg.banks, cfg.regs_per_bank) == (3, 64, 32)
+
+    def test_case_insensitive(self):
+        cfg = _parse_config("d2-b8-r16")
+        assert cfg.depth == 2
+
+    def test_invalid(self):
+        with pytest.raises(SystemExit):
+            _parse_config("banana")
+        with pytest.raises(SystemExit):
+            _parse_config("D3-B64")  # missing R
+
+
+class TestCommands:
+    def test_compile_named_workload(self, capsys):
+        rc = main(
+            ["compile", "tretail", "--scale", "0.02",
+             "--config", "D2-B8-R16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blocks" in out and "conflicts" in out
+
+    def test_run_verifies(self, capsys):
+        rc = main(
+            ["run", "bp_200", "--scale", "0.02", "--config", "D2-B8-R32"]
+        )
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_compile_dag_file(self, tmp_path, capsys):
+        dag = make_random_dag(181)
+        path = tmp_path / "dag.json"
+        save_json(dag, path)
+        rc = main(["compile", str(path), "--config", "D2-B8-R16"])
+        assert rc == 0
+
+    def test_encode_writes_binary(self, tmp_path, capsys):
+        out = tmp_path / "prog.bin"
+        rc = main(
+            [
+                "encode", "tretail", "--scale", "0.02",
+                "--config", "D2-B8-R16", "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.stat().st_size > 0
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,264 @@
+"""Unit tests for schedule construction, liveness, reorder, spill, regalloc."""
+
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    CopyInstr,
+    ExecInstr,
+    Interconnect,
+    LoadInstr,
+    NopInstr,
+    StoreInstr,
+    consumed_vars,
+    produced_vars,
+)
+from repro.compiler import (
+    allocate_addresses,
+    analyze_residences,
+    annotate_liveness,
+    build_dependencies,
+    build_schedule,
+    decompose,
+    insert_spills,
+    map_banks,
+    max_live_per_bank,
+    reorder,
+    verify_hazard_free,
+)
+from repro.errors import CompileError, ScheduleError
+from repro.graphs import OpType, binarize
+from conftest import make_chain_dag, make_random_dag
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ArchConfig(depth=2, banks=8, regs_per_bank=16)
+
+
+@pytest.fixture(scope="module")
+def pipeline(cfg):
+    """Run steps 1-2.5 once; several test classes poke at the result."""
+    bdag = binarize(make_random_dag(61, num_ops=150)).dag
+    decomp = decompose(bdag, cfg)
+    mapping = map_banks(decomp, Interconnect(cfg), seed=2)
+    schedule = build_schedule(decomp, mapping)
+    return decomp, mapping, schedule
+
+
+class TestSchedule:
+    def test_one_exec_per_block(self, pipeline):
+        decomp, _, schedule = pipeline
+        execs = [
+            i for i in schedule.instructions if isinstance(i, ExecInstr)
+        ]
+        assert len(execs) == decomp.num_blocks
+
+    def test_exec_reads_have_distinct_banks(self, pipeline):
+        _, _, schedule = pipeline
+        for instr in schedule.instructions:
+            if isinstance(instr, ExecInstr):
+                banks = [b for b, _ in instr.bank_reads]
+                assert len(banks) == len(set(banks))
+
+    def test_copy_port_limits(self, pipeline):
+        _, _, schedule = pipeline
+        for instr in schedule.instructions:
+            if isinstance(instr, CopyInstr):
+                srcs = [m.src_bank for m in instr.moves]
+                dsts = [m.dst_bank for m in instr.moves]
+                assert len(set(srcs)) == len(srcs)
+                assert len(set(dsts)) == len(dsts)
+
+    def test_every_external_input_loaded_once(self, pipeline):
+        decomp, _, schedule = pipeline
+        loaded = [
+            var
+            for instr in schedule.instructions
+            if isinstance(instr, LoadInstr)
+            for _, var in instr.dests
+        ]
+        leaves_used = {
+            v
+            for b in decomp.blocks
+            for v in b.input_vars
+            if decomp.dag.op(v) is OpType.INPUT
+        }
+        assert sorted(loaded) == sorted(leaves_used)
+
+    def test_input_layout_lane_equals_bank(self, pipeline):
+        _, mapping, schedule = pipeline
+        for var, (row, bank) in schedule.input_layout.items():
+            assert mapping.bank_of[var] == bank
+
+    def test_all_sinks_stored(self, pipeline):
+        decomp, _, schedule = pipeline
+        sinks = {
+            n
+            for n in decomp.dag.nodes()
+            if not decomp.dag.successors(n)
+            and decomp.dag.op(n) is not OpType.INPUT
+        }
+        assert set(schedule.output_layout) == sinks
+
+    def test_conflict_copies_counted(self, pipeline):
+        _, _, schedule = pipeline
+        moves = sum(
+            len(i.moves)
+            for i in schedule.instructions
+            if isinstance(i, CopyInstr)
+        )
+        assert moves == schedule.stats.conflict_copies
+
+
+class TestLiveness:
+    def test_every_residence_read(self, pipeline):
+        _, _, schedule = pipeline
+        flagged = annotate_liveness(schedule.instructions)
+        for res in analyze_residences(flagged):
+            assert res.reads
+
+    def test_exactly_one_free_per_residence(self, pipeline):
+        _, _, schedule = pipeline
+        flagged = annotate_liveness(schedule.instructions)
+        residences = analyze_residences(flagged)
+        freed = set()
+        for idx, instr in enumerate(flagged):
+            for bank in instr.valid_rst:
+                freed.add((idx, bank))
+        for res in residences:
+            assert (res.reads[-1], res.bank) in freed
+
+    def test_max_live_positive(self, pipeline, cfg):
+        _, _, schedule = pipeline
+        flagged = annotate_liveness(schedule.instructions)
+        peaks = max_live_per_bank(flagged, cfg.banks)
+        assert any(p > 0 for p in peaks)
+
+    def test_read_without_write_detected(self):
+        instr = StoreInstr(row=0, slots=())
+        bogus = ExecInstr(
+            bank_reads=((0, 5),),
+            port_source=(None,) * 8,
+            pe_ops=(),
+            writes=(),
+        )
+        with pytest.raises(CompileError):
+            analyze_residences([bogus])
+
+
+class TestReorder:
+    def test_hazard_free_after_reorder(self, pipeline, cfg):
+        _, _, schedule = pipeline
+        result = reorder(
+            schedule.instructions, cfg, extra_deps=schedule.anchor_deps
+        )
+        flagged = annotate_liveness(result.instructions)
+        verify_hazard_free(flagged, cfg)
+
+    def test_preserves_instruction_multiset(self, pipeline, cfg):
+        _, _, schedule = pipeline
+        result = reorder(schedule.instructions, cfg)
+        originals = [
+            i for i in result.instructions if not isinstance(i, NopInstr)
+        ]
+        assert len(originals) == len(schedule.instructions)
+
+    def test_chain_needs_nops(self, cfg):
+        # A pure serial chain cannot hide the pipeline latency.
+        bdag = binarize(make_chain_dag(length=20)).dag
+        decomp = decompose(bdag, cfg)
+        mapping = map_banks(decomp, Interconnect(cfg))
+        schedule = build_schedule(decomp, mapping)
+        result = reorder(schedule.instructions, cfg)
+        assert result.nops_inserted > 0
+
+    def test_dependencies_capture_raw(self, pipeline, cfg):
+        _, _, schedule = pipeline
+        deps = build_dependencies(schedule.instructions, cfg)
+        # Every consumed residence must have a producer edge.
+        writer = {}
+        for idx, instr in enumerate(schedule.instructions):
+            producers = {p for p, _ in deps[idx]}
+            for key in consumed_vars(instr):
+                assert writer[key] in producers
+            for key in produced_vars(instr):
+                writer[key] = idx
+
+    def test_verify_detects_violation(self, cfg):
+        exec_i = ExecInstr(
+            bank_reads=(),
+            port_source=(None,) * cfg.banks,
+            pe_ops=tuple([0] * 0) or (),
+            writes=(),
+        )
+        # Craft a producer/consumer pair one cycle apart.
+        from repro.arch import PEOp, WriteSpec
+
+        producer = ExecInstr(
+            bank_reads=(),
+            port_source=tuple([None] * cfg.banks),
+            pe_ops=tuple([PEOp.IDLE] * cfg.num_pes),
+            writes=(WriteSpec(pe=0, bank=0, var=1),),
+        )
+        consumer = StoreInstr(
+            row=0, slots=(type(producer.writes[0]), )
+        ) if False else None
+        from repro.arch import StoreSlot
+
+        consumer = StoreInstr(
+            row=0, slots=(StoreSlot(bank=0, var=1),)
+        )
+        with pytest.raises(ScheduleError):
+            verify_hazard_free([producer, consumer], cfg)
+
+
+class TestSpillAndRegalloc:
+    def test_spill_bounds_occupancy(self, cfg):
+        tight = ArchConfig(depth=2, banks=8, regs_per_bank=4)
+        bdag = binarize(make_random_dag(62, num_ops=200)).dag
+        decomp = decompose(bdag, tight)
+        mapping = map_banks(decomp, Interconnect(tight))
+        schedule = build_schedule(decomp, mapping)
+        ro = reorder(
+            schedule.instructions, tight, extra_deps=schedule.anchor_deps
+        )
+        flagged = annotate_liveness(ro.instructions)
+        spilled = insert_spills(flagged, tight, next_row=schedule.num_rows)
+        assert spilled.spills > 0
+        final = annotate_liveness(spilled.instructions)
+        verify_hazard_free(final, tight)
+        allocation = allocate_addresses(final, tight)
+        assert max(allocation.peak_occupancy) <= tight.regs_per_bank
+
+    def test_no_spills_when_r_large(self, pipeline, cfg):
+        _, _, schedule = pipeline
+        ro = reorder(
+            schedule.instructions, cfg, extra_deps=schedule.anchor_deps
+        )
+        flagged = annotate_liveness(ro.instructions)
+        big = ArchConfig(depth=2, banks=8, regs_per_bank=1024)
+        spilled = insert_spills(flagged, big, next_row=schedule.num_rows)
+        assert spilled.spills == 0
+        assert spilled.instructions == flagged
+
+    def test_regalloc_trace(self, pipeline, cfg):
+        _, _, schedule = pipeline
+        ro = reorder(
+            schedule.instructions, cfg, extra_deps=schedule.anchor_deps
+        )
+        flagged = annotate_liveness(ro.instructions)
+        allocation = allocate_addresses(flagged, cfg, trace=True)
+        assert len(allocation.trace) == len(flagged)
+        assert len(allocation.read_addrs) == len(flagged)
+
+    def test_regalloc_detects_overflow(self, cfg):
+        tight = ArchConfig(depth=2, banks=8, regs_per_bank=4)
+        bdag = binarize(make_random_dag(63, num_ops=200)).dag
+        decomp = decompose(bdag, tight)
+        mapping = map_banks(decomp, Interconnect(tight))
+        schedule = build_schedule(decomp, mapping)
+        flagged = annotate_liveness(schedule.instructions)
+        # Without the spill pass, a tight config must overflow.
+        with pytest.raises(CompileError):
+            allocate_addresses(flagged, tight)

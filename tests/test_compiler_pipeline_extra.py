@@ -1,0 +1,138 @@
+"""Additional compile-driver tests: keep, auto-grown memory, footprint."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, Interconnect
+from repro.compiler import (
+    compile_dag,
+    csr_footprint_bits,
+    footprint_report,
+    write_addr_overhead_bits,
+)
+from repro.graphs import DAGBuilder, OpType, binarize
+from repro.sim import run_program
+from conftest import make_random_dag, random_inputs, reference_values
+
+
+class TestKeepFeature:
+    def test_kept_internal_values_observable(self, tiny_config):
+        b = DAGBuilder()
+        x, y, z = b.add_input(), b.add_input(), b.add_input()
+        s = b.add_add([x, y])  # internal: consumed only by p
+        p = b.add_mul([s, z])
+        dag = b.build()
+        # Without keep, s may be fully consumed inside the tree.
+        kept = compile_dag(dag, tiny_config, keep={s})
+        sim = run_program(kept.program, [1.0, 2.0, 4.0])
+        assert sim.values[kept.node_map[s]] == 3.0
+        assert kept.node_map[s] in kept.program.output_layout
+
+    def test_keep_of_leaf_is_ignored(self, tiny_config):
+        dag = make_random_dag(141)
+        leaf = next(iter(dag.leaves()))
+        result = compile_dag(dag, tiny_config, keep={leaf})
+        assert result.node_map[leaf] not in result.program.output_layout
+
+    def test_keep_preserves_golden_equivalence(self, tiny_config):
+        dag = make_random_dag(142)
+        mids = [n for n in dag.nodes() if dag.op(n) is not OpType.INPUT]
+        keep = set(mids[:: max(len(mids) // 5, 1)])
+        result = compile_dag(dag, tiny_config, keep=keep)
+        inputs = random_inputs(dag)
+        reference = reference_values(dag, inputs)
+        sim = run_program(result.program, inputs, reference=reference)
+        for node in keep:
+            var = result.node_map[node]
+            assert np.isclose(sim.values[var], reference[var])
+
+
+class TestMemorySizing:
+    def test_data_memory_auto_grows(self):
+        # Force lots of spill rows with a tiny memory budget.
+        cfg = ArchConfig(
+            depth=2, banks=8, regs_per_bank=4, data_mem_rows=2
+        )
+        dag = make_random_dag(143, num_ops=200)
+        result = compile_dag(dag, cfg)
+        assert result.program.config.data_mem_rows >= (
+            result.program.num_data_rows
+        )
+        # Still correct end to end.
+        inputs = random_inputs(dag)
+        run_program(
+            result.program, inputs,
+            reference=reference_values(dag, inputs),
+        )
+
+    def test_rows_cover_layouts(self, tiny_config):
+        dag = make_random_dag(144)
+        result = compile_dag(dag, tiny_config)
+        rows = result.program.num_data_rows
+        for row, _ in result.program.input_layout.values():
+            assert row < rows
+        for row, _ in result.program.output_layout.values():
+            assert row < rows
+
+
+class TestFootprint:
+    def test_csr_footprint_formula(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        b.add_add([x, y])
+        dag = b.build()
+        bits = csr_footprint_bits(dag, pointer_bits=32, word_bits=32)
+        # 3 opcodes + 4 row ptrs + 2 col idx + 3 values
+        assert bits == 3 * 8 + 4 * 32 + 2 * 32 + 3 * 32
+
+    def test_report_savings_positive(self, tiny_config):
+        dag = make_random_dag(145, num_ops=200)
+        result = compile_dag(dag, tiny_config)
+        bdag = binarize(dag).dag
+        report = footprint_report(
+            result.program,
+            bdag,
+            result.allocation.read_addrs,
+            Interconnect(result.program.config),
+        )
+        assert report.packed_program_bits > 0
+        assert 0 < report.auto_write_saving < 1
+        assert 0 < report.packing_saving < 1
+        assert report.total_bits < report.csr_bits
+
+    def test_write_addr_overhead_counts_writing_formats(self, tiny_config):
+        dag = make_random_dag(146)
+        result = compile_dag(dag, tiny_config)
+        overhead = write_addr_overhead_bits(result.program)
+        writing = sum(
+            1
+            for i in result.program.instructions
+            if i.mnemonic in ("exec", "copy", "load")
+        )
+        addr_bits = (tiny_config.regs_per_bank - 1).bit_length()
+        assert overhead >= writing * tiny_config.banks * addr_bits
+
+
+class TestDeterminism:
+    def test_compile_is_deterministic(self, tiny_config):
+        dag = make_random_dag(147)
+        a = compile_dag(dag, tiny_config, seed=5)
+        b = compile_dag(dag, tiny_config, seed=5)
+        assert a.program.instructions == b.program.instructions
+
+    def test_seed_changes_mapping(self, small_config):
+        dag = make_random_dag(148, num_ops=150)
+        a = compile_dag(dag, small_config, seed=1)
+        b = compile_dag(dag, small_config, seed=2)
+        assert (
+            a.mapping.bank_of != b.mapping.bank_of
+            or a.program.instructions != b.program.instructions
+        )
+
+    def test_program_metadata(self, tiny_config):
+        dag = make_random_dag(149, name="meta-test")
+        result = compile_dag(dag, tiny_config)
+        assert result.program.source_name == "meta-test"
+        assert len(result.program) == len(result.program.instructions)

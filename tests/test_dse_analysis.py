@@ -1,0 +1,140 @@
+"""Unit tests for the DSE sweep, Pareto analysis, and analysis helpers."""
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.compiler import compile_dag
+from repro.analysis import (
+    CATEGORIES,
+    format_series,
+    format_table,
+    instruction_breakdown,
+    occupancy_profile,
+)
+from repro.dse import (
+    constant_edp_curve,
+    evaluate_config,
+    pareto_front,
+    run_sweep,
+    summarize,
+)
+from conftest import make_random_dag
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "a": make_random_dag(121, num_ops=120),
+        "b": make_random_dag(122, num_ops=120),
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep(workloads):
+    configs = [
+        ArchConfig(depth=d, banks=b, regs_per_bank=16)
+        for d in (1, 2)
+        for b in (8, 16)
+    ]
+    return run_sweep(workloads, configs=configs)
+
+
+class TestSweep:
+    def test_one_point_per_config(self, sweep):
+        assert len(sweep.points) == 4
+
+    def test_metrics_positive(self, sweep):
+        for p in sweep.points:
+            assert p.latency_per_op_ns > 0
+            assert p.energy_per_op_pj > 0
+            assert p.edp_per_op == pytest.approx(
+                p.latency_per_op_ns * p.energy_per_op_pj
+            )
+
+    def test_minima_are_members(self, sweep):
+        assert sweep.min_latency() in sweep.points
+        assert sweep.min_energy() in sweep.points
+        assert sweep.min_edp() in sweep.points
+
+    def test_by_config_lookup(self, sweep):
+        p = sweep.by_config(1, 8, 16)
+        assert p.config.depth == 1
+        with pytest.raises(KeyError):
+            sweep.by_config(3, 64, 128)
+
+    def test_evaluate_config_single(self, workloads):
+        point = evaluate_config(
+            ArchConfig(depth=2, banks=8, regs_per_bank=16), workloads
+        )
+        assert point.latency_per_op_ns > 0
+
+    def test_deeper_trees_save_energy(self, workloads):
+        # §V-B: depth adds PEs without extra register-file traffic, so
+        # energy per op improves.  (The latency side of the claim needs
+        # workload-sized graphs; it is asserted in the fig. 11
+        # experiment test on the suite workloads.)
+        shallow = evaluate_config(
+            ArchConfig(depth=1, banks=16, regs_per_bank=32), workloads
+        )
+        deep = evaluate_config(
+            ArchConfig(depth=2, banks=16, regs_per_bank=32), workloads
+        )
+        assert deep.energy_per_op_pj < shallow.energy_per_op_pj
+
+
+class TestPareto:
+    def test_summary_corners(self, sweep):
+        s = summarize(sweep)
+        assert s.min_edp.edp_per_op <= s.min_latency.edp_per_op
+        assert s.min_edp.edp_per_op <= s.min_energy.edp_per_op
+        assert len(s.as_rows()) == 3
+
+    def test_front_is_monotone(self, sweep):
+        front = pareto_front(sweep)
+        for a, b in zip(front, front[1:]):
+            assert a.latency_per_op_ns <= b.latency_per_op_ns
+            assert a.energy_per_op_pj >= b.energy_per_op_pj
+
+    def test_constant_edp_curve(self, sweep):
+        point = sweep.min_edp()
+        lats = [1.0, 2.0, 4.0]
+        energies = constant_edp_curve(point, lats)
+        for lat, e in zip(lats, energies):
+            assert lat * e == pytest.approx(point.edp_per_op)
+
+
+class TestAnalysis:
+    def test_instruction_breakdown_sums_to_one(self, tiny_config):
+        result = compile_dag(make_random_dag(123), tiny_config)
+        b = instruction_breakdown(result.program)
+        assert sum(b.fractions().values()) == pytest.approx(1.0)
+        assert b.total == len(result.program.instructions)
+        assert b.exec_fraction + b.overhead_fraction == pytest.approx(1.0)
+
+    def test_breakdown_categories_stable(self):
+        assert "exec" in CATEGORIES and "nop" in CATEGORIES
+
+    def test_occupancy_profile(self, tiny_config):
+        result = compile_dag(
+            make_random_dag(124), tiny_config, trace_occupancy=True
+        )
+        profile = occupancy_profile(result.allocation)
+        assert profile.global_peak >= 1
+        assert profile.balance >= 1.0
+        assert profile.samples
+
+    def test_occupancy_profile_without_trace(self, tiny_config):
+        result = compile_dag(make_random_dag(125), tiny_config)
+        profile = occupancy_profile(result.allocation)
+        assert profile.samples == []
+        assert profile.peak_per_bank == result.allocation.peak_occupancy
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (33, 0.001)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [0.5, 1.5], unit="ns")
+        assert "1: 0.5" in text

@@ -1,0 +1,107 @@
+"""Error-hierarchy and edge-case coverage."""
+
+import pytest
+
+from repro import (
+    CompileError,
+    ConfigError,
+    GraphError,
+    MappingError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SpillError,
+    WorkloadError,
+)
+from repro.arch import ArchConfig
+from repro.compiler import compile_dag
+from repro.errors import (
+    BankConflictError,
+    CycleError,
+    EncodingError,
+    HazardError,
+    RegisterFileError,
+)
+from repro.graphs import DAGBuilder
+from conftest import compile_and_verify, make_random_dag
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            CycleError,
+            ConfigError,
+            CompileError,
+            MappingError,
+            ScheduleError,
+            SpillError,
+            EncodingError,
+            SimulationError,
+            HazardError,
+            BankConflictError,
+            RegisterFileError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_compile_suberrors(self):
+        assert issubclass(MappingError, CompileError)
+        assert issubclass(ScheduleError, CompileError)
+        assert issubclass(SpillError, CompileError)
+
+    def test_sim_suberrors(self):
+        assert issubclass(HazardError, SimulationError)
+        assert issubclass(RegisterFileError, SimulationError)
+
+
+class TestEdgeCaseDags:
+    def test_minimum_possible_dag(self, tiny_config):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        b.add_mul([x, y])
+        compile_and_verify(b.build(), tiny_config)
+
+    def test_two_independent_outputs(self, tiny_config):
+        b = DAGBuilder()
+        x, y, z, w = (b.add_input() for _ in range(4))
+        b.add_add([x, y])
+        b.add_mul([z, w])
+        compile_and_verify(b.build(), tiny_config)
+
+    def test_value_reused_many_times(self, tiny_config):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        s = b.add_add([x, y])
+        outs = [b.add_mul([s, b.add_input()]) for _ in range(10)]
+        b.add_add(outs)
+        compile_and_verify(b.build("fanout"), tiny_config)
+
+    def test_squaring_duplicate_operand(self, tiny_config):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        s = b.add_add([x, y])
+        b.add_mul([s, s])  # s^2: both tree inputs read one variable
+        result, sim = compile_and_verify(b.build("square"), tiny_config)
+        assert sim.outputs
+
+    def test_deep_fan_in_node(self, tiny_config):
+        b = DAGBuilder()
+        leaves = [b.add_input() for _ in range(33)]
+        b.add_add(leaves)  # fan-in 33 -> 32 binary nodes, depth 6
+        compile_and_verify(b.build("fat"), tiny_config)
+
+    def test_smallest_architecture(self):
+        cfg = ArchConfig(depth=1, banks=2, regs_per_bank=4)
+        compile_and_verify(make_random_dag(151, num_ops=30), cfg)
+
+    def test_depth_exceeding_config_paths(self):
+        # D=1 with long chains: every node is its own block.
+        cfg = ArchConfig(depth=1, banks=4, regs_per_bank=8)
+        from conftest import make_chain_dag
+
+        result, sim = compile_and_verify(make_chain_dag(length=10), cfg)
+        assert result.stats.num_blocks >= 10

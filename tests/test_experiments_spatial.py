@@ -1,0 +1,82 @@
+"""Unit tests for the fig.-3 spatial mapper and remaining experiment
+helpers not covered elsewhere."""
+
+import pytest
+
+from repro.experiments.spatial import (
+    systolic_peak_utilization,
+    tree_peak_utilization,
+    utilization_sweep,
+)
+from repro.graphs import DAGBuilder, binarize
+from conftest import make_chain_dag, make_random_dag, make_wide_dag
+
+
+def full_binary_tree(depth: int):
+    """A perfectly tree-shaped DAG: the best case for PE trees."""
+    b = DAGBuilder()
+    level = [b.add_input() for _ in range(1 << depth)]
+    toggle = True
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            if toggle:
+                nxt.append(b.add_add([level[i], level[i + 1]]))
+            else:
+                nxt.append(b.add_mul([level[i], level[i + 1]]))
+        level = nxt
+        toggle = not toggle
+    return b.build("tree")
+
+
+class TestTreeUtilization:
+    def test_perfect_tree_fully_utilizes(self):
+        dag = full_binary_tree(4)
+        for depth in (1, 2, 3, 4):
+            assert tree_peak_utilization(dag, depth) == 1.0
+
+    def test_chain_cannot_fill_tree(self):
+        dag = binarize(make_chain_dag(length=20)).dag
+        # A chain of 2-input ops with one fresh leaf per stage: a
+        # depth-3 cone holds 3 chain nodes of 7 PEs.
+        util = tree_peak_utilization(dag, 3)
+        assert util == pytest.approx(3 / 7)
+
+    def test_replication_counts_toward_utilization(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        s = b.add_add([x, y])
+        b.add_mul([s, s])
+        dag = b.build()
+        # depth 2: p at root, s replicated on both layer-1 PEs -> 3/3.
+        assert tree_peak_utilization(dag, 2) == 1.0
+
+    def test_zero_depth(self):
+        dag = full_binary_tree(2)
+        assert tree_peak_utilization(dag, 0) == 0.0
+
+
+class TestSystolicUtilization:
+    def test_chain_maps_to_single_row(self):
+        dag = binarize(make_chain_dag(length=30)).dag
+        # 1xN array: a chain is the ideal systolic occupant.
+        util = systolic_peak_utilization(dag, 1, 8, seeds=40)
+        assert util > 0.5
+
+    def test_wide_random_dag_underutilizes_big_arrays(self):
+        dag = binarize(make_random_dag(161, num_ops=300)).dag
+        small = systolic_peak_utilization(dag, 2, 2, seeds=30)
+        large = systolic_peak_utilization(dag, 8, 8, seeds=30)
+        assert large <= small
+
+    def test_empty_array(self):
+        dag = full_binary_tree(2)
+        assert systolic_peak_utilization(dag, 0, 0) == 0.0
+
+    def test_sweep_points(self):
+        dag = binarize(make_random_dag(162, num_ops=200)).dag
+        points = utilization_sweep(dag, (2, 4, 8))
+        assert [p.inputs for p in points] == [2, 4, 8]
+        for p in points:
+            assert 0.0 <= p.systolic_utilization <= 1.0
+            assert 0.0 < p.tree_utilization <= 1.0

@@ -1,0 +1,93 @@
+"""Unit tests for binarization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DAGBuilder, OpType, binarization_overhead, binarize
+from repro.sim import evaluate_dag
+from conftest import make_random_dag, random_inputs
+
+
+class TestBinarize:
+    def test_result_is_binary(self):
+        dag = make_random_dag(1, max_fan_in=6)
+        assert not dag.is_binary()
+        result = binarize(dag)
+        assert result.dag.is_binary()
+
+    def test_two_input_dag_unchanged_in_size(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        b.add_add([x, y])
+        dag = b.build()
+        assert binarize(dag).dag.num_nodes == dag.num_nodes
+
+    def test_fan_in_k_becomes_k_minus_1_nodes(self):
+        b = DAGBuilder()
+        leaves = [b.add_input() for _ in range(5)]
+        b.add_add(leaves)
+        dag = b.build()
+        result = binarize(dag)
+        assert result.dag.num_operations == 4
+
+    def test_node_map_points_to_equivalent_values(self):
+        dag = make_random_dag(2, max_fan_in=5)
+        result = binarize(dag)
+        inputs = random_inputs(dag)
+        original = evaluate_dag(dag, inputs)
+        expanded = evaluate_dag(result.dag, inputs)
+        for node in dag.nodes():
+            mapped = result.node_map[node]
+            assert np.isclose(original[node], expanded[mapped])
+
+    def test_single_input_node_forwarded(self):
+        b = DAGBuilder()
+        x = b.add_input()
+        y = b.add_input()
+        mid = b.add_add([x])  # fan-in 1
+        b.add_mul([mid, y])
+        dag = b.build()
+        result = binarize(dag)
+        # The fan-in-1 node disappears; its consumer reads x directly.
+        assert result.node_map[2] == result.node_map[0]
+
+    def test_balanced_flag_affects_depth(self):
+        b = DAGBuilder()
+        leaves = [b.add_input() for _ in range(8)]
+        b.add_add(leaves)
+        dag = b.build()
+        from repro.graphs import longest_path_length
+
+        balanced = binarize(dag, balanced=True).dag
+        chained = binarize(dag, balanced=False).dag
+        assert longest_path_length(balanced) < longest_path_length(chained)
+        # Same semantics either way.
+        inputs = [float(i) for i in range(8)]
+        assert np.isclose(
+            evaluate_dag(balanced, inputs)[-1],
+            evaluate_dag(chained, inputs)[-1],
+        )
+
+    def test_leaf_order_preserved(self):
+        dag = make_random_dag(4)
+        result = binarize(dag)
+        leaves = [n for n in dag.nodes() if dag.op(n) is OpType.INPUT]
+        for leaf in leaves:
+            assert (
+                result.dag.input_slot(result.node_map[leaf])
+                == dag.input_slot(leaf)
+            )
+
+
+class TestBinarizationOverhead:
+    def test_zero_for_binary_dag(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        b.add_add([x, y])
+        assert binarization_overhead(b.build()) == pytest.approx(0.0)
+
+    def test_matches_actual_expansion(self):
+        dag = make_random_dag(6, max_fan_in=6)
+        predicted = binarization_overhead(dag)
+        actual = binarize(dag).dag.num_operations / dag.num_operations - 1
+        assert predicted == pytest.approx(actual)

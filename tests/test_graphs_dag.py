@@ -1,0 +1,157 @@
+"""Unit tests for the DAG container and builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import DAG, DAGBuilder, OpType
+
+
+class TestDAGBuilder:
+    def test_empty_builder_builds_empty_dag(self):
+        dag = DAGBuilder().build()
+        assert dag.num_nodes == 0
+        assert dag.num_inputs == 0
+        assert dag.num_edges == 0
+
+    def test_add_input_returns_sequential_ids(self):
+        b = DAGBuilder()
+        assert b.add_input() == 0
+        assert b.add_input() == 1
+
+    def test_add_op_records_predecessors_in_order(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        s = b.add_op(OpType.ADD, [y, x])
+        dag = b.build()
+        assert dag.predecessors(s) == (y, x)
+
+    def test_add_op_rejects_forward_reference(self):
+        b = DAGBuilder()
+        b.add_input()
+        with pytest.raises(GraphError):
+            b.add_op(OpType.ADD, [0, 5])
+
+    def test_add_op_rejects_empty_predecessors(self):
+        b = DAGBuilder()
+        with pytest.raises(GraphError):
+            b.add_op(OpType.MUL, [])
+
+    def test_add_op_rejects_input_type(self):
+        b = DAGBuilder()
+        b.add_input()
+        with pytest.raises(GraphError):
+            b.add_op(OpType.INPUT, [0])
+
+    def test_shorthand_helpers(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        s = b.add_add([x, y])
+        p = b.add_mul([x, s])
+        dag = b.build()
+        assert dag.op(s) is OpType.ADD
+        assert dag.op(p) is OpType.MUL
+
+
+class TestDAGAccessors:
+    @pytest.fixture
+    def diamond(self) -> DAG:
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        s = b.add_add([x, y])
+        p = b.add_mul([x, s])
+        q = b.add_mul([s, y])
+        b.add_add([p, q])
+        return b.build("diamond")
+
+    def test_counts(self, diamond):
+        assert diamond.num_nodes == 6
+        assert diamond.num_inputs == 2
+        assert diamond.num_operations == 4
+        assert diamond.num_edges == 8
+
+    def test_successors_track_consumers(self, diamond):
+        assert set(diamond.successors(2)) == {3, 4}
+        assert diamond.out_degree(0) == 2
+
+    def test_sinks_and_sources(self, diamond):
+        assert diamond.sinks() == [5]
+        assert diamond.sources() == [0, 1]
+
+    def test_leaves_iterates_inputs(self, diamond):
+        assert list(diamond.leaves()) == [0, 1]
+
+    def test_is_binary(self, diamond):
+        assert diamond.is_binary()
+
+    def test_max_fan_in_out(self, diamond):
+        assert diamond.max_fan_in() == 2
+        assert diamond.max_fan_out() == 2
+
+    def test_input_slots_default_numbering(self, diamond):
+        assert diamond.input_slot(0) == 0
+        assert diamond.input_slot(1) == 1
+        assert diamond.input_slot(2) == -1
+
+    def test_node_record(self, diamond):
+        rec = diamond.node(2)
+        assert rec.op is OpType.ADD
+        assert rec.predecessors == (0, 1)
+        assert not rec.is_leaf
+        assert rec.fan_in == 2
+
+    def test_len(self, diamond):
+        assert len(diamond) == 6
+
+
+class TestDAGValidationOnConstruction:
+    def test_input_with_predecessors_rejected(self):
+        with pytest.raises(GraphError):
+            DAG([OpType.INPUT, OpType.INPUT], [[], [0]])
+
+    def test_arithmetic_without_predecessors_rejected(self):
+        with pytest.raises(GraphError):
+            DAG([OpType.ADD], [[]])
+
+    def test_unknown_predecessor_rejected(self):
+        with pytest.raises(GraphError):
+            DAG([OpType.INPUT, OpType.ADD], [[], [7]])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphError):
+            DAG([OpType.INPUT], [[], []])
+
+    def test_custom_input_slots(self):
+        dag = DAG(
+            [OpType.INPUT, OpType.INPUT, OpType.ADD],
+            [[], [], [0, 1]],
+            input_slots=[1, 0],
+        )
+        assert dag.input_slot(0) == 1
+        assert dag.input_slot(1) == 0
+
+    def test_bad_input_slots_rejected(self):
+        with pytest.raises(GraphError):
+            DAG(
+                [OpType.INPUT, OpType.INPUT, OpType.ADD],
+                [[], [], [0, 1]],
+                input_slots=[0, 2],
+            )
+
+
+class TestOpType:
+    def test_identity_elements(self):
+        assert OpType.ADD.identity() == 0.0
+        assert OpType.MUL.identity() == 1.0
+        with pytest.raises(ValueError):
+            OpType.INPUT.identity()
+
+    def test_apply(self):
+        assert OpType.ADD.apply(2.0, 3.0) == 5.0
+        assert OpType.MUL.apply(2.0, 3.0) == 6.0
+        with pytest.raises(ValueError):
+            OpType.INPUT.apply(1.0, 2.0)
+
+    def test_symbols(self):
+        assert OpType.ADD.symbol == "+"
+        assert OpType.MUL.symbol == "*"
+        assert OpType.INPUT.symbol == "i"

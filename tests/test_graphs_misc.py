@@ -1,0 +1,109 @@
+"""Unit tests for validation, partitioning, and statistics."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    DAG,
+    DAGBuilder,
+    OpType,
+    boundary_values,
+    check_partitioning,
+    dag_stats,
+    fan_in_histogram,
+    fan_out_histogram,
+    partition_topological,
+    validate,
+)
+from conftest import make_chain_dag, make_random_dag
+
+
+class TestValidate:
+    def test_valid_dag_passes(self):
+        validate(make_random_dag(21))
+
+    def test_dead_node_detected(self):
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        b.add_add([x, y])
+        b.add_mul([x, y])  # both are sinks; fine
+        validate(b.build())
+        # Now a leaf that feeds nothing:
+        b2 = DAGBuilder()
+        b2.add_input()
+        x2, y2 = b2.add_input(), b2.add_input()
+        b2.add_add([x2, y2])
+        with pytest.raises(GraphError):
+            validate(b2.build())
+
+    def test_binary_only_flag(self):
+        dag = make_random_dag(22, max_fan_in=5)
+        with pytest.raises(GraphError):
+            validate(dag, binary_only=True)
+
+
+class TestPartition:
+    def test_partitions_respect_size(self):
+        dag = make_random_dag(23, num_ops=300)
+        parts = partition_topological(dag, max_nodes=50)
+        assert all(len(p) <= 50 for p in parts.parts)
+        check_partitioning(dag, parts)
+
+    def test_partitions_cover_all_nodes(self):
+        dag = make_random_dag(24, num_ops=200)
+        parts = partition_topological(dag, max_nodes=64)
+        assert sum(len(p) for p in parts.parts) == dag.num_nodes
+
+    def test_single_partition_when_large_budget(self):
+        dag = make_random_dag(25)
+        parts = partition_topological(dag, max_nodes=10_000)
+        assert parts.num_parts == 1
+        assert parts.cut_edges == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(GraphError):
+            partition_topological(make_random_dag(26), max_nodes=0)
+
+    def test_boundary_values_are_cross_partition_producers(self):
+        dag = make_random_dag(27, num_ops=200)
+        parts = partition_topological(dag, max_nodes=40)
+        imports = boundary_values(dag, parts)
+        for part_idx, needed in enumerate(imports):
+            for producer in needed:
+                assert parts.part_of[producer] < part_idx
+                assert dag.op(producer) is not OpType.INPUT
+
+    def test_chain_partitions_in_order(self):
+        dag = make_chain_dag(length=30)
+        parts = partition_topological(dag, max_nodes=10)
+        check_partitioning(dag, parts)
+        assert parts.num_parts >= 3
+
+
+class TestStats:
+    def test_stats_fields(self):
+        dag = make_random_dag(28)
+        s = dag_stats(dag)
+        assert s.nodes == dag.num_nodes
+        assert s.operations == dag.num_operations
+        assert s.avg_parallelism == pytest.approx(
+            dag.num_nodes / s.longest_path
+        )
+        assert 0.0 <= s.add_fraction <= 1.0
+
+    def test_as_row_format(self):
+        row = dag_stats(make_random_dag(29, name="w")).as_row()
+        assert row["workload"] == "w"
+        assert "n/l" in row
+
+    def test_fan_in_histogram_counts_ops_only(self):
+        dag = make_random_dag(30)
+        hist = fan_in_histogram(dag)
+        assert sum(hist.values()) == dag.num_operations
+        assert all(k >= 2 for k in hist)
+
+    def test_fan_out_histogram_total(self):
+        dag = make_random_dag(31)
+        hist = fan_out_histogram(dag)
+        assert sum(hist.values()) == dag.num_nodes
+        assert sum(k * v for k, v in hist.items()) == dag.num_edges

@@ -1,0 +1,123 @@
+"""Unit tests for traversal utilities."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.graphs import (
+    DAG,
+    DAGBuilder,
+    OpType,
+    ancestors_within,
+    arithmetic_longest_path,
+    descendants_within,
+    dfs_order,
+    level_sets,
+    longest_path_length,
+    node_levels,
+    reachable_from,
+    topological_order,
+    width_profile,
+)
+from conftest import make_chain_dag, make_random_dag, make_wide_dag
+
+
+@pytest.fixture
+def small() -> DAG:
+    b = DAGBuilder()
+    x, y = b.add_input(), b.add_input()
+    s = b.add_add([x, y])
+    p = b.add_mul([s, y])
+    b.add_add([s, p])
+    return b.build()
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self, small):
+        order = topological_order(small)
+        pos = {n: i for i, n in enumerate(order)}
+        for node in small.nodes():
+            for pred in small.predecessors(node):
+                assert pos[pred] < pos[node]
+
+    def test_covers_all_nodes(self):
+        dag = make_random_dag(3)
+        assert sorted(topological_order(dag)) == list(dag.nodes())
+
+    def test_cycle_detection_via_raw_construction(self):
+        # DAGBuilder cannot create cycles; forge one via DAG internals.
+        dag = DAG(
+            [OpType.INPUT, OpType.ADD, OpType.ADD], [[], [0, 2], [1, 1]]
+        )
+        with pytest.raises(CycleError):
+            topological_order(dag)
+
+
+class TestLevels:
+    def test_leaves_are_level_zero(self, small):
+        levels = node_levels(small)
+        assert levels[0] == 0 and levels[1] == 0
+
+    def test_levels_increase_along_edges(self, small):
+        levels = node_levels(small)
+        for node in small.nodes():
+            for pred in small.predecessors(node):
+                assert levels[node] > levels[pred]
+
+    def test_level_sets_partition_nodes(self):
+        dag = make_random_dag(5)
+        groups = level_sets(dag)
+        flat = [n for g in groups for n in g]
+        assert sorted(flat) == list(dag.nodes())
+
+    def test_width_profile_sums_to_nodes(self):
+        dag = make_random_dag(7)
+        assert sum(width_profile(dag)) == dag.num_nodes
+
+
+class TestLongestPath:
+    def test_chain_length(self):
+        dag = make_chain_dag(length=10)
+        # 10 arithmetic nodes in a chain plus the leaf level.
+        assert longest_path_length(dag) == 11
+
+    def test_wide_dag_is_shallow(self):
+        dag = make_wide_dag(width=16)
+        assert longest_path_length(dag) == 3
+
+    def test_empty_dag(self):
+        assert longest_path_length(DAGBuilder().build()) == 0
+
+    def test_arithmetic_longest_path_excludes_leaves(self):
+        dag = make_chain_dag(length=10)
+        assert arithmetic_longest_path(dag) == 10
+
+
+class TestDfsOrder:
+    def test_is_permutation(self):
+        dag = make_random_dag(9)
+        pos = dfs_order(dag)
+        assert sorted(pos) == list(range(dag.num_nodes))
+
+    def test_predecessors_before_node(self, small):
+        # Post-order from sinks: a node's ancestors get smaller
+        # positions than the node itself.
+        pos = dfs_order(small)
+        for node in small.nodes():
+            for pred in small.predecessors(node):
+                assert pos[pred] < pos[node]
+
+
+class TestNeighborhoods:
+    def test_ancestors_within_distance_one(self, small):
+        assert ancestors_within(small, 4, 1) == {2, 3}
+
+    def test_ancestors_within_full_depth(self, small):
+        assert ancestors_within(small, 4, 10) == {0, 1, 2, 3}
+
+    def test_descendants_within(self, small):
+        assert descendants_within(small, [0], 1) == {2}
+        assert descendants_within(small, [0], 3) == {2, 3, 4}
+
+    def test_reachable_from(self, small):
+        assert reachable_from(small, [1]) == {2, 3, 4}
+        assert reachable_from(small, [4]) == set()

@@ -1,0 +1,194 @@
+"""Integration: compile -> simulate == golden, across configs/workloads.
+
+This is invariant 1 of DESIGN.md — the end-to-end guarantee that the
+whole hardware/software stack computes exactly what the DAG says, with
+the compiler's register-address predictions cross-checked against the
+hardware model's priority encoder on every read.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    MIN_EDP_CONFIG,
+    MIN_ENERGY_CONFIG,
+    Topology,
+)
+from repro.compiler import compile_dag
+from repro.sim import evaluate_dag, run_program
+from repro.workloads import (
+    PCParams,
+    banded_lower,
+    build_workload,
+    generate_pc,
+    sptrsv_dag,
+)
+from conftest import (
+    compile_and_verify,
+    make_chain_dag,
+    make_random_dag,
+    make_wide_dag,
+    random_inputs,
+    reference_values,
+)
+
+
+class TestGoldenAcrossConfigs:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_depths(self, depth):
+        cfg = ArchConfig(depth=depth, banks=16, regs_per_bank=16)
+        compile_and_verify(make_random_dag(101, num_ops=120), cfg)
+
+    @pytest.mark.parametrize("banks", [8, 16, 32, 64])
+    def test_banks(self, banks):
+        cfg = ArchConfig(depth=3, banks=banks, regs_per_bank=16)
+        compile_and_verify(make_random_dag(102, num_ops=120), cfg)
+
+    @pytest.mark.parametrize("regs", [4, 8, 64])
+    def test_register_depths(self, regs):
+        cfg = ArchConfig(depth=2, banks=8, regs_per_bank=regs)
+        compile_and_verify(make_random_dag(103, num_ops=150), cfg)
+
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            Topology.CROSSBAR_BOTH,
+            Topology.OUTPUT_PER_LAYER,
+            Topology.OUTPUT_SINGLE,
+        ],
+    )
+    def test_topologies(self, topology):
+        dag = make_random_dag(104, num_ops=120)
+        result = compile_dag(dag, MIN_ENERGY_CONFIG, topology=topology)
+        inputs = random_inputs(dag)
+        reference = reference_values(dag, inputs)
+        from repro.arch import Interconnect
+        from repro.sim import Simulator
+
+        sim = Simulator(
+            result.program,
+            Interconnect(result.program.config, topology),
+        ).run(inputs, reference=reference)
+        assert sim.outputs
+
+    @pytest.mark.parametrize("strategy", ["conflict_aware", "random"])
+    def test_mapping_strategies(self, strategy):
+        dag = make_random_dag(105, num_ops=120)
+        result = compile_dag(
+            dag, MIN_ENERGY_CONFIG, mapping_strategy=strategy
+        )
+        inputs = random_inputs(dag)
+        run_program(
+            result.program, inputs, reference=reference_values(dag, inputs)
+        )
+
+
+class TestGoldenAcrossShapes:
+    def test_serial_chain(self, tiny_config):
+        compile_and_verify(make_chain_dag(length=25), tiny_config)
+
+    def test_flat_reduction(self, tiny_config):
+        compile_and_verify(make_wide_dag(width=40), tiny_config)
+
+    def test_high_fanout(self, tiny_config):
+        compile_and_verify(
+            make_random_dag(106, num_leaves=4, num_ops=100, recent_window=6),
+            tiny_config,
+        )
+
+    def test_single_node_dag(self, tiny_config):
+        from repro.graphs import DAGBuilder
+
+        b = DAGBuilder()
+        x, y = b.add_input(), b.add_input()
+        b.add_add([x, y])
+        compile_and_verify(b.build("single"), tiny_config)
+
+
+class TestGoldenOnWorkloads:
+    def test_probabilistic_circuit(self):
+        dag = generate_pc(
+            PCParams(num_vars=12, target_nodes=600, depth=10, seed=3)
+        )
+        compile_and_verify(dag, MIN_ENERGY_CONFIG)
+
+    def test_sptrsv_end_to_end_numeric(self):
+        """Solve L x = b on the simulated DPU-v2 and compare to scipy."""
+        matrix = banded_lower(48, bandwidth=4, seed=5)
+        problem = sptrsv_dag(matrix, name="solve")
+        result = compile_dag(
+            problem.dag, MIN_ENERGY_CONFIG, keep=problem.row_node
+        )
+        rng = np.random.default_rng(7)
+        b = rng.uniform(-1.0, 1.0, size=problem.n)
+        sim = run_program(result.program, problem.input_vector(b))
+        x = np.array(
+            [sim.values[result.node_map[n]] for n in problem.row_node]
+        )
+        np.testing.assert_allclose(
+            x, problem.reference_solve(b), rtol=1e-9
+        )
+
+    def test_sptrsv_multiple_rhs_same_program(self):
+        """The paper's use case: static pattern, changing RHS."""
+        matrix = banded_lower(32, bandwidth=3, seed=8)
+        problem = sptrsv_dag(matrix)
+        result = compile_dag(
+            problem.dag, MIN_ENERGY_CONFIG, keep=problem.row_node
+        )
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            b = rng.uniform(-1.0, 1.0, size=problem.n)
+            sim = run_program(result.program, problem.input_vector(b))
+            x = np.array(
+                [sim.values[result.node_map[n]] for n in problem.row_node]
+            )
+            np.testing.assert_allclose(
+                x, problem.reference_solve(b), rtol=1e-9
+            )
+
+    @pytest.mark.parametrize("name", ["tretail", "bp_200"])
+    def test_suite_workloads_verified(self, name):
+        dag = build_workload(name, scale=0.03)
+        result = compile_dag(dag, MIN_EDP_CONFIG, validate_input=False)
+        inputs = random_inputs(dag, lo=0.9, hi=1.1)
+        reference = reference_values(dag, inputs)
+        run_program(
+            result.program,
+            inputs,
+            reference=reference,
+            check_addresses=result.allocation.read_addrs,
+        )
+
+
+class TestCompileStatsConsistency:
+    def test_instruction_counts_add_up(self, tiny_config):
+        dag = make_random_dag(107, num_ops=150)
+        result = compile_dag(dag, tiny_config)
+        s = result.stats
+        mix = result.program.count_by_mnemonic()
+        assert mix.get("exec", 0) == s.exec_instructions
+        assert (
+            mix.get("copy", 0) + mix.get("copy_4", 0)
+            == s.copy_instructions
+        )
+        assert (
+            mix.get("load", 0) == s.load_instructions
+        )
+        assert (
+            mix.get("store", 0) + mix.get("store_4", 0)
+            == s.store_instructions
+        )
+        assert mix.get("nop", 0) == s.nop_instructions
+
+    def test_blocks_equal_execs(self, tiny_config):
+        dag = make_random_dag(108)
+        result = compile_dag(dag, tiny_config)
+        assert result.stats.num_blocks == result.stats.exec_instructions
+
+    def test_step_timings_recorded(self, tiny_config):
+        result = compile_dag(make_random_dag(109), tiny_config)
+        for step in ("binarize", "decompose", "map", "schedule",
+                     "reorder", "spill", "regalloc"):
+            assert step in result.stats.step_seconds

@@ -1,0 +1,208 @@
+"""Unit tests for the workload generators (PC, matrices, SpTRSV, suite)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import WorkloadError
+from repro.graphs import OpType, dag_stats, validate
+from repro.sim import evaluate_dag
+from repro.workloads import (
+    DEFAULT_SCALE,
+    PCParams,
+    TABLE_I,
+    banded_lower,
+    build_suite,
+    build_workload,
+    check_lower_triangular,
+    evaluate_pc,
+    generate_pc,
+    get_spec,
+    kite_lower,
+    make_lower_triangular,
+    random_leaf_probabilities,
+    random_lower,
+    skyline_lower,
+    solve_via_dag,
+    sptrsv_dag,
+    workload_names,
+)
+
+
+class TestPCGenerator:
+    def test_structure_is_valid(self):
+        dag = generate_pc(PCParams(num_vars=8, target_nodes=400, depth=10))
+        validate(dag)
+
+    def test_deterministic_given_seed(self):
+        p = PCParams(num_vars=8, target_nodes=300, depth=8, seed=5)
+        a, b = generate_pc(p), generate_pc(p)
+        assert a.num_nodes == b.num_nodes
+        assert all(
+            a.predecessors(n) == b.predecessors(n) for n in a.nodes()
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_pc(PCParams(num_vars=8, target_nodes=300, seed=1))
+        b = generate_pc(PCParams(num_vars=8, target_nodes=300, seed=2))
+        assert any(
+            a.predecessors(n) != b.predecessors(n)
+            for n in range(min(a.num_nodes, b.num_nodes))
+            if a.op(n) is not OpType.INPUT and b.op(n) is not OpType.INPUT
+        )
+
+    def test_node_count_near_target(self):
+        dag = generate_pc(PCParams(num_vars=10, target_nodes=1000, depth=12))
+        assert 0.5 * 1000 <= dag.num_nodes <= 1.6 * 1000
+
+    def test_single_sink(self):
+        dag = generate_pc(PCParams(num_vars=8, target_nodes=400, depth=10))
+        assert len(dag.sinks()) == 1
+
+    def test_alternating_ops_present(self):
+        dag = generate_pc(PCParams(num_vars=8, target_nodes=400, depth=10))
+        ops = {dag.op(n) for n in dag.nodes()}
+        assert OpType.ADD in ops and OpType.MUL in ops
+
+    def test_evaluate_pc_positive_for_positive_leaves(self):
+        dag = generate_pc(PCParams(num_vars=6, target_nodes=200, depth=8))
+        leaves = random_leaf_probabilities(dag, seed=1)
+        assert evaluate_pc(dag, leaves) > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            generate_pc(PCParams(num_vars=0))
+        with pytest.raises(WorkloadError):
+            generate_pc(PCParams(num_vars=10, target_nodes=10))
+        with pytest.raises(WorkloadError):
+            generate_pc(PCParams(num_vars=4, target_nodes=100, depth=1))
+        with pytest.raises(WorkloadError):
+            generate_pc(
+                PCParams(num_vars=4, target_nodes=100, locality=0.0)
+            )
+
+
+class TestMatrixGenerators:
+    @pytest.mark.parametrize("kind", ["banded", "random", "kite", "skyline"])
+    def test_lower_triangular_with_nonzero_diagonal(self, kind):
+        mat = make_lower_triangular(kind, 60, seed=3)
+        check_lower_triangular(mat)
+        assert mat.shape == (60, 60)
+
+    def test_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            make_lower_triangular("dense", 10)
+
+    def test_banded_respects_bandwidth(self):
+        mat = banded_lower(50, bandwidth=3, seed=1).tocoo()
+        offs = mat.row - mat.col
+        assert offs.max() <= 3
+
+    def test_kite_has_long_chain(self):
+        mat = kite_lower(100, chain_fraction=1.0, side_nnz=0.0, seed=1)
+        prob = sptrsv_dag(mat)
+        stats = dag_stats(prob.dag)
+        # A full chain means depth scales with n.
+        assert stats.longest_path > 100
+
+    def test_random_density_parameter(self):
+        sparse_mat = random_lower(80, nnz_per_row=1.0, seed=2)
+        dense_mat = random_lower(80, nnz_per_row=6.0, seed=2)
+        assert dense_mat.nnz > sparse_mat.nnz
+
+    def test_skyline_generates(self):
+        check_lower_triangular(skyline_lower(40, seed=4))
+
+    def test_check_rejects_upper_entries(self):
+        bad = sparse.csr_matrix(np.triu(np.ones((4, 4))))
+        with pytest.raises(WorkloadError):
+            check_lower_triangular(bad)
+
+    def test_check_rejects_zero_diagonal(self):
+        mat = sparse.csr_matrix(np.tril(np.ones((3, 3))))
+        mat[1, 1] = 0.0
+        mat.eliminate_zeros()
+        with pytest.raises(WorkloadError):
+            check_lower_triangular(mat)
+
+
+class TestSpTRSV:
+    @pytest.fixture
+    def problem(self):
+        return sptrsv_dag(banded_lower(40, bandwidth=4, seed=9))
+
+    def test_dag_is_valid(self, problem):
+        validate(problem.dag)
+
+    def test_solution_matches_scipy(self, problem):
+        rng = np.random.default_rng(0)
+        b = rng.uniform(-1, 1, size=problem.n)
+        x = solve_via_dag(problem, b)
+        expected = problem.reference_solve(b)
+        np.testing.assert_allclose(x, expected, rtol=1e-9)
+
+    def test_multiple_rhs_reuse_same_dag(self, problem):
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            b = rng.uniform(-1, 1, size=problem.n)
+            np.testing.assert_allclose(
+                solve_via_dag(problem, b),
+                problem.reference_solve(b),
+                rtol=1e-9,
+            )
+
+    def test_input_vector_layout(self, problem):
+        b = np.ones(problem.n)
+        values = problem.input_vector(b)
+        assert len(values) == problem.dag.num_inputs
+        # rhs slots carry b.
+        for i, slot in enumerate(problem.rhs_slots):
+            assert values[slot] == 1.0
+
+    def test_wrong_rhs_shape_rejected(self, problem):
+        with pytest.raises(WorkloadError):
+            problem.input_vector(np.ones(problem.n + 1))
+
+    def test_diagonal_only_matrix(self):
+        mat = sparse.diags([np.arange(1.0, 11.0)], [0]).tocsr()
+        problem = sptrsv_dag(mat)
+        b = np.ones(10)
+        np.testing.assert_allclose(
+            solve_via_dag(problem, b), 1.0 / np.arange(1.0, 11.0)
+        )
+
+    def test_row_nodes_are_muls(self, problem):
+        for node in problem.row_node:
+            assert problem.dag.op(node) is OpType.MUL
+
+
+class TestSuite:
+    def test_workload_names_cover_table1(self):
+        names = workload_names(("pc", "sptrsv", "large_pc"))
+        assert len(names) == len(TABLE_I)
+
+    def test_get_spec_known(self):
+        spec = get_spec("tretail")
+        assert spec.paper_nodes == 9000
+        assert spec.paper_longest_path == 49
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_spec("nosuchworkload")
+
+    def test_build_workload_scales(self):
+        small = build_workload("tretail", scale=0.02)
+        large = build_workload("tretail", scale=0.1)
+        assert large.num_nodes > small.num_nodes
+
+    def test_build_workload_rejects_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            build_workload("tretail", scale=0.0)
+
+    @pytest.mark.parametrize("name", workload_names(("pc", "sptrsv")))
+    def test_all_small_workloads_valid(self, name):
+        validate(build_workload(name, scale=DEFAULT_SCALE))
+
+    def test_build_suite_groups(self):
+        suite = build_suite(groups=("pc",), scale=0.02)
+        assert set(suite) == set(workload_names(("pc",)))
