@@ -10,8 +10,10 @@ package implements the whole system in Python:
 * :mod:`repro.arch`      — the architecture template (ISA, register
   file with automatic write addressing, interconnects, encoding);
 * :mod:`repro.compiler`  — the four-step targeted compiler (§IV);
-* :mod:`repro.sim`       — golden model, architectural simulator,
-  energy/area models calibrated to the paper's Table II;
+* :mod:`repro.sim`       — golden model, the two-phase execution
+  engine (verified plan lowering + vectorized batch simulator) plus
+  the scalar reference simulator, energy/area models calibrated to
+  the paper's Table II;
 * :mod:`repro.baselines` — analytic CPU/GPU/DPU-v1/SPU models;
 * :mod:`repro.dse`       — the 48-point design-space exploration;
 * :mod:`repro.experiments` — one driver per table/figure.
@@ -26,6 +28,15 @@ Quick start::
                                          regs_per_bank=32))
     inputs = [0.5] * dag.num_inputs
     sim = run_program(result.program, inputs)
+
+Batched serving (plan once, sweep many input rows)::
+
+    import numpy as np
+    from repro import run_batch
+
+    plan = result.plan()            # verified lowering, runs once
+    matrix = np.random.uniform(0.9, 1.1, (256, dag.num_inputs))
+    batch = run_batch(plan, matrix)  # vectorized over all 256 rows
 """
 
 from .arch import (
@@ -53,7 +64,15 @@ from .errors import (
     WorkloadError,
 )
 from .graphs import DAG, DAGBuilder, OpType, binarize
-from .sim import Simulator, evaluate_dag, run_program
+from .sim import (
+    BatchSimulator,
+    ExecutionPlan,
+    Simulator,
+    evaluate_dag,
+    lower_program,
+    run_batch,
+    run_program,
+)
 
 __version__ = "1.0.0"
 
@@ -77,6 +96,10 @@ __all__ = [
     "CompileStats",
     "Simulator",
     "run_program",
+    "ExecutionPlan",
+    "lower_program",
+    "BatchSimulator",
+    "run_batch",
     "evaluate_dag",
     "ReproError",
     "GraphError",

@@ -272,6 +272,19 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    def lower(self, interconnect=None, check_addresses=None):
+        """Lower to an :class:`~repro.sim.plan.ExecutionPlan`.
+
+        Phase 1 of the two-phase execution engine: runs the hazard /
+        interconnect / address verification once and returns the flat
+        array-form plan the vectorized batch simulator executes.
+        """
+        from ..sim.plan import lower_program
+
+        return lower_program(
+            self, interconnect=interconnect, check_addresses=check_addresses
+        )
+
     def count_by_mnemonic(self) -> dict[str, int]:
         """Instruction mix, the raw data behind fig. 13."""
         counts: dict[str, int] = {}

@@ -16,13 +16,18 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class PlatformResult:
-    """Throughput estimate of one workload on one platform."""
+    """Throughput estimate of one workload on one platform.
+
+    ``seconds`` covers all ``batch`` inference rows (batch 1 unless
+    produced by :meth:`for_batch`).
+    """
 
     platform: str
     workload: str
     operations: int
     seconds: float
     power_w: float
+    batch: int = 1
 
     @property
     def throughput_gops(self) -> float:
@@ -42,3 +47,29 @@ class PlatformResult:
         energy_per_op_pj = self.energy_j * 1e12 / self.operations
         latency_per_op_ns = self.seconds * 1e9 / self.operations
         return energy_per_op_pj * latency_per_op_ns
+
+    @property
+    def rows_per_second(self) -> float:
+        """Inference rate: independent evaluations of the DAG per
+        second (the batched-serving metric all platforms share)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.batch / self.seconds
+
+    def for_batch(self, batch: int) -> "PlatformResult":
+        """This platform serving a batch of ``batch`` inferences.
+
+        Every modeled platform executes the static program once per
+        input row, so work and time scale linearly; per-row rates and
+        per-op ratios (rows/s, GOPS, EDP) are unchanged.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return PlatformResult(
+            platform=self.platform,
+            workload=self.workload,
+            operations=self.operations * batch,
+            seconds=self.seconds * batch,
+            power_w=self.power_w,
+            batch=self.batch * batch,
+        )

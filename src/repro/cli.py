@@ -93,21 +93,30 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     import random
 
+    import numpy as np
+
     dag = _resolve_workload(args.workload, args.scale)
     config = _parse_config(args.config)
     result = compile_dag(dag, config, seed=args.seed)
+    ops = result.stats.num_operations
+
+    if args.batch < 0:
+        raise SystemExit(
+            f"--batch must be >= 0 (0 disables batching), got {args.batch}"
+        )
+    if args.batch > 0:
+        return _run_batched(args, dag, config, result, ops)
+
     rng = random.Random(args.seed)
     inputs = [rng.uniform(0.9, 1.1) for _ in range(dag.num_inputs)]
     sim = run_program(result.program, inputs)
     golden = evaluate_dag(dag, inputs)
-    import numpy as np
 
     errors = 0
     for node in dag.sinks():
         var = result.node_map[node]
         if not np.isclose(sim.values[var], golden[node], equal_nan=True):
             errors += 1
-    ops = result.stats.num_operations
     gops = ops / (sim.cycles / config.frequency_hz) / 1e9
     print(f"{dag.name}: {sim.cycles} cycles, {gops:.2f} GOPS @"
           f"{config.frequency_hz / 1e6:.0f}MHz")
@@ -116,6 +125,52 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 1
     print(f"verified: all {len(dag.sinks())} outputs match the golden "
           "model")
+    return 0
+
+
+def _run_batched(args, dag: DAG, config, result, ops: int) -> int:
+    """``run --batch N``: plan once, sweep N rows, spot-check golden."""
+    import numpy as np
+
+    from .sim import BatchSimulator, batch_perf_report
+
+    plan = result.plan()  # phase 1: verified lowering
+    rng = np.random.default_rng(args.seed)
+    matrix = rng.uniform(0.9, 1.1, size=(args.batch, dag.num_inputs))
+    batch = BatchSimulator(plan).run(matrix)  # phase 2: vector sweep
+    perf = batch_perf_report(
+        dag.name, config, ops, plan.cycles_per_row, batch.batch,
+        host_seconds=batch.host_seconds,
+    )
+
+    from .graphs import OpType
+
+    errors = 0
+    checked = min(batch.batch, 8)
+    for row in range(checked):
+        golden = evaluate_dag(dag, list(matrix[row]))
+        for node in dag.sinks():
+            if dag.op(node) is OpType.INPUT:
+                continue  # pass-through inputs are never stored
+            var = result.node_map[node]
+            if var not in batch.outputs:
+                errors += 1  # a computed sink must reach data memory
+            elif not np.isclose(
+                batch.outputs[var][row], golden[node], equal_nan=True
+            ):
+                errors += 1
+    print(f"{dag.name}: batch {batch.batch}, {plan.cycles_per_row} "
+          f"cycles/row, {perf.throughput_gops:.2f} GOPS @"
+          f"{config.frequency_hz / 1e6:.0f}MHz "
+          f"({perf.rows_per_second:,.0f} rows/s on device)")
+    print(f"host sweep: {batch.host_seconds * 1e3:.1f}ms "
+          f"({batch.host_rows_per_second:,.0f} rows/s simulated)")
+    if errors:
+        print(f"FAILED: {errors} output mismatches vs golden model "
+              f"across {checked} checked rows")
+        return 1
+    print(f"verified: {checked}/{batch.batch} rows spot-checked against "
+          "the golden model")
     return 0
 
 
@@ -182,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="compile, simulate, verify")
     _add_common(p)
+    p.add_argument(
+        "--batch", type=int, default=0, metavar="N",
+        help="execute N random input rows through the two-phase "
+        "plan/execute engine instead of the scalar reference simulator",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("suite", help="fig. 14-style suite table")

@@ -71,6 +71,31 @@ class CompileResult:
     def total_instructions(self) -> int:
         return len(self.program.instructions)
 
+    def plan(self, interconnect: Interconnect | None = None):
+        """Lower to a verified :class:`~repro.sim.plan.ExecutionPlan`.
+
+        The lowering replays the program against the register-file
+        model with this compilation's read-address predictions, so it
+        doubles as the one-time verification pass; the result is
+        cached per interconnect topology.  Execute it with
+        :class:`~repro.sim.batch.BatchSimulator`.
+        """
+        from ..arch import DEFAULT_TOPOLOGY
+
+        key = (
+            DEFAULT_TOPOLOGY if interconnect is None
+            else interconnect.topology
+        )
+        cache = getattr(self, "_plan_cache", None)
+        if cache is None:
+            cache = self._plan_cache = {}
+        if key not in cache:
+            cache[key] = self.program.lower(
+                interconnect=interconnect,
+                check_addresses=self.allocation.read_addrs,
+            )
+        return cache[key]
+
 
 def compile_dag(
     dag: DAG,

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..arch import ArchConfig, Interconnect, Topology
 from ..compiler import CompileResult, compile_dag
 from ..graphs import DAG
 from ..sim.activity import count_activity
+from ..sim.batch import BatchResult, BatchSimulator
 from ..sim.energy import EnergyReport, energy_of_run
 from ..sim.functional import ActivityCounters
 from ..sim.performance import PerfReport, perf_report
@@ -21,10 +24,18 @@ class Measurement:
     counters: ActivityCounters
     perf: PerfReport
     energy: EnergyReport
+    batch_result: BatchResult | None = None
 
     @property
     def throughput_gops(self) -> float:
         return self.perf.throughput_gops
+
+    @property
+    def host_rows_per_second(self) -> float:
+        """Batched-engine sweep rate (0.0 when measured statically)."""
+        if self.batch_result is None:
+            return 0.0
+        return self.batch_result.host_rows_per_second
 
 
 def measure(
@@ -32,12 +43,18 @@ def measure(
     config: ArchConfig,
     topology: Topology = Topology.OUTPUT_PER_LAYER,
     seed: int = 0,
+    batch: int = 0,
 ) -> Measurement:
     """Compile a workload and derive perf/energy from static activity.
 
     Static activity is exact for this architecture (execution is fully
-    data-independent), so no value-level simulation is needed here;
-    functional correctness is covered by the test suite.
+    data-independent), so the per-inference perf/energy numbers never
+    require value-level simulation.  With ``batch > 0`` the compiled
+    program is additionally lowered to a verified
+    :class:`~repro.sim.plan.ExecutionPlan` and a ``(batch, inputs)``
+    random matrix is executed through the vectorized engine, attaching
+    the :class:`~repro.sim.batch.BatchResult` — this is how the
+    throughput experiments actually exercise the production path.
     """
     result = compile_dag(
         dag, config, topology=topology, seed=seed, validate_input=False
@@ -49,6 +66,16 @@ def measure(
     energy = energy_of_run(
         result.program.config, counters, ops, interconnect
     )
+    batch_result = None
+    if batch > 0:
+        plan = result.plan(interconnect)
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0.9, 1.1, size=(batch, dag.num_inputs))
+        batch_result = BatchSimulator(plan).run(matrix)
     return Measurement(
-        compile_result=result, counters=counters, perf=perf, energy=energy
+        compile_result=result,
+        counters=counters,
+        perf=perf,
+        energy=energy,
+        batch_result=batch_result,
     )

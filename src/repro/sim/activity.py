@@ -65,3 +65,17 @@ def count_activity(
     fetches = -(-total_bits // widths.il)
     counters.instr_bits_fetched = fetches * widths.il
     return counters
+
+
+def batch_counters(
+    program: Program,
+    batch: int,
+    interconnect: Interconnect | None = None,
+) -> ActivityCounters:
+    """Activity totals for ``batch`` back-to-back runs of a program.
+
+    Static execution means the batch totals are exactly the single-run
+    counters scaled by B — the same numbers the batched engine reports
+    on its :class:`~repro.sim.batch.BatchResult`.
+    """
+    return count_activity(program, interconnect).scaled(batch)

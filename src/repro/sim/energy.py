@@ -248,6 +248,31 @@ def energy_of_run(
     )
 
 
+def energy_of_batch(
+    config: ArchConfig,
+    counters: ActivityCounters,
+    operations: int,
+    batch: int,
+    interconnect: Interconnect | None = None,
+) -> EnergyReport:
+    """Energy for a batched execution of ``batch`` rows.
+
+    Args:
+        counters: Single-run activity totals (e.g. from an
+            :class:`~repro.sim.plan.ExecutionPlan`); they are scaled
+            by the batch size here, which is exact because execution
+            is fully static.
+        operations: Arithmetic DAG node count of **one** row.
+        batch: Number of rows in the batch.
+    """
+    return energy_of_run(
+        config,
+        counters.scaled(batch),
+        operations * batch,
+        interconnect,
+    )
+
+
 def paper_power_breakdown_mw() -> dict[str, float]:
     """Table II's published power rows (mW), for report comparisons."""
     return {

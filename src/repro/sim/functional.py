@@ -1,8 +1,19 @@
-"""Architectural simulator: executes a compiled Program cycle by cycle.
+"""Verifying reference simulator: executes a Program cycle by cycle.
 
-This replaces the paper's SystemVerilog RTL + VCS simulation (see the
-substitution table in DESIGN.md).  It executes the same instruction
-stream a real DPU-v2 would, with the same semantics the compiler
+This is the *slow, fully-checked* half of the two-phase execution
+engine.  It replaces the paper's SystemVerilog RTL + VCS simulation
+(see the substitution table in DESIGN.md), executing the instruction
+stream scalar-ly, one input vector at a time, re-verifying the
+compiler's hazard/interconnect/address discipline on every run.  Use
+it to validate compilations and debug the stack.
+
+For throughput work, use the plan-based fast path instead: lower the
+program once with :func:`repro.sim.plan.lower_program` (which runs the
+exact same verification, exactly once) and execute batches with
+:class:`repro.sim.batch.BatchSimulator` — bitwise-identical outputs at
+a fraction of the per-row cost.
+
+The scalar semantics implemented here are the contract the compiler
 assumed:
 
 * one instruction issues per cycle (dense packing + shifter guarantee
@@ -24,6 +35,7 @@ Functional correctness is established by comparing every stored output
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -67,6 +79,21 @@ class ActivityCounters:
     def ops_per_cycle(self) -> float:
         return self.pe_ops / self.cycles if self.cycles else 0.0
 
+    def scaled(self, batch: int) -> "ActivityCounters":
+        """Totals for ``batch`` back-to-back runs of the same program.
+
+        Execution is fully static, so every event count — cycles
+        included — scales exactly linearly with the batch size.
+        """
+        if batch < 1:
+            raise SimulationError(f"batch must be >= 1, got {batch}")
+        return ActivityCounters(
+            **{
+                f.name: getattr(self, f.name) * batch
+                for f in dataclasses.fields(self)
+            }
+        )
+
 
 @dataclass
 class SimResult:
@@ -98,6 +125,20 @@ class Simulator:
         self.config = program.config
         self.interconnect = interconnect or Interconnect(self.config)
         self._widths = instruction_widths(self.config, self.interconnect)
+
+    def lower(self, check_addresses: list[dict[int, int]] | None = None):
+        """Lower to an :class:`~repro.sim.plan.ExecutionPlan`.
+
+        Runs this simulator's full verification once and returns the
+        array-form plan for the vectorized batch engine.
+        """
+        from .plan import lower_program
+
+        return lower_program(
+            self.program,
+            interconnect=self.interconnect,
+            check_addresses=check_addresses,
+        )
 
     def run(
         self,

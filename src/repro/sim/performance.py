@@ -72,6 +72,73 @@ def perf_from_sim(
     return perf_report(workload, config, operations, sim.cycles)
 
 
+@dataclass(frozen=True)
+class BatchPerfReport:
+    """Performance of a batched execution (device model + host sweep).
+
+    The device model runs the static program once per row, so device
+    time is ``batch * cycles_per_row / f``; the host numbers measure
+    the vectorized simulator itself (the fig. 14 experiment speed).
+    """
+
+    workload: str
+    config: str
+    operations: int  # arithmetic ops of ONE row
+    cycles_per_row: int
+    batch: int
+    frequency_hz: float
+    host_seconds: float = 0.0
+
+    @property
+    def total_operations(self) -> int:
+        return self.operations * self.batch
+
+    @property
+    def device_seconds(self) -> float:
+        return self.batch * self.cycles_per_row / self.frequency_hz
+
+    @property
+    def throughput_gops(self) -> float:
+        """Device GOPS — identical to the single-row fig. 14 metric."""
+        if self.device_seconds == 0:
+            return 0.0
+        return self.total_operations / self.device_seconds / 1e9
+
+    @property
+    def rows_per_second(self) -> float:
+        """Device inference rate (rows/s at the modeled frequency)."""
+        if self.cycles_per_row == 0:
+            return 0.0
+        return self.frequency_hz / self.cycles_per_row
+
+    @property
+    def host_rows_per_second(self) -> float:
+        """Simulator sweep rate — the batched-engine speedup metric."""
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.batch / self.host_seconds
+
+
+def batch_perf_report(
+    workload: str,
+    config: ArchConfig,
+    operations: int,
+    cycles_per_row: int,
+    batch: int,
+    host_seconds: float = 0.0,
+) -> BatchPerfReport:
+    """Build a batched report from per-row cycles and a host timing."""
+    return BatchPerfReport(
+        workload=workload,
+        config=str(config),
+        operations=operations,
+        cycles_per_row=cycles_per_row,
+        batch=batch,
+        frequency_hz=config.frequency_hz,
+        host_seconds=host_seconds,
+    )
+
+
 def estimate_cycles_from_program(num_instructions: int, config: ArchConfig) -> int:
     """Cycle count without simulating (stream length + drain).
 

@@ -16,7 +16,7 @@ from repro.arch import (
 )
 from repro.compiler import compile_dag
 from repro.errors import EncodingError, SimulationError
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 class TestDataMemory:

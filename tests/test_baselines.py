@@ -12,7 +12,7 @@ from repro.baselines import (
     scaled_gpu,
     scaled_models,
 )
-from conftest import make_chain_dag, make_random_dag, make_wide_dag
+from repro.testing import make_chain_dag, make_random_dag, make_wide_dag
 
 
 @pytest.fixture(scope="module")

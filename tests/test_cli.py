@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import _parse_config, main
 from repro.graphs import save_json
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 class TestConfigParsing:

@@ -12,7 +12,7 @@ from repro.compiler import (
 )
 from repro.errors import MappingError
 from repro.graphs import OpType, binarize
-from conftest import make_chain_dag, make_random_dag, make_wide_dag
+from repro.testing import make_chain_dag, make_random_dag, make_wide_dag
 
 
 def bdag_of(dag):

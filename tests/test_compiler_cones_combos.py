@@ -16,7 +16,7 @@ from repro.compiler import (
 )
 from repro.errors import CompileError
 from repro.graphs import DAGBuilder, OpType, binarize
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 def binary_dag(seed=1):

@@ -28,7 +28,7 @@ from repro.compiler import (
 )
 from repro.errors import CompileError, ScheduleError
 from repro.graphs import OpType, binarize
-from conftest import make_chain_dag, make_random_dag
+from repro.testing import make_chain_dag, make_random_dag
 
 
 @pytest.fixture(scope="module")

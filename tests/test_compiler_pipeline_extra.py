@@ -14,7 +14,7 @@ from repro.compiler import (
 )
 from repro.graphs import DAGBuilder, OpType, binarize
 from repro.sim import run_program
-from conftest import make_random_dag, random_inputs, reference_values
+from repro.testing import make_random_dag, random_inputs, reference_values
 
 
 class TestKeepFeature:

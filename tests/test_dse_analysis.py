@@ -18,7 +18,7 @@ from repro.dse import (
     run_sweep,
     summarize,
 )
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 @pytest.fixture(scope="module")

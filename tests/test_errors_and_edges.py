@@ -23,7 +23,7 @@ from repro.errors import (
     RegisterFileError,
 )
 from repro.graphs import DAGBuilder
-from conftest import compile_and_verify, make_random_dag
+from repro.testing import compile_and_verify, make_random_dag
 
 
 class TestErrorHierarchy:
@@ -101,7 +101,7 @@ class TestEdgeCaseDags:
     def test_depth_exceeding_config_paths(self):
         # D=1 with long chains: every node is its own block.
         cfg = ArchConfig(depth=1, banks=4, regs_per_bank=8)
-        from conftest import make_chain_dag
+        from repro.testing import make_chain_dag
 
         result, sim = compile_and_verify(make_chain_dag(length=10), cfg)
         assert result.stats.num_blocks >= 10

@@ -22,7 +22,7 @@ from repro.experiments import (
     table3_comparison,
 )
 from repro.experiments.common import measure
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 SMALL = 0.02  # extra-small scale for test speed
 

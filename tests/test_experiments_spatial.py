@@ -9,7 +9,7 @@ from repro.experiments.spatial import (
     utilization_sweep,
 )
 from repro.graphs import DAGBuilder, binarize
-from conftest import make_chain_dag, make_random_dag, make_wide_dag
+from repro.testing import make_chain_dag, make_random_dag, make_wide_dag
 
 
 def full_binary_tree(depth: int):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.graphs import DAGBuilder, OpType, binarization_overhead, binarize
 from repro.sim import evaluate_dag
-from conftest import make_random_dag, random_inputs
+from repro.testing import make_random_dag, random_inputs
 
 
 class TestBinarize:

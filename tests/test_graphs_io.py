@@ -16,7 +16,7 @@ from repro.graphs import (
     to_networkx,
     topological_order,
 )
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 def dags_equal(a, b) -> bool:

@@ -15,7 +15,7 @@ from repro.graphs import (
     partition_topological,
     validate,
 )
-from conftest import make_chain_dag, make_random_dag
+from repro.testing import make_chain_dag, make_random_dag
 
 
 class TestValidate:

@@ -18,7 +18,7 @@ from repro.graphs import (
     topological_order,
     width_profile,
 )
-from conftest import make_chain_dag, make_random_dag, make_wide_dag
+from repro.testing import make_chain_dag, make_random_dag, make_wide_dag
 
 
 @pytest.fixture

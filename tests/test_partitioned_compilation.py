@@ -19,7 +19,7 @@ from repro.graphs import (
     partition_topological,
 )
 from repro.sim import evaluate_dag, run_program
-from conftest import make_random_dag, random_inputs
+from repro.testing import make_random_dag, random_inputs
 
 
 def induced_subdag(
@@ -89,7 +89,7 @@ def test_partitioned_compile_matches_monolithic():
 
 def test_partitioned_compile_on_chain():
     """Serial structure crossing every boundary."""
-    from conftest import make_chain_dag
+    from repro.testing import make_chain_dag
 
     dag = make_chain_dag(length=40)
     inputs = random_inputs(dag, seed=3)

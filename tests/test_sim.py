@@ -14,7 +14,7 @@ from repro.sim import (
     evaluate_outputs,
     run_program,
 )
-from conftest import (
+from repro.testing import (
     compile_and_verify,
     make_chain_dag,
     make_random_dag,

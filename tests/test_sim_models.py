@@ -18,7 +18,7 @@ from repro.sim import (
     perf_report,
 )
 from repro.compiler import compile_dag
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 @pytest.fixture(scope="module")
