@@ -16,7 +16,9 @@ package implements the whole system in Python:
   the paper's Table II;
 * :mod:`repro.baselines` — analytic CPU/GPU/DPU-v1/SPU models;
 * :mod:`repro.dse`       — the 48-point design-space exploration;
-* :mod:`repro.experiments` — one driver per table/figure.
+* :mod:`repro.experiments` — one driver per table/figure;
+* :mod:`repro.runner`    — parallel experiment orchestrator with a
+  content-addressed artifact cache (``repro sweep/all --jobs N``).
 
 Quick start::
 

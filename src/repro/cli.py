@@ -9,7 +9,16 @@ Mirrors the paper artifact's ``run.sh`` workflow:
   throughput table;
 * ``dse``      — run the design-space exploration and print fig. 11's
   optimum corners;
+* ``sweep``    — the same DSE through the parallel orchestrator
+  (``--jobs N``) with the content-addressed artifact cache;
+* ``all``      — every figure/table experiment, fanned out over
+  worker processes;
 * ``encode``   — emit the packed binary program for a DAG.
+
+The evaluation commands (``run``, ``suite``, ``dse``, ``sweep``,
+``all``) share ``--cache-dir``/``--no-cache``: compiled programs and
+lowered execution plans are memoized on disk keyed by content, so a
+warm re-run skips compilation entirely.
 """
 
 from __future__ import annotations
@@ -54,6 +63,46 @@ def _resolve_workload(name_or_path: str, scale: float) -> DAG:
     return build_workload(name_or_path, scale=scale)
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    import os
+
+    from .runner.cache import DEFAULT_CACHE_DIR
+
+    default_dir = os.environ.get("REPRO_CACHE_DIR") or str(DEFAULT_CACHE_DIR)
+    parser.add_argument(
+        "--cache-dir", default=default_dir, metavar="DIR",
+        help="artifact-cache directory (compiled programs and "
+        f"execution plans; default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the artifact cache entirely (no reads, no writes)",
+    )
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the orchestrator (default 1: serial; "
+        "results are identical at any N)",
+    )
+
+
+def _setup_cache(args: argparse.Namespace) -> None:
+    import os
+
+    from .runner.cache import configure_cache
+
+    # REPRO_NO_CACHE disables caching for library use (see
+    # repro.runner.cache); honor it for CLI runs too.
+    disabled = bool(
+        getattr(args, "no_cache", False) or os.environ.get("REPRO_NO_CACHE")
+    )
+    configure_cache(
+        getattr(args, "cache_dir", None), enabled=not disabled
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "workload",
@@ -95,9 +144,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     import numpy as np
 
+    from .runner.cache import cached_compile
+
+    _setup_cache(args)
     dag = _resolve_workload(args.workload, args.scale)
     config = _parse_config(args.config)
-    result = compile_dag(dag, config, seed=args.seed)
+    result = cached_compile(dag, config, seed=args.seed, validate_input=True)
     ops = result.stats.num_operations
 
     if args.batch < 0:
@@ -132,9 +184,10 @@ def _run_batched(args, dag: DAG, config, result, ops: int) -> int:
     """``run --batch N``: plan once, sweep N rows, spot-check golden."""
     import numpy as np
 
+    from .runner.cache import cached_plan
     from .sim import BatchSimulator, batch_perf_report
 
-    plan = result.plan()  # phase 1: verified lowering
+    plan = cached_plan(result)  # phase 1: verified lowering (memoized)
     rng = np.random.default_rng(args.seed)
     matrix = rng.uniform(0.9, 1.1, size=(args.batch, dag.num_inputs))
     batch = BatchSimulator(plan).run(matrix)  # phase 2: vector sweep
@@ -178,6 +231,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from .analysis import format_table
     from .experiments.common import measure
 
+    _setup_cache(args)
     config = _parse_config(args.config)
     rows = []
     for name in workload_names(("pc", "sptrsv")):
@@ -203,11 +257,62 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_dse(args: argparse.Namespace) -> int:
-    from .experiments import fig11_dse
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Fig. 11 DSE through the parallel orchestrator + artifact cache.
 
-    experiment = fig11_dse.run(scale=args.scale, seed=args.seed)
+    Also serves the ``dse`` subcommand (same wiring, no
+    ``--workloads`` flag).
+    """
+    from .errors import WorkloadError
+    from .experiments import fig11_dse
+    from .workloads import get_spec
+
+    _setup_cache(args)
+    requested = tuple(
+        name.strip()
+        for name in getattr(args, "workloads", "").split(",")
+        if name.strip()
+    )
+    names = requested or fig11_dse.DEFAULT_DSE_WORKLOADS
+    for name in names:
+        try:
+            get_spec(name)
+        except WorkloadError as exc:
+            raise SystemExit(str(exc))
+    experiment = fig11_dse.run(
+        workload_names=names,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        progress=sys.stderr.isatty(),
+    )
     print(fig11_dse.render(experiment))
+    return 0
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    """Every figure/table experiment, fanned out over worker processes."""
+    from .runner.registry import experiment_names, run_all
+
+    _setup_cache(args)
+    only = args.only.split(",") if args.only else None
+    if only:
+        unknown = [n for n in only if n not in experiment_names()]
+        if unknown:
+            raise SystemExit(
+                f"unknown experiments {unknown}; choose from: "
+                + ", ".join(experiment_names())
+            )
+    runs = run_all(
+        names=only,
+        jobs=args.jobs,
+        golden=args.quick,
+        progress=sys.stderr.isatty(),
+    )
+    for name, run in runs.items():
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(run.rendered)
+        print()
     return 0
 
 
@@ -242,18 +347,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute N random input rows through the two-phase "
         "plan/execute engine instead of the scalar reference simulator",
     )
+    _add_cache_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("suite", help="fig. 14-style suite table")
     p.add_argument("--config", default="D3-B64-R32")
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_args(p)
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("dse", help="fig. 11 design-space exploration")
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=0)
-    p.set_defaults(func=cmd_dse)
+    _add_jobs_arg(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "sweep",
+        help="fig. 11 DSE via the parallel orchestrator + artifact cache",
+    )
+    p.add_argument(
+        "--workloads", default="", metavar="A,B,...",
+        help="comma-separated Table-I workload names "
+        "(default: the fig. 11 set)",
+    )
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "all", help="run every figure/table experiment"
+    )
+    p.add_argument(
+        "--only", default="", metavar="A,B,...",
+        help="comma-separated experiment names (see repro.runner)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced-scale parameters (the regression-test goldens)",
+    )
+    _add_jobs_arg(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_all)
 
     p = sub.add_parser("encode", help="emit the packed binary program")
     _add_common(p)

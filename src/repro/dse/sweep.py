@@ -9,11 +9,15 @@ over the workloads").
 
 from __future__ import annotations
 
-import statistics
+from collections.abc import Callable
 from dataclasses import dataclass
 
+# fmean is the math.fsum-based mean: exactly rounded, so the result
+# cannot depend on how parallel workers happened to order the
+# summands.
+from statistics import fmean
+
 from ..arch import ArchConfig, Interconnect, dse_grid
-from ..compiler import compile_dag
 from ..graphs import DAG
 from ..sim.activity import count_activity
 from ..sim.energy import EnergyReport, energy_of_run
@@ -68,11 +72,40 @@ def evaluate_config(
     config: ArchConfig, workloads: dict[str, DAG], seed: int = 0
 ) -> DsePoint:
     """Compile + statically evaluate all workloads on one config."""
+    from ..arch import DEFAULT_TOPOLOGY
+    from ..runner.cache import NullCache, cached_compile, get_cache
+    from ..runner.fingerprint import compile_key, metrics_key
+
+    cache = get_cache()
+    caching = not isinstance(cache, NullCache)
+    # The metrics key must mirror the cached_compile call below
+    # exactly, so spell out the options once and use them for both.
+    topology = DEFAULT_TOPOLOGY
+    mapping_strategy = "conflict_aware"
     latencies: list[float] = []
     energies: list[float] = []
-    for dag in workloads.values():
-        result = compile_dag(
-            dag, config, seed=seed, validate_input=False
+    # Sort by name so the averaging order is a property of the
+    # workload *set*, not of the caller's dict insertion order.
+    for _, dag in sorted(workloads.items()):
+        mkey = ""
+        if caching:
+            # Memoize the two derived floats on top of the compile
+            # key: a warm sweep then never loads program artifacts.
+            mkey = metrics_key(
+                compile_key(dag, config, topology, seed, mapping_strategy)
+            )
+            cached = cache.get(mkey)
+            if isinstance(cached, tuple) and len(cached) == 2:
+                latency, energy = cached
+                latencies.append(latency)
+                energies.append(energy)
+                continue
+        result = cached_compile(
+            dag,
+            config,
+            topology=topology,
+            seed=seed,
+            mapping_strategy=mapping_strategy,
         )
         interconnect = Interconnect(result.program.config)
         counters = count_activity(result.program, interconnect)
@@ -82,21 +115,56 @@ def evaluate_config(
             result.stats.num_operations,
             interconnect,
         )
-        latencies.append(report.latency_per_op_ns)
-        energies.append(report.energy_per_op_pj)
+        latency = report.latency_per_op_ns
+        energy = report.energy_per_op_pj
+        if caching:
+            cache.put(mkey, (latency, energy))
+        latencies.append(latency)
+        energies.append(energy)
     return DsePoint(
         config=config,
-        latency_per_op_ns=statistics.mean(latencies),
-        energy_per_op_pj=statistics.mean(energies),
+        latency_per_op_ns=fmean(latencies),
+        energy_per_op_pj=fmean(energies),
     )
+
+
+def _sweep_chunk(
+    args: tuple[list[ArchConfig], dict[str, DAG], int]
+) -> list[DsePoint]:
+    chunk, workloads, seed = args
+    return [evaluate_config(cfg, workloads, seed=seed) for cfg in chunk]
 
 
 def run_sweep(
     workloads: dict[str, DAG],
     configs: list[ArchConfig] | None = None,
     seed: int = 0,
+    jobs: int | None = None,
+    progress: bool | Callable[[int, int], None] = False,
 ) -> DseResult:
-    """Run the 48-point sweep (or a custom config list)."""
+    """Run the 48-point sweep (or a custom config list).
+
+    ``jobs`` fans the grid out over worker processes through
+    :func:`repro.runner.parallel_map`.  Grid points are shipped in
+    contiguous chunks (a few per worker) so the workload DAGs are
+    pickled O(jobs) times rather than O(points); chunks merge back in
+    grid order, so every :class:`DsePoint` is bitwise-identical to
+    the serial path's.
+    """
+    from ..runner.orchestrator import default_jobs, parallel_map
+
     grid = configs if configs is not None else dse_grid()
-    points = [evaluate_config(cfg, workloads, seed=seed) for cfg in grid]
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    chunk_size = max(1, -(-len(grid) // (jobs * 4)))
+    chunks = [
+        grid[i : i + chunk_size] for i in range(0, len(grid), chunk_size)
+    ]
+    results = parallel_map(
+        _sweep_chunk,
+        [(chunk, workloads, seed) for chunk in chunks],
+        jobs=jobs,
+        progress=progress,
+        desc="dse sweep",
+    )
+    points = [point for chunk in results for point in chunk]
     return DseResult(points=points, workloads=sorted(workloads))

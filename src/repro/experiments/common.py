@@ -7,8 +7,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arch import ArchConfig, Interconnect, Topology
-from ..compiler import CompileResult, compile_dag
+from ..compiler import CompileResult
 from ..graphs import DAG
+from ..runner.cache import cached_compile, cached_plan
 from ..sim.activity import count_activity
 from ..sim.batch import BatchResult, BatchSimulator
 from ..sim.energy import EnergyReport, energy_of_run
@@ -56,7 +57,7 @@ def measure(
     the :class:`~repro.sim.batch.BatchResult` — this is how the
     throughput experiments actually exercise the production path.
     """
-    result = compile_dag(
+    result = cached_compile(
         dag, config, topology=topology, seed=seed, validate_input=False
     )
     interconnect = Interconnect(result.program.config, topology)
@@ -68,7 +69,7 @@ def measure(
     )
     batch_result = None
     if batch > 0:
-        plan = result.plan(interconnect)
+        plan = cached_plan(result, interconnect)
         rng = np.random.default_rng(seed)
         matrix = rng.uniform(0.9, 1.1, size=(batch, dag.num_inputs))
         batch_result = BatchSimulator(plan).run(matrix)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..baselines import CPUModel, GPUModel
+from ..runner.orchestrator import parallel_map
 from ..workloads.pc import PCParams, generate_pc
 
 
@@ -37,29 +38,33 @@ class MotivationResult:
         return None
 
 
+def _point(args: tuple[int, int]) -> MotivationPoint:
+    size, seed = args
+    cpu = CPUModel()
+    gpu = GPUModel()
+    depth = max(int(size ** 0.33), 8)
+    params = PCParams(
+        num_vars=max(int(size**0.5 / 2), 4),
+        target_nodes=size,
+        depth=depth,
+        seed=seed,
+    )
+    dag = generate_pc(params, name=f"pc{size}")
+    return MotivationPoint(
+        nodes=dag.num_nodes,
+        cpu_gops=cpu.run(dag).throughput_gops,
+        gpu_gops=gpu.run(dag).throughput_gops,
+    )
+
+
 def run(
     sizes: tuple[int, ...] = (1_000, 5_000, 20_000, 60_000, 150_000, 400_000),
     seed: int = 42,
+    jobs: int | None = None,
 ) -> MotivationResult:
-    cpu = CPUModel()
-    gpu = GPUModel()
-    points: list[MotivationPoint] = []
-    for size in sizes:
-        depth = max(int(size ** 0.33), 8)
-        params = PCParams(
-            num_vars=max(int(size**0.5 / 2), 4),
-            target_nodes=size,
-            depth=depth,
-            seed=seed,
-        )
-        dag = generate_pc(params, name=f"pc{size}")
-        points.append(
-            MotivationPoint(
-                nodes=dag.num_nodes,
-                cpu_gops=cpu.run(dag).throughput_gops,
-                gpu_gops=gpu.run(dag).throughput_gops,
-            )
-        )
+    points = parallel_map(
+        _point, [(size, seed) for size in sizes], jobs=jobs, desc="fig01"
+    )
     return MotivationResult(points=points)
 
 

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..graphs import binarize
+from ..graphs import DAG, binarize
+from ..runner.orchestrator import parallel_map
 from ..workloads import build_workload
 from .spatial import UtilizationPoint, utilization_sweep
 
@@ -15,16 +16,27 @@ class UtilizationResult:
     points: list[UtilizationPoint]
 
 
+def _point(args: tuple[DAG, int]) -> UtilizationPoint:
+    bdag, n = args
+    return utilization_sweep(bdag, (n,))[0]
+
+
 def run(
     workload: str = "tretail",
     scale: float = 0.05,
     input_counts: tuple[int, ...] = (2, 4, 8, 16),
+    jobs: int | None = None,
 ) -> UtilizationResult:
     dag = build_workload(workload, scale=scale)
     bdag = binarize(dag).dag
     return UtilizationResult(
         workload=workload,
-        points=utilization_sweep(bdag, input_counts),
+        points=parallel_map(
+            _point,
+            [(bdag, n) for n in input_counts],
+            jobs=jobs,
+            desc="fig03",
+        ),
     )
 
 

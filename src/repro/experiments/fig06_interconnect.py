@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch import ArchConfig, MIN_EDP_CONFIG, Topology
+from ..graphs import DAG
+from ..runner.orchestrator import parallel_map
 from ..workloads import DEFAULT_SCALE, build_suite
 from .common import measure
 
@@ -36,22 +38,34 @@ TOPOLOGIES = (
 )
 
 
+def _cell(args: tuple[DAG, ArchConfig, Topology, int]) -> tuple[int, int]:
+    dag, config, topology, seed = args
+    m = measure(dag, config, topology=topology, seed=seed)
+    return m.compile_result.stats.bank_conflicts, m.counters.cycles
+
+
 def run(
     config: ArchConfig = MIN_EDP_CONFIG,
     scale: float = DEFAULT_SCALE,
     groups: tuple[str, ...] = ("pc", "sptrsv"),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> InterconnectResult:
     suite = build_suite(groups=groups, scale=scale)
+    tasks = [
+        (dag, config, topology, seed)
+        for topology in TOPOLOGIES
+        for dag in suite.values()
+    ]
+    cells = parallel_map(_cell, tasks, jobs=jobs, desc="fig06")
     totals: dict[Topology, tuple[int, int]] = {}
-    for topology in TOPOLOGIES:
-        conflicts = 0
-        cycles = 0
-        for dag in suite.values():
-            m = measure(dag, config, topology=topology, seed=seed)
-            conflicts += m.compile_result.stats.bank_conflicts
-            cycles += m.counters.cycles
-        totals[topology] = (conflicts, cycles)
+    per_topology = len(suite)
+    for i, topology in enumerate(TOPOLOGIES):
+        chunk = cells[i * per_topology : (i + 1) * per_topology]
+        totals[topology] = (
+            sum(c for c, _ in chunk),
+            sum(cy for _, cy in chunk),
+        )
     base_conflicts, base_cycles = totals[Topology.CROSSBAR_BOTH]
     # Our mapper often reaches *zero* conflicts on the full crossbar
     # (the paper's (a) is its 1x reference); fall back to design (b)

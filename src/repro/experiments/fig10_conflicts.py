@@ -14,6 +14,9 @@ from dataclasses import dataclass
 from ..analysis import OccupancyProfile, occupancy_profile
 from ..arch import ArchConfig, MIN_EDP_CONFIG
 from ..compiler import compile_dag
+from ..graphs import DAG
+from ..runner.cache import cached_compile
+from ..runner.orchestrator import parallel_map
 from ..workloads import DEFAULT_SCALE, build_workload
 
 
@@ -30,27 +33,33 @@ class ConflictComparison:
         return self.random / self.ours
 
 
+def _conflicts_of(args: tuple[DAG, ArchConfig, int, str]) -> int:
+    dag, config, seed, strategy = args
+    result = cached_compile(
+        dag, config, seed=seed, mapping_strategy=strategy
+    )
+    return result.stats.bank_conflicts
+
+
 def run_conflicts(
     workload: str = "mnist",
     config: ArchConfig = MIN_EDP_CONFIG,
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> ConflictComparison:
     """fig. 10(b): ours vs random bank allocation."""
     dag = build_workload(workload, scale=scale)
-    ours = compile_dag(
-        dag, config, seed=seed, mapping_strategy="conflict_aware",
-        validate_input=False,
+    ours, rnd = parallel_map(
+        _conflicts_of,
+        [
+            (dag, config, seed, "conflict_aware"),
+            (dag, config, seed, "random"),
+        ],
+        jobs=jobs,
+        desc="fig10b",
     )
-    rnd = compile_dag(
-        dag, config, seed=seed, mapping_strategy="random",
-        validate_input=False,
-    )
-    return ConflictComparison(
-        workload=workload,
-        ours=ours.stats.bank_conflicts,
-        random=rnd.stats.bank_conflicts,
-    )
+    return ConflictComparison(workload=workload, ours=ours, random=rnd)
 
 
 @dataclass(frozen=True)
@@ -62,11 +71,21 @@ class OccupancyResult:
     spills: int
 
 
+def _traced_compile(args: tuple[DAG, ArchConfig, int]):
+    dag, config, seed = args
+    # Occupancy traces are bulky and cheap to regenerate, so this
+    # path deliberately bypasses the artifact cache.
+    return compile_dag(
+        dag, config, seed=seed, trace_occupancy=True, validate_input=False
+    )
+
+
 def run_occupancy(
     workload: str = "msweb",
     scale: float = DEFAULT_SCALE,
     regs_per_bank: int = 8,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> OccupancyResult:
     """fig. 10(c)/(d): occupancy without and with register spilling.
 
@@ -79,13 +98,11 @@ def run_occupancy(
     limited = dataclasses.replace(
         unconstrained, regs_per_bank=regs_per_bank
     )
-    free = compile_dag(
-        dag, unconstrained, seed=seed, trace_occupancy=True,
-        validate_input=False,
-    )
-    capped = compile_dag(
-        dag, limited, seed=seed, trace_occupancy=True,
-        validate_input=False,
+    free, capped = parallel_map(
+        _traced_compile,
+        [(dag, unconstrained, seed), (dag, limited, seed)],
+        jobs=jobs,
+        desc="fig10cd",
     )
     return OccupancyResult(
         workload=workload,

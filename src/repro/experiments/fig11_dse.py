@@ -33,11 +33,13 @@ def run(
     workload_names: tuple[str, ...] = DEFAULT_DSE_WORKLOADS,
     scale: float = 0.2,
     seed: int = 0,
+    jobs: int | None = None,
+    progress: bool = False,
 ) -> DseExperiment:
     workloads = {
         name: build_workload(name, scale=scale) for name in workload_names
     }
-    result = run_sweep(workloads, seed=seed)
+    result = run_sweep(workloads, seed=seed, jobs=jobs, progress=progress)
     return DseExperiment(result=result, summary=summarize(result))
 
 

@@ -6,7 +6,9 @@ from dataclasses import dataclass
 
 from ..analysis import InstructionBreakdown, instruction_breakdown
 from ..arch import ArchConfig, MIN_EDP_CONFIG
-from ..compiler import compile_dag
+from ..graphs import DAG
+from ..runner.cache import cached_compile
+from ..runner.orchestrator import parallel_map
 from ..workloads import DEFAULT_SCALE, build_suite
 
 
@@ -15,17 +17,26 @@ class BreakdownResult:
     rows: list[InstructionBreakdown]
 
 
+def _row(args: tuple[DAG, ArchConfig, int]) -> InstructionBreakdown:
+    dag, config, seed = args
+    result = cached_compile(dag, config, seed=seed)
+    return instruction_breakdown(result.program)
+
+
 def run(
     config: ArchConfig = MIN_EDP_CONFIG,
     scale: float = DEFAULT_SCALE,
     groups: tuple[str, ...] = ("pc", "sptrsv"),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> BreakdownResult:
     suite = build_suite(groups=groups, scale=scale)
-    rows = []
-    for dag in suite.values():
-        result = compile_dag(dag, config, seed=seed, validate_input=False)
-        rows.append(instruction_breakdown(result.program))
+    rows = parallel_map(
+        _row,
+        [(dag, config, seed) for dag in suite.values()],
+        jobs=jobs,
+        desc="fig13",
+    )
     return BreakdownResult(rows=rows)
 
 

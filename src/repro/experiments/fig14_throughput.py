@@ -33,8 +33,10 @@ from ..baselines import (
     scaled_gpu,
     scaled_models,
 )
+from ..graphs import DAG
+from ..runner.orchestrator import parallel_map
 from ..workloads import DEFAULT_SCALE, build_suite
-from .common import measure
+from .common import Measurement, measure
 
 
 @dataclass(frozen=True)
@@ -63,11 +65,17 @@ class ThroughputResult:
         return self.geomean("DPU-v2") / self.geomean(platform)
 
 
+def _measure_task(args: tuple[DAG, ArchConfig, int, int]) -> Measurement:
+    dag, config, seed, batch = args
+    return measure(dag, config, seed=seed, batch=batch)
+
+
 def run_small(
     config: ArchConfig = MIN_EDP_CONFIG,
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
     batch: int = 64,
+    jobs: int | None = None,
 ) -> ThroughputResult:
     """fig. 14(a): PC + SpTRSV suite, executed via the batched engine."""
     suite = build_suite(groups=("pc", "sptrsv"), scale=scale)
@@ -77,8 +85,13 @@ def run_small(
     edps: list[float] = []
     host_rates: list[float] = []
     base_edp: dict[str, list[float]] = {"DPU": [], "CPU": [], "GPU": []}
-    for name, dag in suite.items():
-        m = measure(dag, config, seed=seed, batch=batch)
+    measured = parallel_map(
+        _measure_task,
+        [(dag, config, seed, batch) for dag in suite.values()],
+        jobs=jobs,
+        desc="fig14a",
+    )
+    for (name, dag), m in zip(suite.items(), measured):
         if m.host_rows_per_second > 0:
             host_rates.append(m.host_rows_per_second)
         gops = {
@@ -114,6 +127,7 @@ def run_large(
     cores: int = 4,
     seed: int = 0,
     batch: int = 16,
+    jobs: int | None = None,
 ) -> ThroughputResult:
     """fig. 14(b): large PCs on the 4-core DPU-v2 (L) vs SPU et al.
 
@@ -130,8 +144,13 @@ def run_large(
     powers: list[float] = []
     edps: list[float] = []
     host_rates: list[float] = []
-    for name, dag in suite.items():
-        m = measure(dag, config, seed=seed, batch=batch)
+    measured = parallel_map(
+        _measure_task,
+        [(dag, config, seed, batch) for dag in suite.values()],
+        jobs=jobs,
+        desc="fig14b",
+    )
+    for (name, dag), m in zip(suite.items(), measured):
         if m.host_rows_per_second > 0:
             host_rates.append(m.host_rows_per_second)
         gops = {

@@ -9,8 +9,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch import ArchConfig, Interconnect, MIN_EDP_CONFIG
-from ..compiler import FootprintReport, compile_dag, footprint_report
-from ..graphs import binarize
+from ..compiler import FootprintReport, footprint_report
+from ..graphs import DAG, binarize
+from ..runner.cache import cached_compile
+from ..runner.orchestrator import parallel_map
 from ..workloads import DEFAULT_SCALE, build_suite
 
 
@@ -33,22 +35,31 @@ class FootprintResult:
         return sum(r.report.vs_csr_saving for r in self.rows) / len(self.rows)
 
 
+def _row(args: tuple[str, DAG, ArchConfig, int]) -> FootprintRow:
+    name, dag, config, seed = args
+    result = cached_compile(dag, config, seed=seed)
+    interconnect = Interconnect(result.program.config)
+    bdag = binarize(dag).dag
+    report = footprint_report(
+        result.program, bdag, result.allocation.read_addrs, interconnect
+    )
+    return FootprintRow(workload=name, report=report)
+
+
 def run(
     config: ArchConfig = MIN_EDP_CONFIG,
     scale: float = DEFAULT_SCALE,
     groups: tuple[str, ...] = ("pc", "sptrsv"),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> FootprintResult:
     suite = build_suite(groups=groups, scale=scale)
-    rows = []
-    for name, dag in suite.items():
-        result = compile_dag(dag, config, seed=seed, validate_input=False)
-        interconnect = Interconnect(result.program.config)
-        bdag = binarize(dag).dag
-        report = footprint_report(
-            result.program, bdag, result.allocation.read_addrs, interconnect
-        )
-        rows.append(FootprintRow(workload=name, report=report))
+    rows = parallel_map(
+        _row,
+        [(name, dag, config, seed) for name, dag in suite.items()],
+        jobs=jobs,
+        desc="footprint",
+    )
     return FootprintResult(rows=rows)
 
 

@@ -15,6 +15,8 @@ import statistics
 from dataclasses import dataclass
 
 from ..arch import ArchConfig, MIN_EDP_CONFIG
+from ..graphs import DAG
+from ..runner.orchestrator import parallel_map
 from ..sim.area import AreaBreakdown, area_of, paper_area_breakdown_mm2
 from ..sim.energy import paper_power_breakdown_mw
 from ..workloads import DEFAULT_SCALE, build_suite
@@ -38,18 +40,32 @@ class Table2Result:
         return sum(self.paper_power_mw.values())
 
 
+def _component_mw(args: tuple[DAG, ArchConfig, int]) -> dict[str, float]:
+    dag, config, seed = args
+    m = measure(dag, config, seed=seed)
+    seconds = m.counters.cycles / config.frequency_hz
+    return {
+        comp: pj * 1e-12 / seconds * 1e3
+        for comp, pj in m.energy.breakdown.as_dict().items()
+    }
+
+
 def run(
     config: ArchConfig = MIN_EDP_CONFIG,
     scale: float = DEFAULT_SCALE,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> Table2Result:
     suite = build_suite(scale=scale)
+    per_workload = parallel_map(
+        _component_mw,
+        [(dag, config, seed) for dag in suite.values()],
+        jobs=jobs,
+        desc="table2",
+    )
     component_power: dict[str, list[float]] = {}
-    for dag in suite.values():
-        m = measure(dag, config, seed=seed)
-        seconds = m.counters.cycles / config.frequency_hz
-        for comp, pj in m.energy.breakdown.as_dict().items():
-            mw = pj * 1e-12 / seconds * 1e3
+    for breakdown in per_workload:
+        for comp, mw in breakdown.items():
             component_power.setdefault(comp, []).append(mw)
     power = {
         comp: statistics.mean(vals) for comp, vals in component_power.items()

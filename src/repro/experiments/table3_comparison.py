@@ -47,11 +47,14 @@ class Table3Result:
 
 
 def run(
-    scale: float = DEFAULT_SCALE, large_scale: float = 0.01, seed: int = 0
+    scale: float = DEFAULT_SCALE,
+    large_scale: float = 0.01,
+    seed: int = 0,
+    jobs: int | None = None,
 ) -> Table3Result:
     return Table3Result(
-        small=run_small(scale=scale, seed=seed),
-        large=run_large(scale=large_scale, seed=seed),
+        small=run_small(scale=scale, seed=seed, jobs=jobs),
+        large=run_large(scale=large_scale, seed=seed, jobs=jobs),
         small_area_mm2=area_of(MIN_EDP_CONFIG).total_mm2,
         large_area_mm2=4 * area_of(LARGE_CORE_CONFIG).total_mm2,
     )

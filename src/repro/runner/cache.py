@@ -1,0 +1,308 @@
+"""Content-addressed on-disk artifact cache for compiled programs.
+
+The cache memoizes the two expensive phases of the evaluation across
+processes and invocations:
+
+* ``compile_dag`` results (:class:`~repro.compiler.CompileResult`),
+  keyed by :func:`repro.runner.fingerprint.compile_key`;
+* lowered :class:`~repro.sim.plan.ExecutionPlan` artifacts, keyed per
+  interconnect topology on top of the compile key.
+
+Artifacts are pickled to ``<dir>/<k[:2]>/<key>.pkl`` via an atomic
+tmp-file + :func:`os.replace`, so concurrent workers racing on the
+same key at worst redo the work — they never observe a torn file.  A
+corrupted or truncated artifact is treated as a miss (and unlinked),
+never an error: the cache must always be safe to delete, truncate or
+share.
+
+Because the compile key is invariant under node renumbering, a hit
+may come from a structurally identical DAG with permuted node ids.
+The payload therefore stores the ``node -> variable`` map keyed by
+*structural node digest*, and :func:`cached_compile` re-derives the
+requesting DAG's ``node_map`` from its own digests on every hit
+(nodes with equal digests compute equal values, so any representative
+variable is correct).
+
+The process-wide default cache is configured with
+:func:`configure_cache` (or the ``REPRO_CACHE_DIR`` /
+``REPRO_NO_CACHE`` environment variables, which is also how the
+orchestrator's worker processes inherit it); the library default is
+*no caching* so that plain API use never touches the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..arch import DEFAULT_TOPOLOGY, Interconnect, Topology
+from ..compiler import CompileResult, compile_dag
+from ..graphs import DAG, OpType
+from .fingerprint import compile_key, node_digests, plan_key
+
+#: Default location used by the CLI when ``--cache-dir`` is omitted.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-dpu-v2"
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class NullCache:
+    """Cache stand-in that stores nothing and never hits."""
+
+    def get(self, key: str):
+        return None
+
+    def put(self, key: str, payload) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "NullCache()"
+
+
+class ArtifactCache:
+    """Content-addressed pickle store under one directory."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Load a payload, treating any malformed artifact as a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, foreign file, unpicklable schema drift:
+            # drop the artifact and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload) -> None:
+        """Atomically persist a payload; IO failures are non-fatal."""
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=_PICKLE_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*/*.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used artifacts down to ``max_bytes``.
+
+        Returns the number of artifacts removed.  Uses ``st_mtime`` as
+        the recency signal (``get`` does not touch mtimes, so this is
+        write-recency — good enough for bounding a scratch dir).
+        """
+        entries = [(p, p.stat()) for p in self.entries()]
+        entries.sort(key=lambda e: e[1].st_mtime)
+        total = sum(st.st_size for _, st in entries)
+        removed = 0
+        for path, st in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= st.st_size
+            removed += 1
+        return removed
+
+    def clear(self) -> None:
+        for path in self.entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ArtifactCache({str(self.directory)!r})"
+
+
+# ---------------------------------------------------------------------
+# Process-wide default cache
+# ---------------------------------------------------------------------
+_default_cache: ArtifactCache | NullCache | None = None
+
+
+def configure_cache(
+    directory: str | os.PathLike | None, enabled: bool = True
+) -> ArtifactCache | NullCache:
+    """Set the process-wide default cache and return it.
+
+    ``configure_cache(None)`` or ``enabled=False`` disables caching.
+    """
+    global _default_cache
+    if not enabled or directory is None:
+        _default_cache = NullCache()
+    else:
+        _default_cache = ArtifactCache(directory)
+    return _default_cache
+
+
+def get_cache() -> ArtifactCache | NullCache:
+    """The default cache, resolved lazily from the environment.
+
+    Resolution order: an explicit :func:`configure_cache` call, then
+    ``REPRO_NO_CACHE`` (truthy disables), then ``REPRO_CACHE_DIR``,
+    else caching is off.
+    """
+    global _default_cache
+    if _default_cache is None:
+        if os.environ.get("REPRO_NO_CACHE"):
+            _default_cache = NullCache()
+        elif os.environ.get("REPRO_CACHE_DIR"):
+            _default_cache = ArtifactCache(os.environ["REPRO_CACHE_DIR"])
+        else:
+            _default_cache = NullCache()
+    return _default_cache
+
+
+def cache_env(cache: ArtifactCache | NullCache | None = None) -> dict:
+    """Environment overrides that make a worker process inherit
+    ``cache`` (used by the orchestrator's pool initializer)."""
+    cache = cache if cache is not None else get_cache()
+    if isinstance(cache, ArtifactCache):
+        return {"REPRO_CACHE_DIR": str(cache.directory), "REPRO_NO_CACHE": ""}
+    return {"REPRO_CACHE_DIR": "", "REPRO_NO_CACHE": "1"}
+
+
+# ---------------------------------------------------------------------
+# Memoized compile + plan lowering
+# ---------------------------------------------------------------------
+def cached_compile(
+    dag: DAG,
+    config,
+    topology: Topology = DEFAULT_TOPOLOGY,
+    seed: int = 0,
+    mapping_strategy: str = "conflict_aware",
+    validate_input: bool = False,
+    keep: frozenset[int] | set[int] | tuple[int, ...] = (),
+    cache: ArtifactCache | NullCache | None = None,
+) -> CompileResult:
+    """``compile_dag`` memoized through the artifact cache.
+
+    Semantically identical to :func:`repro.compiler.compile_dag` for
+    every supported argument combination; ``trace_occupancy`` runs are
+    deliberately not cached (call ``compile_dag`` directly for those).
+    On a hit the stored result's ``node_map`` is re-derived for the
+    requesting DAG via structural node digests, so hits are valid even
+    when the caller's node numbering differs from the original
+    compilation's.
+    """
+    cache = cache if cache is not None else get_cache()
+    if isinstance(cache, NullCache):
+        return compile_dag(
+            dag,
+            config,
+            topology=topology,
+            seed=seed,
+            mapping_strategy=mapping_strategy,
+            validate_input=validate_input,
+            keep=keep,
+        )
+    digests = node_digests(dag)
+    keep_digests = tuple(
+        digests[node] for node in keep if dag.op(node) is not OpType.INPUT
+    )
+    key = compile_key(
+        dag,
+        config,
+        topology,
+        seed,
+        mapping_strategy,
+        keep_digests=keep_digests,
+        digests=digests,
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        try:
+            result: CompileResult = payload["result"]
+            var_by_digest: dict[bytes, int] = payload["var_by_digest"]
+            node_map = tuple(var_by_digest[d] for d in digests)
+            result.node_map = node_map
+        except (KeyError, TypeError, AttributeError):
+            payload = None  # schema drift — recompile below
+        else:
+            result.cache_key = key
+            return result
+    result = compile_dag(
+        dag,
+        config,
+        topology=topology,
+        seed=seed,
+        mapping_strategy=mapping_strategy,
+        validate_input=validate_input,
+        keep=keep,
+    )
+    cache.put(
+        key,
+        {
+            "result": result,
+            "var_by_digest": dict(zip(digests, result.node_map)),
+        },
+    )
+    result.cache_key = key
+    return result
+
+
+def cached_plan(
+    result: CompileResult,
+    interconnect: Interconnect | None = None,
+    cache: ArtifactCache | NullCache | None = None,
+):
+    """Memoized :meth:`CompileResult.plan` lowering.
+
+    Falls back to a live lowering when the result did not come through
+    :func:`cached_compile` (no ``cache_key``) or caching is off.
+    """
+    cache = cache if cache is not None else get_cache()
+    base_key = getattr(result, "cache_key", None)
+    if isinstance(cache, NullCache) or base_key is None:
+        return result.plan(interconnect)
+    topology = (
+        DEFAULT_TOPOLOGY if interconnect is None else interconnect.topology
+    )
+    key = plan_key(base_key, topology)
+    plan = cache.get(key)
+    if plan is None:
+        plan = result.plan(interconnect)
+        cache.put(key, plan)
+    return plan

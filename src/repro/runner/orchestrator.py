@@ -1,0 +1,148 @@
+"""Process-pool fan-out with deterministic merge order.
+
+:func:`parallel_map` is the one primitive every sweep and figure
+driver is built on: it runs ``fn`` over ``items`` on ``jobs`` worker
+processes and returns results **in item order**, so a parallel run is
+bit-identical to the serial one regardless of completion order.
+
+Design points:
+
+* ``jobs=1`` (the default) runs inline — no pool, no pickling — so
+  library callers and most tests pay nothing for the capability;
+* workers are initialized with the parent's cache configuration
+  (:func:`repro.runner.cache.cache_env`), so all workers share one
+  content-addressed artifact store on disk;
+* progress is reported through a callback (or ``progress=True`` for a
+  stderr ticker) as completions arrive, while the returned list stays
+  deterministically ordered;
+* a worker exception cancels the remaining tasks and re-raises in the
+  parent — partial results are never silently merged.
+
+``fn`` and every item must be picklable (module-level functions and
+plain data) when ``jobs > 1``; that is the usual multiprocessing
+contract and every driver in :mod:`repro.experiments` follows it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from .cache import cache_env, configure_cache
+
+def default_jobs() -> int:
+    """Fallback worker count: ``REPRO_JOBS`` env, else 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _init_worker(env: dict[str, str]) -> None:
+    """Pool initializer: adopt the parent's cache configuration."""
+    for name, value in env.items():
+        if value:
+            os.environ[name] = value
+        else:
+            os.environ.pop(name, None)
+    directory = env.get("REPRO_CACHE_DIR") or None
+    configure_cache(directory, enabled=not env.get("REPRO_NO_CACHE"))
+
+
+def _stderr_progress(desc: str) -> Callable[[int, int], None]:
+    def report(done: int, total: int) -> None:
+        end = "\n" if done == total else ""
+        print(f"\r{desc}: {done}/{total}", end=end, file=sys.stderr)
+
+    return report
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: int | None = None,
+    progress: bool | Callable[[int, int], None] = False,
+    desc: str = "tasks",
+) -> list:
+    """Map ``fn`` over ``items`` on ``jobs`` processes, order-preserving.
+
+    Args:
+        fn: Module-level callable applied to each item.
+        items: Task inputs (materialized up front).
+        jobs: Worker processes; ``None`` uses :func:`default_jobs`,
+            ``1`` runs inline in this process.
+        progress: ``True`` for a stderr ticker, or a callable invoked
+            as ``progress(done, total)`` after each completion.
+        desc: Label for the stderr ticker.
+
+    Returns:
+        ``[fn(item) for item in items]`` — identical to the serial
+        comprehension, whatever the completion order.
+    """
+    tasks = list(items)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    report: Callable[[int, int], None] | None
+    if progress is True:
+        report = _stderr_progress(desc)
+    elif callable(progress):
+        report = progress
+    else:
+        report = None
+
+    total = len(tasks)
+    if jobs == 1 or total <= 1:
+        results = []
+        for i, item in enumerate(tasks):
+            results.append(fn(item))
+            if report:
+                report(i + 1, total)
+        return results
+
+    results = [None] * total
+    env = cache_env()
+    done = 0
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, total),
+        initializer=_init_worker,
+        initargs=(env,),
+    ) as pool:
+        futures = {pool.submit(fn, item): i for i, item in enumerate(tasks)}
+        pending = set(futures)
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    results[futures[fut]] = fut.result()
+                    done += 1
+                    if report:
+                        report(done, total)
+        except BaseException:
+            for fut in pending:
+                fut.cancel()
+            raise
+    return results
+
+
+def starmap_jobs(
+    fn: Callable,
+    arg_tuples: Sequence[tuple],
+    jobs: int | None = None,
+    progress: bool | Callable[[int, int], None] = False,
+    desc: str = "tasks",
+) -> list:
+    """:func:`parallel_map` for functions taking positional args."""
+    return parallel_map(
+        _Star(fn), arg_tuples, jobs=jobs, progress=progress, desc=desc
+    )
+
+
+class _Star:
+    """Picklable ``lambda args: fn(*args)``."""
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, args: tuple):
+        return self.fn(*args)

@@ -100,3 +100,27 @@ def compile_and_verify(dag: DAG, config: ArchConfig, seed: int = 0):
         check_addresses=result.allocation.read_addrs,
     )
     return result, sim
+
+
+def permute_dag(dag: DAG, perm: list[int]) -> DAG:
+    """Renumber ``dag``'s nodes by ``perm`` (``perm[old] = new``).
+
+    The result is the same computation under a different node
+    numbering: operations, edges and external input slots are all
+    preserved.  Used by the cache tests to check that content
+    addresses are invariant under node reordering.
+    """
+    n = dag.num_nodes
+    inverse = [0] * n
+    for old, new in enumerate(perm):
+        inverse[new] = old
+    ops = [dag.op(inverse[i]) for i in range(n)]
+    preds = [
+        [perm[p] for p in dag.predecessors(inverse[i])] for i in range(n)
+    ]
+    input_slots = [
+        dag.input_slot(inverse[i])
+        for i in range(n)
+        if ops[i] is OpType.INPUT
+    ]
+    return DAG(ops, preds, input_slots=input_slots, name=dag.name)

@@ -12,7 +12,24 @@ import pytest
 
 from repro.arch import ArchConfig
 from repro.graphs import DAG
+from repro.runner import cache as runner_cache
 from repro.testing import make_chain_dag, make_random_dag, make_wide_dag
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Give every test a private artifact cache under its tmp dir.
+
+    Keeps the suite dogfooding the content-addressed cache while
+    guaranteeing no state leaks between tests (or into the user's
+    ``~/.cache``).  Tests that need a specific cache call
+    ``configure_cache`` themselves, which overrides this default.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setattr(runner_cache, "_default_cache", None)
+    yield
+    runner_cache._default_cache = None
 
 
 @pytest.fixture

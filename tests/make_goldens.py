@@ -1,0 +1,40 @@
+"""Regenerate the golden snapshots under ``tests/goldens/``.
+
+Usage::
+
+    PYTHONPATH=src python tests/make_goldens.py [--jobs N]
+
+Each registered experiment is run at its reduced ``golden_kwargs``
+scale and its canonical snapshot (deterministic metrics only, floats
+at full precision) is written to ``tests/goldens/<name>.json``.
+Regenerate only when an intentional change shifts the reproduction's
+numbers, and review the diff like any other behavioral change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    from repro.runner.registry import canonical_json, run_all
+
+    runs = run_all(jobs=args.jobs, golden=True, progress=True)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, run in runs.items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(canonical_json(run.snapshot) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

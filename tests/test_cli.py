@@ -61,3 +61,42 @@ class TestCommands:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestOrchestratorCommands:
+    def test_sweep_parallel_with_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "artifacts"
+        argv = [
+            "sweep", "--workloads", "tretail", "--scale", "0.02",
+            "--jobs", "2", "--cache-dir", str(cache_dir),
+        ]
+        rc = main(argv)
+        assert rc == 0
+        cold = capsys.readouterr().out
+        assert "optimum corners" in cold
+        assert any(cache_dir.glob("*/*.pkl"))  # artifacts persisted
+        rc = main(argv)  # warm re-run, same output
+        assert rc == 0
+        assert capsys.readouterr().out == cold
+
+    def test_sweep_no_cache_writes_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "artifacts"
+        rc = main(
+            [
+                "sweep", "--workloads", "tretail", "--scale", "0.02",
+                "--no-cache", "--cache-dir", str(cache_dir),
+            ]
+        )
+        assert rc == 0
+        assert not cache_dir.exists()
+
+    def test_all_quick_single_experiment(self, capsys):
+        rc = main(["all", "--quick", "--only", "fig03_utilization"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig03_utilization" in out
+        assert "fig. 3(c)" in out
+
+    def test_all_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiments"):
+            main(["all", "--quick", "--only", "nonsense"])

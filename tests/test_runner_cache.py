@@ -1,0 +1,212 @@
+"""Artifact-cache behavior: hits, corruption, eviction, bypass."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.arch import ArchConfig, Interconnect, Topology
+from repro.compiler import compile_dag
+from repro.runner.cache import (
+    ArtifactCache,
+    NullCache,
+    cache_env,
+    cached_compile,
+    cached_plan,
+    configure_cache,
+    get_cache,
+)
+from repro.runner.fingerprint import COMPILER_CACHE_VERSION
+from repro.sim import BatchSimulator
+from repro.testing import make_random_dag, permute_dag
+
+CONFIG = ArchConfig(depth=2, banks=8, regs_per_bank=16)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    return configure_cache(tmp_path / "cache")
+
+
+def test_miss_then_hit_round_trips_the_result(cache):
+    dag = make_random_dag(seed=5)
+    cold = cached_compile(dag, CONFIG)
+    assert (cache.hits, cache.misses) == (0, 1)
+    warm = cached_compile(dag, CONFIG)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert warm.node_map == cold.node_map
+    assert warm.stats.bank_conflicts == cold.stats.bank_conflicts
+    assert [i.mnemonic for i in warm.program.instructions] == [
+        i.mnemonic for i in cold.program.instructions
+    ]
+
+
+def test_hit_matches_a_live_compile_exactly(cache):
+    dag = make_random_dag(seed=6)
+    cached_compile(dag, CONFIG)  # populate
+    warm = cached_compile(dag, CONFIG)
+    live = compile_dag(dag, CONFIG, validate_input=False)
+    assert warm.node_map == live.node_map
+    assert warm.program.instructions == live.program.instructions
+
+
+def test_hit_on_a_permuted_dag_remaps_node_map(cache):
+    dag = make_random_dag(seed=7)
+    cached_compile(dag, CONFIG)
+    perm = list(range(dag.num_nodes))
+    random.Random(3).shuffle(perm)
+    permuted = permute_dag(dag, perm)
+    warm = cached_compile(permuted, CONFIG)
+    assert cache.hits == 1
+    # The remapped node_map must point every sink at a variable that
+    # holds that sink's value: check through the simulator.
+    rng = random.Random(9)
+    inputs = [rng.uniform(0.9, 1.1) for _ in range(permuted.num_inputs)]
+    from repro.sim import evaluate_dag, run_program
+
+    golden = evaluate_dag(permuted, inputs)
+    sim = run_program(warm.program, inputs)
+    for sink in permuted.sinks():
+        assert sim.values[warm.node_map[sink]] == pytest.approx(
+            golden[sink]
+        )
+
+
+def test_truncated_artifact_falls_back_to_recompile(cache):
+    dag = make_random_dag(seed=8)
+    cold = cached_compile(dag, CONFIG)
+    (entry,) = cache.entries()
+    entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 3])
+    warm = cached_compile(dag, CONFIG)  # must not raise
+    assert warm.program.instructions == cold.program.instructions
+    assert cache.hits == 0 and cache.misses == 2
+    # The bad artifact was dropped and rewritten by the recompile.
+    assert len(cache.entries()) == 1
+    assert cache.get(cold.cache_key)["result"] is not None
+
+
+def test_garbage_artifact_is_a_miss(cache):
+    dag = make_random_dag(seed=9)
+    cached_compile(dag, CONFIG)
+    (entry,) = cache.entries()
+    entry.write_bytes(b"not a pickle at all")
+    assert cached_compile(dag, CONFIG) is not None
+    entry.write_bytes(pickle.dumps({"wrong": "schema"}))
+    assert cached_compile(dag, CONFIG) is not None
+
+
+def test_no_cache_bypasses_reads_and_writes(tmp_path):
+    cache = configure_cache(tmp_path / "cache", enabled=False)
+    assert isinstance(cache, NullCache)
+    dag = make_random_dag(seed=10)
+    cached_compile(dag, CONFIG)
+    cached_compile(dag, CONFIG)
+    assert not (tmp_path / "cache").exists()  # no writes
+    # And reads are bypassed too: seed a poisoned entry, then check a
+    # NullCache compile never sees it.
+    real = configure_cache(tmp_path / "cache")
+    result = cached_compile(dag, CONFIG)
+    poison = {"result": None, "var_by_digest": {}}
+    real.put(result.cache_key, poison)
+    configure_cache(None)
+    assert cached_compile(dag, CONFIG).program is not None
+
+
+def test_prune_evicts_oldest_first(cache):
+    import os
+    import time
+
+    for seed in range(4):
+        cached_compile(make_random_dag(seed=seed, num_ops=10), CONFIG)
+    entries = cache.entries()
+    assert len(entries) == 4
+    # Make recency explicit regardless of filesystem timestamp
+    # granularity.
+    now = time.time()
+    by_age = sorted(entries, key=lambda p: p.stat().st_mtime)
+    for i, path in enumerate(by_age):
+        os.utime(path, (now + i, now + i))
+    removed = cache.prune(max_bytes=cache.size_bytes() // 2)
+    assert removed >= 1
+    survivors = set(cache.entries())
+    # The newest artifact always survives this prune.
+    assert by_age[-1] in survivors
+    assert by_age[0] not in survivors
+
+
+def test_clear_empties_the_store(cache):
+    cached_compile(make_random_dag(seed=11, num_ops=10), CONFIG)
+    assert cache.entries()
+    cache.clear()
+    assert not cache.entries()
+
+
+def test_cached_plan_round_trips_and_executes(cache):
+    import numpy as np
+
+    dag = make_random_dag(seed=12)
+    result = cached_compile(dag, CONFIG)
+    plan_cold = cached_plan(result)
+    result2 = cached_compile(dag, CONFIG)
+    hits_before = cache.hits
+    plan_warm = cached_plan(result2)
+    assert cache.hits == hits_before + 1
+    assert plan_warm.cycles_per_row == plan_cold.cycles_per_row
+    matrix = np.random.default_rng(0).uniform(
+        0.9, 1.1, size=(4, dag.num_inputs)
+    )
+    a = BatchSimulator(plan_cold).run(matrix)
+    b = BatchSimulator(plan_warm).run(matrix)
+    for var, col in a.outputs.items():
+        np.testing.assert_array_equal(col, b.outputs[var])
+
+
+def test_plan_lowering_without_cache_key_still_works(cache):
+    dag = make_random_dag(seed=13)
+    live = compile_dag(dag, CONFIG, validate_input=False)
+    assert cached_plan(live) is not None  # no cache_key -> live lowering
+
+
+def test_interconnect_topology_separates_entries(cache):
+    dag = make_random_dag(seed=14)
+    a = cached_compile(dag, CONFIG, topology=Topology.OUTPUT_PER_LAYER)
+    b = cached_compile(dag, CONFIG, topology=Topology.OUTPUT_SINGLE)
+    assert cache.misses == 2 and cache.hits == 0
+    assert a.cache_key != b.cache_key
+
+
+def test_cache_env_round_trip(tmp_path):
+    cache = configure_cache(tmp_path / "c")
+    env = cache_env(cache)
+    assert env["REPRO_CACHE_DIR"] == str(tmp_path / "c")
+    env = cache_env(NullCache())
+    assert env["REPRO_NO_CACHE"] == "1"
+
+
+def test_get_cache_resolves_environment(tmp_path, monkeypatch):
+    from repro.runner import cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_default_cache", None)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    assert isinstance(get_cache(), ArtifactCache)
+    monkeypatch.setattr(cache_mod, "_default_cache", None)
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert isinstance(get_cache(), NullCache)
+
+
+def test_compiler_cache_version_in_key(cache, monkeypatch):
+    dag = make_random_dag(seed=15)
+    first = cached_compile(dag, CONFIG)
+    from repro.runner import fingerprint
+
+    monkeypatch.setattr(
+        fingerprint,
+        "COMPILER_CACHE_VERSION",
+        COMPILER_CACHE_VERSION + "-bumped",
+    )
+    second = cached_compile(dag, CONFIG)
+    assert first.cache_key != second.cache_key
+    assert cache.misses == 2

@@ -1,0 +1,165 @@
+"""Property tests for the content-address fingerprints.
+
+The cache-key contract (ISSUE 2): stable under DAG node reordering,
+changed by any structural or configuration mutation — no false cache
+hits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ArchConfig, Topology
+from repro.graphs import DAG, OpType
+from repro.runner.fingerprint import (
+    compile_key,
+    config_fingerprint,
+    dag_fingerprint,
+    node_digests,
+)
+from repro.testing import make_random_dag, permute_dag
+
+CONFIG = ArchConfig(depth=2, banks=8, regs_per_bank=16)
+
+
+def _key(dag: DAG, config: ArchConfig = CONFIG, **kw) -> str:
+    defaults = dict(
+        topology=Topology.OUTPUT_PER_LAYER,
+        seed=0,
+        mapping_strategy="conflict_aware",
+    )
+    defaults.update(kw)
+    return compile_key(dag, config, **defaults)
+
+
+def _permutation(rng: random.Random, n: int) -> list[int]:
+    perm = list(range(n))
+    rng.shuffle(perm)
+    return perm
+
+
+dags = st.builds(
+    make_random_dag,
+    seed=st.integers(0, 10_000),
+    num_leaves=st.integers(2, 10),
+    num_ops=st.integers(5, 60),
+    max_fan_in=st.integers(2, 4),
+)
+
+
+class TestPermutationInvariance:
+    @given(dag=dags, perm_seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_fingerprint_stable_under_reordering(self, dag, perm_seed):
+        perm = _permutation(random.Random(perm_seed), dag.num_nodes)
+        assert dag_fingerprint(dag) == dag_fingerprint(permute_dag(dag, perm))
+
+    @given(dag=dags, perm_seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_compile_key_stable_under_reordering(self, dag, perm_seed):
+        perm = _permutation(random.Random(perm_seed), dag.num_nodes)
+        assert _key(dag) == _key(permute_dag(dag, perm))
+
+    @given(dag=dags, perm_seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_node_digests_track_the_permutation(self, dag, perm_seed):
+        perm = _permutation(random.Random(perm_seed), dag.num_nodes)
+        permuted = permute_dag(dag, perm)
+        original = node_digests(dag)
+        renumbered = node_digests(permuted)
+        for old, new in enumerate(perm):
+            assert original[old] == renumbered[new]
+
+
+class TestStructuralMutations:
+    @given(dag=dags, node_seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_flipping_one_op_changes_fingerprint(self, dag, node_seed):
+        rng = random.Random(node_seed)
+        arith = [
+            n for n in dag.nodes() if dag.op(n) is not OpType.INPUT
+        ]
+        victim = rng.choice(arith)
+        ops = [dag.op(n) for n in dag.nodes()]
+        ops[victim] = (
+            OpType.MUL if ops[victim] is OpType.ADD else OpType.ADD
+        )
+        mutated = DAG(
+            ops,
+            [dag.predecessors(n) for n in dag.nodes()],
+            input_slots=[
+                dag.input_slot(n) for n in dag.nodes()
+                if dag.op(n) is OpType.INPUT
+            ],
+            name=dag.name,
+        )
+        assert dag_fingerprint(dag) != dag_fingerprint(mutated)
+
+    @given(dag=dags)
+    @settings(max_examples=40, deadline=None)
+    def test_appending_a_node_changes_fingerprint(self, dag):
+        ops = [dag.op(n) for n in dag.nodes()] + [OpType.MUL]
+        preds = [dag.predecessors(n) for n in dag.nodes()]
+        preds.append((0, dag.num_nodes - 1))
+        mutated = DAG(ops, preds, name=dag.name)
+        assert dag_fingerprint(dag) != dag_fingerprint(mutated)
+
+    def test_rewiring_between_duplicate_cones_changes_fingerprint(self):
+        # p and q compute the *same* value (duplicate cones); moving a
+        # consumer from p to q changes fan-out only.  The downward
+        # digest pass must still catch it — a cache hit here could
+        # return a program with different conflict/copy stats.
+        def build(use_q: bool) -> DAG:
+            ops = [
+                OpType.INPUT,  # 0: x0
+                OpType.INPUT,  # 1: x1
+                OpType.ADD,    # 2: p = x0 + x1
+                OpType.ADD,    # 3: q = x0 + x1 (duplicate)
+                OpType.MUL,    # 4: reads p
+                OpType.MUL,    # 5: reads p or q
+            ]
+            preds = [
+                (), (), (0, 1), (0, 1), (2, 2), (3, 3) if use_q else (2, 2),
+            ]
+            return DAG(ops, preds, name="dup")
+
+        assert dag_fingerprint(build(False)) != dag_fingerprint(build(True))
+
+    def test_swapping_input_slots_changes_fingerprint(self):
+        ops = [OpType.INPUT, OpType.INPUT, OpType.ADD, OpType.MUL]
+        preds = [(), (), (0, 1), (2, 0)]
+        a = DAG(ops, preds, input_slots=[0, 1])
+        b = DAG(ops, preds, input_slots=[1, 0])
+        assert dag_fingerprint(a) != dag_fingerprint(b)
+
+
+class TestConfigMutations:
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"depth": 3, "banks": 16},
+            {"banks": 16},
+            {"regs_per_bank": 32},
+            {"data_mem_rows": 1024},
+            {"frequency_hz": 500e6},
+            {"reorder_window": 100},
+        ],
+    )
+    def test_any_config_field_changes_key(self, random_dag, mutation):
+        mutated = dataclasses.replace(CONFIG, **mutation)
+        assert config_fingerprint(CONFIG) != config_fingerprint(mutated)
+        assert _key(random_dag) != _key(random_dag, config=mutated)
+
+    def test_compile_options_change_key(self, random_dag):
+        base = _key(random_dag)
+        assert base != _key(random_dag, seed=1)
+        assert base != _key(random_dag, mapping_strategy="random")
+        assert base != _key(random_dag, topology=Topology.OUTPUT_SINGLE)
+        assert base != _key(
+            random_dag, keep_digests=(node_digests(random_dag)[-1],)
+        )

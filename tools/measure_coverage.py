@@ -1,0 +1,92 @@
+"""Dependency-free line-coverage measurement for the test suite.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+
+Runs pytest in-process under a ``sys.settrace`` hook restricted to
+``src/repro`` and reports executed/executable line counts per module
+and in total.  The executable-line denominator comes from compiling
+each source file and walking its code objects' ``co_lines()`` tables,
+which tracks what the CPython tracer can actually report.
+
+This exists because the development container has no ``coverage``
+package; CI installs ``pytest-cov`` and enforces the gate in
+``.github/workflows/ci.yml``.  The two measurements agree to within a
+couple of points — when updating the CI ``--cov-fail-under`` value,
+leave that margin.
+
+Lines executed only inside orchestrator worker *processes* are not
+observed (same as default ``coverage`` without concurrency plugins),
+so the number here is a slight undercount — i.e. a safe gate.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = (Path(__file__).resolve().parent.parent / "src" / "repro").resolve()
+
+_executed: dict[str, set[int]] = {}
+
+
+def _local_tracer(frame, event, arg):
+    if event == "line":
+        _executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_tracer
+
+
+def _global_tracer(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if event == "call" and filename.startswith(str(SRC)):
+        _executed.setdefault(filename, set()).add(frame.f_lineno)
+        return _local_tracer
+    return None
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers with bytecode, via recursive ``co_lines`` walk."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        lines.update(
+            line for _, _, line in co.co_lines() if line is not None
+        )
+        stack.extend(
+            const for const in co.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    sys.settrace(_global_tracer)
+    rc = pytest.main(argv or ["-q", "-p", "no:cacheprovider"])
+    sys.settrace(None)
+    if rc != 0:
+        print(f"pytest failed (rc={rc}); coverage not reported")
+        return rc
+
+    total_exec = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(SRC.rglob("*.py")):
+        possible = executable_lines(path)
+        hit = _executed.get(str(path), set()) & possible
+        total_exec += len(possible)
+        total_hit += len(hit)
+        pct = 100 * len(hit) / len(possible) if possible else 100.0
+        rows.append((path.relative_to(SRC.parent), len(possible), pct))
+    for rel, n, pct in rows:
+        print(f"{str(rel):55s} {n:5d} lines  {pct:5.1f}%")
+    overall = 100 * total_hit / total_exec
+    print(f"\nTOTAL: {total_hit}/{total_exec} lines = {overall:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
