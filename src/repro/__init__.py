@@ -18,7 +18,10 @@ package implements the whole system in Python:
 * :mod:`repro.dse`       — the 48-point design-space exploration;
 * :mod:`repro.experiments` — one driver per table/figure;
 * :mod:`repro.runner`    — parallel experiment orchestrator with a
-  content-addressed artifact cache (``repro sweep/all --jobs N``).
+  content-addressed artifact cache (``repro sweep/all --jobs N``);
+* :mod:`repro.verify`    — differential verification: synthetic
+  scenario generators (:mod:`repro.workloads.synth`) fuzzed through a
+  three-way executor cross-check (``repro fuzz --budget N``).
 
 Quick start::
 

@@ -13,7 +13,10 @@ Mirrors the paper artifact's ``run.sh`` workflow:
   (``--jobs N``) with the content-addressed artifact cache;
 * ``all``      — every figure/table experiment, fanned out over
   worker processes;
-* ``encode``   — emit the packed binary program for a DAG.
+* ``encode``   — emit the packed binary program for a DAG;
+* ``fuzz``     — differential verification: seeded synthetic
+  scenarios through the three-way executor cross-check, shrinking
+  any mismatch to a replayable case under ``results/repro_cases/``.
 
 The evaluation commands (``run``, ``suite``, ``dse``, ``sweep``,
 ``all``) share ``--cache-dir``/``--no-cache``: compiled programs and
@@ -274,7 +277,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if name.strip()
     )
     names = requested or fig11_dse.DEFAULT_DSE_WORKLOADS
+    from .workloads import GROUPS
+
     for name in names:
+        if name in GROUPS:
+            continue  # expanded by the sweep itself
         try:
             get_spec(name)
         except WorkloadError as exc:
@@ -314,6 +321,38 @@ def cmd_all(args: argparse.Namespace) -> int:
         print(run.rendered)
         print()
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: synthetic scenarios x executor cross-check.
+
+    Exit status 0 means every scenario agreed across the reference
+    interpreter, scalar simulator, batch engine, analytic counters and
+    the warm-cache path; 1 means at least one mismatch was found (and
+    shrunk to a replayable case under ``--out-dir``).
+    """
+    from .errors import VerificationError
+    from .verify import fuzz
+
+    _setup_cache(args)
+    families = tuple(
+        name.strip() for name in args.families.split(",") if name.strip()
+    )
+    try:
+        report = fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            jobs=args.jobs,
+            families=families or None,
+            fault=args.inject_fault or None,
+            write_artifacts=not args.no_artifacts,
+            out_dir=args.out_dir,
+            progress=sys.stderr.isatty(),
+        )
+    except VerificationError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_encode(args: argparse.Namespace) -> int:
@@ -393,6 +432,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_all)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential verification over synthetic scenarios",
+    )
+    p.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="number of generated scenarios to cross-check (default 200)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed; (budget, seed) replays the identical campaign",
+    )
+    p.add_argument(
+        "--families", default="", metavar="A,B,...",
+        help="restrict to these generator families "
+        "(default: all of repro.workloads.synth)",
+    )
+    p.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="where shrunk repro cases are written "
+        "(default results/repro_cases/)",
+    )
+    p.add_argument(
+        "--no-artifacts", action="store_true",
+        help="report mismatches without writing repro-case files",
+    )
+    p.add_argument(
+        "--inject-fault", default="", metavar="NAME",
+        help="deliberately corrupt one executor to demo the harness "
+        "(see repro.verify.FAULTS)",
+    )
+    _add_jobs_arg(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("encode", help="emit the packed binary program")
     _add_common(p)

@@ -1,12 +1,19 @@
 """Design-space exploration (§V of the paper)."""
 
 from .pareto import ParetoSummary, constant_edp_curve, pareto_front, summarize
-from .sweep import DsePoint, DseResult, evaluate_config, run_sweep
+from .sweep import (
+    DsePoint,
+    DseResult,
+    evaluate_config,
+    resolve_workloads,
+    run_sweep,
+)
 
 __all__ = [
     "DsePoint",
     "DseResult",
     "evaluate_config",
+    "resolve_workloads",
     "run_sweep",
     "ParetoSummary",
     "summarize",

@@ -9,7 +9,7 @@ over the workloads").
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 # fmean is the math.fsum-based mean: exactly rounded, so the result
@@ -21,6 +21,34 @@ from ..arch import ArchConfig, Interconnect, dse_grid
 from ..graphs import DAG
 from ..sim.activity import count_activity
 from ..sim.energy import EnergyReport, energy_of_run
+
+
+def resolve_workloads(
+    names_or_groups: Iterable[str], scale: float
+) -> dict[str, DAG]:
+    """Build the workload dict for a sweep, expanding group names.
+
+    Each entry may be a Table-I / synth workload name (``tretail``,
+    ``synth_diamond``) or a whole group (``pc``, ``sptrsv``,
+    ``synth``), so ``repro sweep --workloads synth`` explores every
+    synthetic scenario family in one run.
+
+    Raises:
+        WorkloadError: For a name that is neither a workload nor a
+            group.
+    """
+    from ..errors import WorkloadError
+    from ..workloads import GROUPS, build_workload, get_spec, workload_names
+
+    names: list[str] = []
+    for entry in names_or_groups:
+        if entry in GROUPS:
+            names.extend(workload_names((entry,)))
+        else:
+            get_spec(entry)  # raises WorkloadError with suggestions
+            names.append(entry)
+    seen: dict[str, None] = dict.fromkeys(names)  # ordered dedup
+    return {name: build_workload(name, scale=scale) for name in seen}
 
 
 @dataclass(frozen=True)

@@ -62,3 +62,8 @@ class RegisterFileError(SimulationError):
 
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
+
+
+class VerificationError(ReproError):
+    """The differential verification harness was misused (bad scenario
+    description, unknown fault name, malformed repro-case artifact)."""

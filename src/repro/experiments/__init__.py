@@ -13,6 +13,7 @@ from . import (
     table1_workloads,
     table2_area_power,
     table3_comparison,
+    verify_synth,
 )
 from .common import Measurement, measure
 from .spatial import (

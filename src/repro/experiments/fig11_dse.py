@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dse import DseResult, ParetoSummary, run_sweep, summarize
-from ..workloads import build_workload
+from ..dse import DseResult, ParetoSummary, resolve_workloads, run_sweep, summarize
 
 #: Compact workload set for the sweep: two PCs (one register-pressure
 #: heavy, so R matters) + two SpTRSVs keeps the 48-config sweep to a
@@ -36,9 +35,8 @@ def run(
     jobs: int | None = None,
     progress: bool = False,
 ) -> DseExperiment:
-    workloads = {
-        name: build_workload(name, scale=scale) for name in workload_names
-    }
+    # Entries may be workload names or whole groups ("pc", "synth").
+    workloads = resolve_workloads(workload_names, scale=scale)
     result = run_sweep(workloads, seed=seed, jobs=jobs, progress=progress)
     return DseExperiment(result=result, summary=summarize(result))
 

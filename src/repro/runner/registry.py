@@ -37,6 +37,7 @@ from ..experiments import (
     table1_workloads,
     table2_area_power,
     table3_comparison,
+    verify_synth,
 )
 from .orchestrator import parallel_map
 
@@ -438,6 +439,15 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                 "config": ArchConfig(depth=3, banks=64, regs_per_bank=32),
                 "scale": _GOLDEN_SCALE,
             },
+        ),
+        ExperimentSpec(
+            name="verify_synth",
+            title="differential oracle — synthetic scenario sweep",
+            run=verify_synth.run,
+            render=verify_synth.render,
+            snapshot=verify_synth.snapshot,
+            golden_kwargs={"budget": 16, "seed": 11},
+            default_kwargs={"budget": 64, "seed": 0},
         ),
         ExperimentSpec(
             name="table3_comparison",

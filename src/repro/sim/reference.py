@@ -26,21 +26,25 @@ def evaluate_dag(dag: DAG, inputs: list[float]) -> np.ndarray:
             f"expected {dag.num_inputs} inputs, got {len(inputs)}"
         )
     values = np.zeros(dag.num_nodes, dtype=np.float64)
-    for node in topological_order(dag):
-        op = dag.op(node)
-        if op is OpType.INPUT:
-            values[node] = inputs[dag.input_slot(node)]
-        else:
-            preds = dag.predecessors(node)
-            if op is OpType.ADD:
-                acc = 0.0
-                for p in preds:
-                    acc += values[p]
+    # Deep product chains may overflow to inf — well-defined IEEE
+    # behavior shared by every executor (the batch engine suppresses
+    # the same warning), not something to spray warnings about.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for node in topological_order(dag):
+            op = dag.op(node)
+            if op is OpType.INPUT:
+                values[node] = inputs[dag.input_slot(node)]
             else:
-                acc = 1.0
-                for p in preds:
-                    acc *= values[p]
-            values[node] = acc
+                preds = dag.predecessors(node)
+                if op is OpType.ADD:
+                    acc = 0.0
+                    for p in preds:
+                        acc += values[p]
+                else:
+                    acc = 1.0
+                    for p in preds:
+                        acc *= values[p]
+                values[node] = acc
     return values
 
 

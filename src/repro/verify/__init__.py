@@ -1,0 +1,73 @@
+"""Differential verification: synthetic scenarios x executor cross-checks.
+
+The stack has three independent ways to execute a DAG — the golden
+reference interpreter, the scalar verifying simulator and the
+vectorized batch engine — plus analytic activity counters and a
+content-addressed artifact cache.  This subsystem turns that
+redundancy into a verification harness:
+
+* :mod:`repro.verify.differential` — the three-way oracle
+  (:func:`diff_check_dag` / :func:`check_scenario`): outputs bitwise
+  across all executors, analytic vs observed counters, warm vs cold
+  cache;
+* :mod:`repro.verify.fuzz` — seeded campaign driver
+  (:func:`fuzz`) fanning scenarios from
+  :mod:`repro.workloads.synth` over the process pool;
+* :mod:`repro.verify.shrink` — minimal-reproducer search
+  (:func:`shrink_dag`);
+* :mod:`repro.verify.artifacts` — replayable repro cases under
+  ``results/repro_cases/`` (:func:`write_case` / :func:`replay_case`).
+
+CLI entry point: ``python -m repro fuzz --budget N --seed S --jobs J``.
+"""
+
+from .artifacts import (
+    DEFAULT_CASE_DIR,
+    ReproCase,
+    load_case,
+    replay_case,
+    write_case,
+)
+from .differential import (
+    FAULTS,
+    DiffReport,
+    Mismatch,
+    Scenario,
+    ScenarioOutcome,
+    check_scenario,
+    config_from_label,
+    diff_check_dag,
+)
+from .fuzz import (
+    CONFIG_POOL,
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    make_scenarios,
+)
+from .shrink import ShrinkResult, ancestor_closure, extract_subdag, shrink_dag
+
+__all__ = [
+    "FAULTS",
+    "CONFIG_POOL",
+    "DEFAULT_CASE_DIR",
+    "DiffReport",
+    "Mismatch",
+    "Scenario",
+    "ScenarioOutcome",
+    "ReproCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "ShrinkResult",
+    "ancestor_closure",
+    "check_scenario",
+    "config_from_label",
+    "diff_check_dag",
+    "extract_subdag",
+    "fuzz",
+    "load_case",
+    "make_scenarios",
+    "replay_case",
+    "shrink_dag",
+    "write_case",
+]

@@ -1,0 +1,150 @@
+"""Replayable repro-case artifacts under ``results/repro_cases/``.
+
+A mismatch found by the fuzzer is only useful if it can be handed to a
+human (or a CI log) and re-executed anywhere.  Each case is one
+self-contained JSON file holding
+
+* the **scenario identity** — generator family + parameters + seed,
+  config label, value seed, batch size and any injected fault — enough
+  to regenerate the original failing DAG from scratch;
+* the **mismatch** — oracle stage and detail string;
+* the **shrunk DAG** itself (:func:`repro.graphs.to_json` format),
+  so replay does not depend on generator code staying bit-stable
+  across versions.
+
+:func:`replay_case` re-runs the differential oracle on the stored
+shrunk DAG and returns its :class:`~repro.verify.differential.
+DiffReport` — a fixed bug replays to ``report.ok`` and the case file
+can be deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import VerificationError
+from ..graphs import DAG, from_json, to_json
+from ..runner.fingerprint import dag_fingerprint
+from ..workloads.synth import SynthParams
+from .differential import DiffReport, Mismatch, Scenario, diff_check_dag
+
+#: Where the fuzzer drops cases by default (relative to the CWD, like
+#: the benchmark outputs under ``results/``).
+DEFAULT_CASE_DIR = Path("results") / "repro_cases"
+
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One minimal reproducer, ready to replay."""
+
+    scenario: Scenario
+    mismatch: Mismatch
+    shrunk_dag: DAG
+    original_nodes: int
+    shrink_checks: int
+
+    @property
+    def fingerprint(self) -> str:
+        return dag_fingerprint(self.shrunk_dag)
+
+
+def case_filename(case: ReproCase) -> str:
+    return (
+        f"{case.scenario.params.family}-{case.mismatch.stage}"
+        f"-{case.fingerprint[:12]}.json"
+    )
+
+
+def write_case(case: ReproCase, out_dir: str | Path | None = None) -> Path:
+    """Persist a case; returns the path written.
+
+    The filename is content-addressed by the shrunk DAG's fingerprint,
+    so re-finding the same minimal reproducer overwrites in place
+    instead of piling up duplicates.
+    """
+    directory = Path(out_dir) if out_dir is not None else DEFAULT_CASE_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": _SCHEMA,
+        "scenario": {
+            "params": case.scenario.params.as_dict(),
+            "config": case.scenario.config_label,
+            "value_seed": case.scenario.value_seed,
+            "batch": case.scenario.batch,
+            "fault": case.scenario.fault,
+        },
+        "mismatch": {
+            "stage": case.mismatch.stage,
+            "detail": case.mismatch.detail,
+        },
+        "original_nodes": case.original_nodes,
+        "shrunk_nodes": case.shrunk_dag.num_nodes,
+        "shrink_checks": case.shrink_checks,
+        "fingerprint": case.fingerprint,
+        "dag": json.loads(to_json(case.shrunk_dag)),
+    }
+    path = directory / case_filename(case)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> ReproCase:
+    """Load a case file back into memory.
+
+    Raises:
+        VerificationError: On a malformed or wrong-schema file.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+        if payload.get("schema") != _SCHEMA:
+            raise VerificationError(
+                f"{path}: unsupported repro-case schema "
+                f"{payload.get('schema')!r}"
+            )
+        raw = payload["scenario"]
+        scenario = Scenario(
+            params=SynthParams.from_dict(raw["params"]),
+            config_label=raw["config"],
+            value_seed=int(raw["value_seed"]),
+            batch=int(raw["batch"]),
+            fault=raw.get("fault"),
+        )
+        mismatch = Mismatch(
+            stage=payload["mismatch"]["stage"],
+            detail=payload["mismatch"]["detail"],
+        )
+        shrunk = from_json(json.dumps(payload["dag"]))
+        return ReproCase(
+            scenario=scenario,
+            mismatch=mismatch,
+            shrunk_dag=shrunk,
+            original_nodes=int(payload["original_nodes"]),
+            shrink_checks=int(payload["shrink_checks"]),
+        )
+    except VerificationError:
+        raise
+    except Exception as exc:
+        raise VerificationError(
+            f"{path}: malformed repro-case artifact ({exc})"
+        ) from exc
+
+
+def replay_case(path: str | Path) -> DiffReport:
+    """Re-run the oracle on a stored minimal reproducer.
+
+    A still-broken pipeline returns a report with a mismatch (usually
+    the recorded stage); after a fix, the report comes back clean.
+    Injected-fault demo cases replay with their fault re-armed.
+    """
+    case = load_case(path)
+    return diff_check_dag(
+        case.shrunk_dag,
+        case.scenario.config(),
+        value_seed=case.scenario.value_seed,
+        batch=case.scenario.batch,
+        fault=case.scenario.fault,
+    )

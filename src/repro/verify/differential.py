@@ -1,0 +1,399 @@
+"""The three-way differential oracle.
+
+One scenario = one synthetic DAG (:class:`~repro.workloads.synth.
+SynthParams`) pushed through the full compile -> lower -> execute
+pipeline and cross-checked along every redundant path the stack offers:
+
+* **reference vs scalar vs batch** — the golden interpreter
+  (:func:`repro.sim.reference.evaluate_dag` on the binarized DAG), the
+  scalar verifying simulator (:class:`repro.sim.functional.Simulator`)
+  and the vectorized batch engine (:class:`repro.sim.batch.
+  BatchSimulator`) must agree **bitwise** on every materialized value:
+  all three perform the same IEEE-double operations in the same tree
+  order, so any divergence at all is a bug, not noise;
+* **analytic vs observed counters** — the
+  :class:`~repro.sim.functional.ActivityCounters` derived analytically
+  at plan lowering must equal what the scalar simulator counts while
+  executing, and the batch engine's totals must be the per-row
+  counters scaled exactly by B;
+* **warm vs cold cache** — recompiling through
+  :func:`repro.runner.cache.cached_compile` /
+  :func:`~repro.runner.cache.cached_plan` (a pickle round-trip through
+  the content-addressed artifact store, exercising the digest-based
+  ``node_map`` translation) must reproduce the cold path's outputs
+  bitwise.
+
+:func:`diff_check_dag` runs the oracle on a bare DAG and returns the
+first mismatch (or ``None``); :func:`check_scenario` wraps it with
+scenario bookkeeping into a picklable :class:`ScenarioOutcome` for the
+fuzzer's process pool.
+
+Fault injection
+---------------
+``fault=<name>`` deliberately corrupts one executor (see
+:data:`FAULTS`) so the harness can prove — in tests and demos — that
+each cross-check actually fires and that the shrinker reduces the
+failure to a minimal reproducer.  Faults are threaded through the
+scenario description, so they survive pickling to worker processes
+and re-fire during shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch import ArchConfig, DEFAULT_TOPOLOGY
+from ..compiler import CompileResult, compile_dag
+from ..errors import ReproError, SpillError, VerificationError
+from ..graphs import DAG, binarize, validate
+from ..runner.cache import NullCache, cached_compile, cached_plan, get_cache
+from ..runner.fingerprint import dag_fingerprint
+from ..sim import BatchSimulator, evaluate_dag, run_program
+from ..workloads.synth import SynthParams
+
+#: Supported injected faults: name -> which cross-check must catch it.
+FAULTS: dict[str, str] = {
+    "batch_output": "scalar-vs-batch",
+    "scalar_value": "reference-vs-scalar",
+    "counter_drift": "plan-vs-scalar-counters",
+    "warm_output": "warm-vs-cold",
+}
+
+
+def config_from_label(label: str) -> ArchConfig:
+    """Parse a ``D3-B64-R32`` style label (the CLI's config syntax).
+
+    Raises:
+        VerificationError: On a malformed label.
+    """
+    try:
+        parts = dict(
+            (piece[0].upper(), int(piece[1:])) for piece in label.split("-")
+        )
+        return ArchConfig(
+            depth=parts["D"], banks=parts["B"], regs_per_bank=parts["R"]
+        )
+    except (KeyError, ValueError, IndexError) as exc:
+        raise VerificationError(
+            f"invalid config label {label!r}; expected e.g. D3-B64-R32"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fuzzing work item: what to generate and how to execute it.
+
+    Everything here is plain data — picklable for the process pool and
+    JSON-able for repro-case artifacts.
+    """
+
+    params: SynthParams
+    config_label: str = "D2-B8-R16"
+    value_seed: int = 0
+    batch: int = 3
+    fault: str | None = None
+
+    def config(self) -> ArchConfig:
+        return config_from_label(self.config_label)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """A differential disagreement: which oracle stage, and the detail."""
+
+    stage: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.stage}] {self.detail}"
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """What :func:`diff_check_dag` observed on one DAG."""
+
+    mismatch: Mismatch | None
+    cycles: int = 0  # plan cycles/row; 0 when the pipeline broke early
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch is None
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Result of pushing one scenario through the oracle."""
+
+    scenario: Scenario
+    status: str  # "ok" | "mismatch" | "skipped"
+    mismatch: Mismatch | None
+    nodes: int
+    fingerprint: str
+    cycles: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _bitwise_equal(a: float, b: float) -> bool:
+    """IEEE bit equality, except NaN == NaN (any NaN means both paths
+    overflowed the same way) and -0.0 == +0.0."""
+    return a == b or (np.isnan(a) and np.isnan(b))
+
+
+def _validate_fault(fault: str | None) -> None:
+    if fault is not None and fault not in FAULTS:
+        raise VerificationError(
+            f"unknown fault {fault!r}; choose from {sorted(FAULTS)}"
+        )
+
+
+def _input_matrix(num_inputs: int, batch: int, value_seed: int) -> np.ndarray:
+    """Deterministic input rows, kept near 1.0 so deep product chains
+    stay finite (overflow to inf is still handled bitwise)."""
+    rng = np.random.default_rng(value_seed)
+    return rng.uniform(0.9, 1.1, size=(batch, max(num_inputs, 1)))
+
+
+def diff_check_dag(
+    dag: DAG,
+    config: ArchConfig,
+    value_seed: int = 0,
+    batch: int = 3,
+    fault: str | None = None,
+    compile_seed: int = 0,
+) -> DiffReport:
+    """Run the full three-way differential oracle on one DAG.
+
+    Returns a :class:`DiffReport` whose ``mismatch`` is ``None`` when
+    every cross-check agrees, else the first disagreement.
+
+    Raises:
+        SpillError: When the config genuinely cannot hold the DAG's
+            live set — the caller decides whether that is a *skip*
+            (fuzzing tight configs) or a failure.
+        VerificationError: On an unknown ``fault`` name.
+    """
+    stats: dict[str, int] = {}
+    mismatch = _oracle(
+        dag, config, value_seed, batch, fault, compile_seed, stats
+    )
+    return DiffReport(mismatch, cycles=stats.get("cycles", 0))
+
+
+def _oracle(
+    dag: DAG,
+    config: ArchConfig,
+    value_seed: int,
+    batch: int,
+    fault: str | None,
+    compile_seed: int,
+    stats: dict[str, int],
+) -> Mismatch | None:
+    _validate_fault(fault)
+    validate(dag)
+
+    # ---- compile (cold path: memoized when a cache is configured) ---
+    cache = get_cache()
+    caching = not isinstance(cache, NullCache)
+    try:
+        if caching:
+            result: CompileResult = cached_compile(
+                dag, config, topology=DEFAULT_TOPOLOGY, seed=compile_seed
+            )
+        else:
+            result = compile_dag(
+                dag, config, topology=DEFAULT_TOPOLOGY, seed=compile_seed
+            )
+    except SpillError:
+        raise
+    except ReproError as exc:
+        return Mismatch("compile", f"{type(exc).__name__}: {exc}")
+
+    # ---- reference interpreter on the binarized DAG -----------------
+    matrix = _input_matrix(dag.num_inputs, batch, value_seed)
+    bdag = binarize(dag).dag
+    reference_rows = [
+        evaluate_dag(bdag, list(row[: dag.num_inputs])) for row in matrix
+    ]
+
+    # ---- scalar verifying simulator (row 0, full checking) ----------
+    try:
+        sim = run_program(
+            result.program,
+            list(matrix[0][: dag.num_inputs]),
+            check_addresses=result.allocation.read_addrs,
+        )
+    except ReproError as exc:
+        return Mismatch("scalar-verify", f"{type(exc).__name__}: {exc}")
+    scalar_values = dict(sim.values)
+    if fault == "scalar_value" and scalar_values:
+        worst = max(scalar_values)
+        scalar_values[worst] = float(
+            np.nextafter(scalar_values[worst], np.inf)
+        )
+    for var in sorted(scalar_values):
+        if not _bitwise_equal(scalar_values[var], reference_rows[0][var]):
+            return Mismatch(
+                "reference-vs-scalar",
+                f"var {var}: scalar {scalar_values[var]!r} != reference "
+                f"{reference_rows[0][var]!r}",
+            )
+
+    # ---- verified lowering + analytic counters ----------------------
+    try:
+        plan = cached_plan(result) if caching else result.plan()
+    except ReproError as exc:
+        return Mismatch("lowering", f"{type(exc).__name__}: {exc}")
+    stats["cycles"] = plan.cycles_per_row
+    plan_counters = plan.counters
+    if fault == "counter_drift":
+        import dataclasses as _dc
+
+        plan_counters = _dc.replace(
+            plan_counters, pe_ops=plan_counters.pe_ops + 1
+        )
+    if plan_counters != sim.counters:
+        return Mismatch(
+            "plan-vs-scalar-counters",
+            f"analytic {plan_counters} != simulated {sim.counters}",
+        )
+
+    # ---- vectorized batch engine ------------------------------------
+    try:
+        batch_result = BatchSimulator(plan).run(matrix)
+    except ReproError as exc:
+        return Mismatch("batch-execute", f"{type(exc).__name__}: {exc}")
+    outputs = {var: col.copy() for var, col in batch_result.outputs.items()}
+    if fault == "batch_output" and outputs:
+        worst = max(outputs)
+        outputs[worst][0] = np.nextafter(outputs[worst][0], np.inf)
+    for var in sorted(outputs):
+        if var in sim.outputs and not _bitwise_equal(
+            float(outputs[var][0]), sim.outputs[var]
+        ):
+            return Mismatch(
+                "scalar-vs-batch",
+                f"var {var} row 0: batch {float(outputs[var][0])!r} != "
+                f"scalar {sim.outputs[var]!r}",
+            )
+        for row in range(batch_result.batch):
+            want = reference_rows[row][var]
+            if not _bitwise_equal(float(outputs[var][row]), want):
+                return Mismatch(
+                    "reference-vs-batch",
+                    f"var {var} row {row}: batch "
+                    f"{float(outputs[var][row])!r} != reference {want!r}",
+                )
+    if batch_result.counters != plan.counters.scaled(batch_result.batch):
+        return Mismatch(
+            "batch-counters",
+            f"batch totals are not per-row counters x {batch_result.batch}",
+        )
+
+    # ---- warm cache vs cold path ------------------------------------
+    if caching:
+        warm = cached_compile(
+            dag, config, topology=DEFAULT_TOPOLOGY, seed=compile_seed
+        )
+        # The hit path re-derives node_map from structural digests, so
+        # nodes with structurally *duplicate* twins may map to a
+        # different — but value-equal — variable.  Compare the mapped
+        # values, not the variable ids.
+        for node in dag.nodes():
+            cold_var = result.node_map[node]
+            warm_var = warm.node_map[node]
+            if cold_var == warm_var:
+                continue
+            if cold_var in sim.values and warm_var in sim.values:
+                if _bitwise_equal(
+                    sim.values[cold_var], sim.values[warm_var]
+                ):
+                    continue
+            elif _bitwise_equal(
+                float(reference_rows[0][cold_var]),
+                float(reference_rows[0][warm_var]),
+            ):
+                continue
+            return Mismatch(
+                "warm-vs-cold",
+                f"cache hit mapped node {node} to var {warm_var}, cold "
+                f"compile to var {cold_var}, and their values differ",
+            )
+        warm_plan = cached_plan(warm)  # pickle round-trip of the plan
+        warm_batch = BatchSimulator(warm_plan).run(matrix)
+        warm_outputs = dict(warm_batch.outputs)
+        if fault == "warm_output" and warm_outputs:
+            worst = max(warm_outputs)
+            col = warm_outputs[worst].copy()
+            col[0] = np.nextafter(col[0], np.inf)
+            warm_outputs[worst] = col
+        if sorted(warm_outputs) != sorted(batch_result.outputs):
+            return Mismatch(
+                "warm-vs-cold", "warm run stored a different output set"
+            )
+        for var in sorted(warm_outputs):
+            for row in range(batch_result.batch):
+                if not _bitwise_equal(
+                    float(warm_outputs[var][row]),
+                    float(batch_result.outputs[var][row]),
+                ):
+                    return Mismatch(
+                        "warm-vs-cold",
+                        f"var {var} row {row}: warm "
+                        f"{float(warm_outputs[var][row])!r} != cold "
+                        f"{float(batch_result.outputs[var][row])!r}",
+                    )
+        if warm_plan.counters != plan.counters:
+            return Mismatch(
+                "warm-vs-cold", "warm plan counters diverged from cold"
+            )
+    elif fault == "warm_output":
+        # The fault targets the cache path; without a cache it cannot
+        # fire, which would silently weaken fault-injection tests.
+        raise VerificationError(
+            "fault 'warm_output' needs a configured artifact cache"
+        )
+
+    return None
+
+
+def check_scenario(scenario: Scenario) -> ScenarioOutcome:
+    """Generate a scenario's DAG and run the oracle; never raises for
+    pipeline disagreements (they come back as ``status="mismatch"``).
+
+    ``SpillError`` (the config legitimately cannot fit the DAG) maps
+    to ``status="skipped"`` — tight register files are part of the
+    scenario pool on purpose, and an honest skip is better than
+    excluding them.
+    """
+    dag = scenario.params.build()
+    fingerprint = dag_fingerprint(dag)
+    try:
+        report = diff_check_dag(
+            dag,
+            scenario.config(),
+            value_seed=scenario.value_seed,
+            batch=scenario.batch,
+            fault=scenario.fault,
+        )
+    except SpillError as exc:
+        return ScenarioOutcome(
+            scenario=scenario,
+            status="skipped",
+            mismatch=Mismatch("spill", str(exc)),
+            nodes=dag.num_nodes,
+            fingerprint=fingerprint,
+            cycles=0,
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        status="ok" if report.ok else "mismatch",
+        mismatch=report.mismatch,
+        nodes=dag.num_nodes,
+        fingerprint=fingerprint,
+        cycles=report.cycles,
+    )

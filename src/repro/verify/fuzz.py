@@ -1,0 +1,304 @@
+"""Seeded differential fuzzing over the synthetic scenario families.
+
+``fuzz(budget=N, seed=S, jobs=J)`` derives ``N`` scenarios from one
+master seed — round-robin over the generator families so every family
+is exercised even at small budgets, with sizes spanning degenerate
+(``n=3``) through a few hundred nodes, random architecture points from
+:data:`CONFIG_POOL`, and per-scenario value seeds — then fans the
+differential oracle (:func:`repro.verify.differential.check_scenario`)
+out over :func:`repro.runner.orchestrator.parallel_map`.
+
+Scenario derivation is a pure function of ``(budget, seed, families,
+fault)``: re-running with the same arguments replays the identical
+scenario list, so a CI failure is reproducible locally from the two
+numbers in the log line.
+
+On mismatch, the failing DAG is shrunk to a minimal reproducer
+(:func:`repro.verify.shrink.shrink_dag`) and written as a replayable
+artifact under ``results/repro_cases/`` (:mod:`repro.verify.
+artifacts`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import VerificationError
+from ..runner.orchestrator import parallel_map
+from ..workloads.synth import MIN_NODES, SYNTH_FAMILIES, SynthParams
+from .artifacts import ReproCase, write_case
+from .differential import (
+    FAULTS,
+    Scenario,
+    ScenarioOutcome,
+    check_scenario,
+    diff_check_dag,
+)
+from .shrink import ShrinkResult, shrink_dag
+
+#: Architecture points the fuzzer samples.  Mostly roomy register
+#: files (so compilation always succeeds) plus one deliberately tight
+#: point that forces the spill machinery; scenarios it cannot fit are
+#: reported as skipped, not failed.
+CONFIG_POOL: tuple[str, ...] = (
+    "D1-B8-R16",
+    "D2-B8-R16",
+    "D2-B8-R8",
+    "D2-B16-R32",
+    "D3-B16-R16",
+    "D3-B32-R32",
+)
+
+
+def make_scenarios(
+    budget: int,
+    seed: int = 0,
+    families: Iterable[str] | None = None,
+    fault: str | None = None,
+    configs: Iterable[str] | None = None,
+) -> list[Scenario]:
+    """Derive the deterministic scenario list for one fuzzing run.
+
+    Raises:
+        VerificationError: Unknown family/fault name or a budget < 1.
+    """
+    if budget < 1:
+        raise VerificationError(f"budget must be >= 1, got {budget}")
+    chosen = tuple(families) if families else tuple(sorted(SYNTH_FAMILIES))
+    unknown = [f for f in chosen if f not in SYNTH_FAMILIES]
+    if unknown:
+        raise VerificationError(
+            f"unknown synth families {unknown}; choose from "
+            f"{sorted(SYNTH_FAMILIES)}"
+        )
+    if fault is not None and fault not in FAULTS:
+        raise VerificationError(
+            f"unknown fault {fault!r}; choose from {sorted(FAULTS)}"
+        )
+    pool = tuple(configs) if configs else CONFIG_POOL
+    rng = random.Random(seed)
+    scenarios: list[Scenario] = []
+    for i in range(budget):
+        family = chosen[i % len(chosen)]
+        tier = rng.random()
+        if tier < 0.15:  # degenerate / tiny
+            n = rng.randint(MIN_NODES, 9)
+        elif tier < 0.85:  # bread and butter
+            n = rng.randint(10, 120)
+        else:  # chunky
+            n = rng.randint(121, 260)
+        kwargs = _family_kwargs(rng, family, n)
+        scenarios.append(
+            Scenario(
+                params=SynthParams(
+                    family=family,
+                    n=n,
+                    seed=rng.randrange(2**31),
+                    kwargs=tuple(sorted(kwargs.items())),
+                ),
+                config_label=pool[rng.randrange(len(pool))],
+                value_seed=rng.randrange(2**31),
+                batch=rng.choice((1, 2, 4)),
+                fault=fault,
+            )
+        )
+    return scenarios
+
+
+def _family_kwargs(
+    rng: random.Random, family: str, n: int
+) -> dict[str, object]:
+    """Occasionally push a family-specific knob to an extreme."""
+    if rng.random() < 0.6:
+        return {}  # family defaults
+    if family == "layered":
+        return {
+            "fill_prob": rng.choice((0.0, 0.25, 1.0)),
+            "width": rng.choice((0, 2, 3)),
+        }
+    if family == "wide":
+        return {"fan_in": rng.randint(2, 6)}
+    if family == "diamond":
+        return {"paths": rng.randint(2, 6)}
+    if family == "near_chain":
+        return {"skip_prob": rng.choice((0.0, 0.3, 0.6))}
+    if family == "disconnected":
+        return {"components": rng.randint(1, max(1, min(4, n // MIN_NODES)))}
+    if family == "reuse":
+        return {"pool_size": rng.randint(2, 6)}
+    if family == "skewed_fanout":
+        return {"hubs": rng.randint(1, max(1, min(3, n // 3)))}
+    return {}
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One mismatch, shrunk and (optionally) written to disk."""
+
+    outcome: ScenarioOutcome
+    shrunk_nodes: int
+    shrink_checks: int
+    case_path: Path | None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzzing run."""
+
+    budget: int
+    seed: int
+    outcomes: list[ScenarioOutcome]
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def checked(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "skipped")
+
+    def by_family(self) -> dict[str, dict[str, int]]:
+        """Per-family tallies for reports and snapshots."""
+        table: dict[str, dict[str, int]] = {}
+        for o in self.outcomes:
+            row = table.setdefault(
+                o.scenario.params.family,
+                {"scenarios": 0, "ok": 0, "skipped": 0, "mismatches": 0,
+                 "nodes": 0, "cycles": 0},
+            )
+            row["scenarios"] += 1
+            row["nodes"] += o.nodes
+            row["cycles"] += o.cycles
+            key = {"ok": "ok", "skipped": "skipped"}.get(
+                o.status, "mismatches"
+            )
+            row[key] += 1
+        return dict(sorted(table.items()))
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: budget {self.budget}, seed {self.seed} — "
+            f"{self.checked} ok, {self.skipped} skipped (spill-bound), "
+            f"{len(self.failures)} mismatches"
+        ]
+        header = f"{'family':16s} {'runs':>5s} {'ok':>5s} " \
+                 f"{'skip':>5s} {'fail':>5s} {'nodes':>8s}"
+        lines.append(header)
+        for family, row in self.by_family().items():
+            lines.append(
+                f"{family:16s} {row['scenarios']:5d} {row['ok']:5d} "
+                f"{row['skipped']:5d} {row['mismatches']:5d} "
+                f"{row['nodes']:8d}"
+            )
+        for failure in self.failures:
+            o = failure.outcome
+            lines.append(
+                f"MISMATCH {o.scenario.params.family} "
+                f"n={o.scenario.params.n} seed={o.scenario.params.seed}: "
+                f"{o.mismatch} -> shrunk to {failure.shrunk_nodes} nodes"
+                + (f" ({failure.case_path})" if failure.case_path else "")
+            )
+        return "\n".join(lines)
+
+
+def _shrink_failure(
+    outcome: ScenarioOutcome,
+    write_artifacts: bool,
+    out_dir: str | Path | None,
+) -> FuzzFailure:
+    """Minimize one failing scenario and persist the repro case."""
+    scenario = outcome.scenario
+    dag = scenario.params.build()
+    config = scenario.config()
+
+    def still_fails(candidate) -> bool:
+        report = diff_check_dag(
+            candidate,
+            config,
+            value_seed=scenario.value_seed,
+            batch=scenario.batch,
+            fault=scenario.fault,
+        )
+        return report.mismatch is not None
+
+    shrunk: ShrinkResult = shrink_dag(dag, still_fails)
+    case_path: Path | None = None
+    if write_artifacts:
+        # Record the mismatch as observed on the *shrunk* DAG — the
+        # stage can legitimately sharpen while shrinking.
+        final = diff_check_dag(
+            shrunk.dag,
+            config,
+            value_seed=scenario.value_seed,
+            batch=scenario.batch,
+            fault=scenario.fault,
+        )
+        case = ReproCase(
+            scenario=scenario,
+            mismatch=final.mismatch or outcome.mismatch,
+            shrunk_dag=shrunk.dag,
+            original_nodes=dag.num_nodes,
+            shrink_checks=shrunk.checks,
+        )
+        case_path = write_case(case, out_dir)
+    return FuzzFailure(
+        outcome=outcome,
+        shrunk_nodes=shrunk.dag.num_nodes,
+        shrink_checks=shrunk.checks,
+        case_path=case_path,
+    )
+
+
+def fuzz(
+    budget: int,
+    seed: int = 0,
+    jobs: int | None = None,
+    families: Iterable[str] | None = None,
+    fault: str | None = None,
+    configs: Iterable[str] | None = None,
+    write_artifacts: bool = True,
+    out_dir: str | Path | None = None,
+    progress: bool | Callable[[int, int], None] = False,
+) -> FuzzReport:
+    """Run one differential fuzzing campaign.
+
+    Args:
+        budget: Number of scenarios to generate and check.
+        seed: Master seed; (budget, seed, families, fault) fully
+            determines the campaign.
+        jobs: Worker processes for the oracle fan-out (``None`` =
+            ``REPRO_JOBS`` or serial).
+        families: Restrict to these generator families (default: all).
+        fault: Inject a named executor fault (:data:`repro.verify.
+            differential.FAULTS`) into every scenario — for tests and
+            demos of the harness itself.
+        configs: Override :data:`CONFIG_POOL` labels.
+        write_artifacts: Write shrunk repro cases to ``out_dir``.
+        out_dir: Case directory (default ``results/repro_cases/``).
+        progress: Progress callback or True for a stderr ticker.
+
+    Returns:
+        A :class:`FuzzReport`; ``report.ok`` is False iff any scenario
+        mismatched (shrunk reproducers are in ``report.failures``).
+    """
+    scenarios = make_scenarios(
+        budget, seed=seed, families=families, fault=fault, configs=configs
+    )
+    outcomes = parallel_map(
+        check_scenario, scenarios, jobs=jobs, progress=progress, desc="fuzz"
+    )
+    report = FuzzReport(budget=budget, seed=seed, outcomes=outcomes)
+    for outcome in outcomes:
+        if outcome.status == "mismatch":
+            report.failures.append(
+                _shrink_failure(outcome, write_artifacts, out_dir)
+            )
+    return report

@@ -1,0 +1,178 @@
+"""Reduce a failing DAG to a minimal reproducer.
+
+When the differential oracle reports a mismatch, the failing scenario
+DAG is rarely the smallest graph exhibiting the bug.  The shrinker
+performs greedy structural minimization driven by a re-checking
+predicate ("does this smaller DAG still fail?"):
+
+1. **Cone restriction** — try replacing the DAG with the ancestor cone
+   of each arithmetic sink, smallest cone first.  One bad output
+   usually implicates only its own cone.
+2. **Node deletion** — walk the arithmetic nodes in reverse
+   topological order and try deleting each together with its
+   descendants (the only removal that keeps a DAG well-formed),
+   re-closing the result over surviving sinks.  Repeats until a full
+   pass removes nothing (1-minimality up to the check budget).
+
+Every candidate is a *valid* DAG — ancestor-closed, dead-input-free,
+slots renumbered — so the predicate runs the ordinary pipeline.  The
+total number of predicate evaluations is capped (``max_checks``);
+fuzzing scenarios are small, so the cap is rarely binding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..graphs import DAG, OpType, topological_order
+
+#: Cone candidates tried in phase 1 before falling through to node
+#: deletion (smallest cones first).
+_CONE_ATTEMPTS = 48
+
+
+def ancestor_closure(dag: DAG, roots: list[int]) -> set[int]:
+    """All nodes reachable backwards from ``roots`` (roots included)."""
+    keep = set(roots)
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        for pred in dag.predecessors(node):
+            if pred not in keep:
+                keep.add(pred)
+                stack.append(pred)
+    return keep
+
+
+def extract_subdag(dag: DAG, keep: set[int], name: str | None = None) -> DAG:
+    """Induced sub-DAG over an ancestor-closed ``keep`` set.
+
+    Nodes are renumbered densely in old-id order (a topological order,
+    since builder ids always increase along edges); external input
+    slots are renumbered in old-slot order, so the sub-DAG's input
+    vector is the original's restricted to surviving leaves.
+    """
+    old_ids = sorted(keep)
+    dense = {old: new for new, old in enumerate(old_ids)}
+    ops = [dag.op(old) for old in old_ids]
+    preds = [
+        [dense[p] for p in dag.predecessors(old)] for old in old_ids
+    ]
+    old_leaves = [o for o in old_ids if dag.op(o) is OpType.INPUT]
+    by_slot = sorted(old_leaves, key=dag.input_slot)
+    slot_of = {old: s for s, old in enumerate(by_slot)}
+    input_slots = [slot_of[o] for o in old_leaves]
+    return DAG(
+        ops, preds, input_slots=input_slots,
+        name=name or f"{dag.name}-shrunk",
+    )
+
+
+def _arithmetic_sinks(dag: DAG) -> list[int]:
+    return [
+        n for n in dag.sinks() if dag.op(n) is not OpType.INPUT
+    ]
+
+
+def _without_node(dag: DAG, victim: int) -> set[int] | None:
+    """Keep-set after deleting ``victim`` + descendants, re-closed over
+    the surviving arithmetic sinks; ``None`` if nothing would remain."""
+    doomed = {victim}
+    for node in topological_order(dag):
+        if node in doomed:
+            continue
+        if any(p in doomed for p in dag.predecessors(node)):
+            doomed.add(node)
+    survivors = [
+        n for n in _arithmetic_sinks(dag) if n not in doomed
+    ]
+    # Deleting an inner node also kills every sink above it; other
+    # sinks' cones may still reference nodes below the victim, so the
+    # cone closure below re-adds exactly what is still needed.
+    roots = survivors or []
+    if not roots:
+        return None
+    return ancestor_closure(dag, roots)
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized DAG plus the work the search performed."""
+
+    dag: DAG
+    checks: int
+    removed_nodes: int
+
+
+def shrink_dag(
+    dag: DAG,
+    still_fails: Callable[[DAG], bool],
+    max_checks: int = 400,
+) -> ShrinkResult:
+    """Greedily minimize ``dag`` while ``still_fails`` keeps returning
+    True.
+
+    ``still_fails`` must be the failure predicate of the original
+    mismatch (typically :func:`repro.verify.differential.diff_check_dag`
+    under the same scenario settings); it is assumed to already have
+    returned True for ``dag`` itself.
+    """
+    checks = 0
+    current = dag
+
+    def attempt(candidate: DAG) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return still_fails(candidate)
+        except Exception:
+            # A candidate that breaks the pipeline differently is not
+            # a smaller instance of *this* bug; skip it.
+            return False
+
+    # Phase 1: cone restriction.  Any arithmetic node can serve as the
+    # new (single) sink; try the smallest cones first so always-firing
+    # faults collapse straight to a 2-input/1-op reproducer, and cap
+    # the sweep so a localized real bug doesn't burn the whole budget
+    # on tiny unrelated cones.
+    cones = sorted(
+        (len(ancestor_closure(current, [n])), n)
+        for n in current.nodes()
+        if current.op(n) is not OpType.INPUT
+    )
+    for size, root in cones[:_CONE_ATTEMPTS]:
+        if size >= current.num_nodes or checks >= max_checks:
+            break
+        candidate = extract_subdag(
+            current, ancestor_closure(current, [root])
+        )
+        if attempt(candidate):
+            current = candidate
+            break
+
+    # Phase 2: reverse-topological node deletion to a fixpoint.
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        arithmetic = [
+            n
+            for n in reversed(topological_order(current))
+            if current.op(n) is not OpType.INPUT
+        ]
+        for victim in arithmetic:
+            if checks >= max_checks:
+                break
+            keep = _without_node(current, victim)
+            if keep is None or len(keep) >= current.num_nodes:
+                continue
+            candidate = extract_subdag(current, keep)
+            if attempt(candidate):
+                current = candidate
+                progress = True
+                break  # node ids shifted; restart the sweep
+    return ShrinkResult(
+        dag=current,
+        checks=checks,
+        removed_nodes=dag.num_nodes - current.num_nodes,
+    )

@@ -12,6 +12,8 @@ from .pc import PCParams, evaluate_pc, generate_pc, random_leaf_probabilities
 from .sptrsv import SpTRSVProblem, solve_via_dag, sptrsv_dag
 from .suite import (
     DEFAULT_SCALE,
+    GROUPS,
+    SYNTH_SUITE,
     TABLE_I,
     WorkloadSpec,
     build_suite,
@@ -19,6 +21,7 @@ from .suite import (
     get_spec,
     workload_names,
 )
+from .synth import MIN_NODES, SYNTH_FAMILIES, SynthParams, generate_synth
 
 __all__ = [
     "PCParams",
@@ -36,9 +39,15 @@ __all__ = [
     "check_lower_triangular",
     "WorkloadSpec",
     "TABLE_I",
+    "SYNTH_SUITE",
+    "GROUPS",
     "DEFAULT_SCALE",
     "workload_names",
     "get_spec",
     "build_workload",
     "build_suite",
+    "MIN_NODES",
+    "SYNTH_FAMILIES",
+    "SynthParams",
+    "generate_synth",
 ]

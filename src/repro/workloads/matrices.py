@@ -48,6 +48,10 @@ def banded_lower(
         raise WorkloadError("n must be >= 1")
     if bandwidth < 1:
         raise WorkloadError("bandwidth must be >= 1")
+    if not 0.0 <= fill_prob <= 1.0:
+        raise WorkloadError(
+            f"fill_prob must be in [0, 1], got {fill_prob!r}"
+        )
     rng = np.random.default_rng(seed)
     rows: list[int] = []
     cols: list[int] = []
@@ -96,8 +100,12 @@ def kite_lower(
     attach randomly.  This produces DAGs with small n/l, where parallel
     platforms struggle the most (fig. 14's dw2048 column).
     """
+    if n < 1:
+        raise WorkloadError("n must be >= 1")
     if not 0.0 <= chain_fraction <= 1.0:
         raise WorkloadError("chain_fraction must be in [0, 1]")
+    if side_nnz < 0:
+        raise WorkloadError(f"side_nnz must be >= 0, got {side_nnz!r}")
     rng = np.random.default_rng(seed)
     rows: list[int] = []
     cols: list[int] = []
@@ -120,8 +128,12 @@ def skyline_lower(
     n: int, mean_bandwidth: int = 12, tail: float = 1.5, seed: int = 0
 ) -> sparse.csr_matrix:
     """Heavy-tailed per-row bandwidth (sieber-like skylines)."""
+    if n < 1:
+        raise WorkloadError("n must be >= 1")
     if mean_bandwidth < 1:
         raise WorkloadError("mean_bandwidth must be >= 1")
+    if tail <= 0:
+        raise WorkloadError(f"tail must be > 0, got {tail!r}")
     rng = np.random.default_rng(seed)
     rows: list[int] = []
     cols: list[int] = []

@@ -11,6 +11,15 @@ The three groups match Table I:
 * ``pc``       — six density-estimation probabilistic circuits,
 * ``sptrsv``   — six SuiteSparse triangular factors,
 * ``large_pc`` — four Bayesian-network circuits (0.6M - 3.3M nodes).
+
+A fourth, non-paper group exposes the adversarial scenario generators
+of :mod:`repro.workloads.synth` under stable workload names:
+
+* ``synth``    — one representative per generator family
+  (``synth_layered`` ... ``synth_reuse``), so ``repro sweep``/``dse``
+  and any group-driven experiment can run the synthetic scenarios
+  exactly like Table-I entries.  Their "paper" stats are the nominal
+  full-scale generator targets, not published numbers.
 """
 
 from __future__ import annotations
@@ -62,7 +71,25 @@ TABLE_I: tuple[WorkloadSpec, ...] = (
     WorkloadSpec("mildew", "large_pc", 3_300_000, 176, "pc", 304),
 )
 
-_BY_NAME = {spec.name: spec for spec in TABLE_I}
+# Synthetic scenario families as named suite workloads.  ``kind`` is
+# the repro.workloads.synth family; nodes/longest-path are the
+# nominal full-scale (scale=1.0) targets each generator aims for.
+SYNTH_SUITE: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("synth_layered", "synth", 8_000, 90, "layered", 401),
+    WorkloadSpec("synth_wide", "synth", 8_000, 13, "wide", 402),
+    WorkloadSpec("synth_deep", "synth", 4_000, 2_000, "deep", 403),
+    WorkloadSpec("synth_diamond", "synth", 8_000, 3_200, "diamond", 404),
+    WorkloadSpec(
+        "synth_skewed_fanout", "synth", 8_000, 1_300, "skewed_fanout", 405
+    ),
+    WorkloadSpec("synth_near_chain", "synth", 4_000, 1_400, "near_chain", 406),
+    WorkloadSpec(
+        "synth_disconnected", "synth", 8_000, 25, "disconnected", 407
+    ),
+    WorkloadSpec("synth_reuse", "synth", 8_000, 10, "reuse", 408),
+)
+
+_BY_NAME = {spec.name: spec for spec in TABLE_I + SYNTH_SUITE}
 
 #: Default shrink factor used by tests/benches. At 0.05 the small suite
 #: spans ~400-4000 nodes, which compiles in seconds under CPython while
@@ -70,10 +97,25 @@ _BY_NAME = {spec.name: spec for spec in TABLE_I}
 DEFAULT_SCALE = 0.05
 
 
+#: Every registered group name, including the synthetic one.
+GROUPS: tuple[str, ...] = ("pc", "sptrsv", "large_pc", "synth")
+
+
 def workload_names(groups: Iterable[str] = ("pc", "sptrsv")) -> list[str]:
-    """Names of the suite workloads in the given groups, Table I order."""
+    """Names of the suite workloads in the given groups, Table I order
+    (the ``synth`` group follows, in family order)."""
     wanted = set(groups)
-    return [spec.name for spec in TABLE_I if spec.group in wanted]
+    unknown = wanted - set(GROUPS)
+    if unknown:
+        raise WorkloadError(
+            f"unknown workload groups {sorted(unknown)}; "
+            f"choose from {list(GROUPS)}"
+        )
+    return [
+        spec.name
+        for spec in TABLE_I + SYNTH_SUITE
+        if spec.group in wanted
+    ]
 
 
 def get_spec(name: str) -> WorkloadSpec:
@@ -101,6 +143,13 @@ def build_workload(name: str, scale: float = DEFAULT_SCALE) -> DAG:
     if scale <= 0:
         raise WorkloadError("scale must be positive")
     spec = get_spec(name)
+    if spec.group == "synth":
+        from .synth import MIN_NODES, generate_synth
+
+        target = max(int(spec.paper_nodes * scale), MIN_NODES)
+        dag = generate_synth(spec.kind, target, seed=spec.seed)
+        dag.name = spec.name
+        return dag
     target_nodes = max(int(spec.paper_nodes * scale), 64)
     if spec.group in ("pc", "large_pc"):
         depth = max(int(spec.paper_longest_path * scale ** (1 / 3)), 6)

@@ -1,0 +1,369 @@
+"""Parametric synthetic scenario generators for differential testing.
+
+The Table-I suite (:mod:`repro.workloads.suite`) covers the paper's
+published workloads; this module covers everything *else* the compiler
+and the three executors must survive: adversarial DAG shapes spanning
+the structural extremes of irregular computation.  Every generator is
+
+* **seeded** — generation uses one ``random.Random(seed)`` stream and
+  never iterates an unordered container, so a ``(family, params,
+  seed)`` triple produces the identical DAG in any process;
+* **fingerprint-stable** — the resulting DAG's
+  :func:`repro.runner.fingerprint.dag_fingerprint` is a pure function
+  of the triple (asserted across processes in the test suite);
+* **structurally valid** — every arithmetic node has fan-in >= 2 and
+  every node reaches an arithmetic sink, so
+  :func:`repro.graphs.validate` passes and the full
+  compile -> lower -> execute pipeline applies, down to the smallest
+  degenerate size (``n = 3``: two inputs, one op).
+
+Families (``SYNTH_FAMILIES``):
+
+``layered``
+    Dense rectangular layers; each node samples 2-4 predecessors from
+    the previous layer.  The "regular" baseline shape.
+``wide``
+    One balanced reduction tree over many leaves — maximal
+    parallelism, minimal depth.
+``deep``
+    An accumulation spine of alternating add/mul with one fresh leaf
+    per step — maximal depth, worst case for pipelining.
+``diamond``
+    Stacked split -> parallel-paths -> merge diamonds, the classic
+    reconvergent shape that stresses liveness ranges.
+``skewed_fanout``
+    A few hub values consumed by nearly every other node — extreme
+    fan-out, worst case for bank conflicts and copy insertion.
+``near_chain``
+    A chain where each node also occasionally reads a uniformly
+    random ancestor — long-range irregular edges on a serial spine.
+``disconnected``
+    Several independent components compiled as one program — multiple
+    sinks, no shared values across components.
+``reuse``
+    A tiny leaf set reused by every operation — extreme sharing,
+    stresses register lifetimes and the valid_rst discipline.
+
+Use :func:`generate_synth` to dispatch by family name, or
+:class:`SynthParams` + :meth:`SynthParams.build` for a declarative,
+picklable scenario description (what the fuzzer ships to workers and
+writes into repro-case artifacts).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import WorkloadError
+from ..graphs import DAG, DAGBuilder, OpType
+
+#: Smallest DAG any family will emit: two inputs and one operation.
+MIN_NODES = 3
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WorkloadError(message)
+
+
+def _validate_common(n: int, seed: int) -> None:
+    _require(isinstance(n, int) and n >= MIN_NODES,
+             f"n must be an int >= {MIN_NODES}, got {n!r}")
+    _require(isinstance(seed, int), f"seed must be an int, got {seed!r}")
+
+
+def _op(rng: random.Random) -> OpType:
+    return OpType.ADD if rng.random() < 0.5 else OpType.MUL
+
+
+def _reduce_all(builder: DAGBuilder, nodes: list[int],
+                rng: random.Random, fan_in: int = 4) -> int:
+    """Fold ``nodes`` into a single value with a bounded-fan-in tree."""
+    work = list(nodes)
+    while len(work) > 1:
+        work = [
+            work[i] if len(work[i:i + fan_in]) == 1
+            else builder.add_op(_op(rng), work[i:i + fan_in])
+            for i in range(0, len(work), fan_in)
+        ]
+    return work[0]
+
+
+def _close_loose_ends(builder: DAGBuilder, consumed: set[int],
+                      rng: random.Random, name: str) -> DAG:
+    """Reduce every unconsumed value into one root; no dead nodes."""
+    loose = [v for v in range(builder.num_nodes) if v not in consumed]
+    if len(loose) > 1:
+        _reduce_all(builder, loose, rng)
+    return builder.build(name)
+
+
+# ---------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------
+def layered(n: int, seed: int = 0, width: int = 0,
+            fill_prob: float = 0.5) -> DAG:
+    """Rectangular layers, 2-4 predecessors each from the layer below.
+
+    Args:
+        n: Target total node count (>= 3).
+        width: Nodes per layer; 0 derives ~sqrt(n).
+        fill_prob: Probability of drawing a third/fourth predecessor.
+    """
+    _validate_common(n, seed)
+    _require(isinstance(width, int) and width >= 0,
+             f"width must be an int >= 0, got {width!r}")
+    _require(0.0 <= fill_prob <= 1.0,
+             f"fill_prob must be in [0, 1], got {fill_prob!r}")
+    rng = random.Random(seed)
+    width = width or max(2, int(round(n ** 0.5)))
+    builder = DAGBuilder()
+    prev = [builder.add_input() for _ in range(min(width, max(n - 1, 2)))]
+    consumed: set[int] = set()
+    ops_budget = max(n - len(prev), 1)
+    while ops_budget > 0:
+        size = min(width, ops_budget)
+        layer: list[int] = []
+        for i in range(size):
+            picks = {prev[i % len(prev)], prev[rng.randrange(len(prev))]}
+            cap = min(4, len(prev))  # fill_prob=1 with a narrow layer
+            attempts = 0
+            while (len(picks) < cap and attempts < 16
+                   and rng.random() < fill_prob):
+                picks.add(prev[rng.randrange(len(prev))])
+                attempts += 1
+            if len(picks) < 2:  # one-node previous layer
+                picks.add(builder.add_input())
+            children = sorted(picks)
+            layer.append(builder.add_op(_op(rng), children))
+            consumed.update(children)
+        ops_budget -= size
+        prev = layer
+    return _close_loose_ends(
+        builder, consumed, rng, f"layered-n{n}-s{seed}"
+    )
+
+
+def wide(n: int, seed: int = 0, fan_in: int = 2) -> DAG:
+    """One balanced reduction over many leaves (maximal parallelism)."""
+    _validate_common(n, seed)
+    _require(isinstance(fan_in, int) and fan_in >= 2,
+             f"fan_in must be an int >= 2, got {fan_in!r}")
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    # A k-ary reduction over L leaves costs ~L/(k-1) internal nodes.
+    leaves = max(2, (n * (fan_in - 1)) // fan_in)
+    nodes = [builder.add_input() for _ in range(leaves)]
+    _reduce_all(builder, nodes, rng, fan_in=fan_in)
+    return builder.build(f"wide-n{n}-s{seed}")
+
+
+def deep(n: int, seed: int = 0) -> DAG:
+    """Serial accumulation spine: node_i = op(node_{i-1}, fresh leaf)."""
+    _validate_common(n, seed)
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    spine = builder.add_add([builder.add_input(), builder.add_input()])
+    while builder.num_nodes + 2 <= n:
+        leaf = builder.add_input()
+        spine = builder.add_op(_op(rng), [spine, leaf])
+    return builder.build(f"deep-n{n}-s{seed}")
+
+
+def diamond(n: int, seed: int = 0, paths: int = 3) -> DAG:
+    """Stacked reconvergent diamonds: split -> ``paths`` lanes -> merge."""
+    _validate_common(n, seed)
+    _require(isinstance(paths, int) and paths >= 2,
+             f"paths must be an int >= 2, got {paths!r}")
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    top = builder.add_add([builder.add_input(), builder.add_input()])
+    while builder.num_nodes + paths + 2 <= n:
+        salt = builder.add_input()  # keeps lanes distinct values
+        lanes = [
+            builder.add_op(_op(rng), [top, salt]) for _ in range(paths)
+        ]
+        top = builder.add_op(_op(rng), lanes)
+    return builder.build(f"diamond-n{n}-s{seed}")
+
+
+def skewed_fanout(n: int, seed: int = 0, hubs: int = 0) -> DAG:
+    """A few hub values feeding nearly every node (extreme fan-out).
+
+    Args:
+        hubs: Number of hub values; 0 derives one hub per ~16 nodes
+            (at least one, at most ``n // 3``).
+    """
+    _validate_common(n, seed)
+    _require(isinstance(hubs, int) and 0 <= hubs <= n // 3,
+             f"hubs must be an int in [0, n//3]={n // 3}, got {hubs!r}")
+    hubs = hubs or max(1, min(n // 16, n // 3))
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    consumed: set[int] = set()
+    hub_nodes: list[int] = []
+    for _ in range(hubs):
+        children = [builder.add_input(), builder.add_input()]
+        hub_nodes.append(builder.add_op(_op(rng), children))
+        consumed.update(children)
+    others: list[int] = []
+    while builder.num_nodes + 1 < n:
+        hub = hub_nodes[rng.randrange(hubs)]
+        if others and rng.random() < 0.5:
+            other = others[rng.randrange(len(others))]
+        else:
+            other = hub_nodes[rng.randrange(hubs)]
+        if other == hub:
+            other = builder.add_input()
+        children = sorted({hub, other})
+        others.append(builder.add_op(_op(rng), children))
+        consumed.update(children)
+    return _close_loose_ends(builder, consumed, rng, f"skew-n{n}-s{seed}")
+
+
+def near_chain(n: int, seed: int = 0, skip_prob: float = 0.15) -> DAG:
+    """A chain with occasional long-range back edges."""
+    _validate_common(n, seed)
+    _require(0.0 <= skip_prob <= 1.0,
+             f"skip_prob must be in [0, 1], got {skip_prob!r}")
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    history = [builder.add_add([builder.add_input(), builder.add_input()])]
+    while builder.num_nodes + 2 <= n:
+        if len(history) > 2 and rng.random() < skip_prob:
+            # randrange excludes the last index, so far != history[-1].
+            far = history[rng.randrange(len(history) - 1)]
+            node = builder.add_op(_op(rng), sorted((history[-1], far)))
+        else:
+            node = builder.add_op(
+                _op(rng), [history[-1], builder.add_input()]
+            )
+        history.append(node)
+    return builder.build(f"chain-n{n}-s{seed}")
+
+
+def disconnected(n: int, seed: int = 0, components: int = 0) -> DAG:
+    """``components`` independent sub-DAGs in one program (many sinks).
+
+    Args:
+        components: Component count; 0 derives one per ~12 nodes
+            (at least one, at most ``n // MIN_NODES``).
+    """
+    _validate_common(n, seed)
+    _require(isinstance(components, int) and components >= 0,
+             f"components must be an int >= 0, got {components!r}")
+    _require(components <= n // MIN_NODES,
+             f"n={n} too small for {components} components "
+             f"(each needs >= {MIN_NODES} nodes)")
+    components = components or max(1, min(n // 12, n // MIN_NODES))
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    per = n // components
+    for c in range(components):
+        budget = per if c < components - 1 else n - per * (components - 1)
+        spine = builder.add_op(
+            _op(rng), [builder.add_input(), builder.add_input()]
+        )
+        budget -= 3
+        while budget >= 2:
+            spine = builder.add_op(
+                _op(rng), [spine, builder.add_input()]
+            )
+            budget -= 2
+    return builder.build(f"disc-n{n}-c{components}-s{seed}")
+
+
+def reuse(n: int, seed: int = 0, pool_size: int = 4) -> DAG:
+    """Every op re-reads one tiny set of values (extreme sharing)."""
+    _validate_common(n, seed)
+    _require(isinstance(pool_size, int) and pool_size >= 2,
+             f"pool_size must be an int >= 2, got {pool_size!r}")
+    rng = random.Random(seed)
+    builder = DAGBuilder()
+    pool = [builder.add_input() for _ in range(min(pool_size, n - 1))]
+    consumed: set[int] = set()
+    while builder.num_nodes + 1 < n:
+        a = pool[rng.randrange(len(pool))]
+        b = pool[rng.randrange(len(pool))]
+        if a == b:
+            b = pool[(pool.index(a) + 1) % len(pool)]
+        children = sorted({a, b})
+        builder.add_op(_op(rng), children)
+        consumed.update(children)
+    return _close_loose_ends(builder, consumed, rng, f"reuse-n{n}-s{seed}")
+
+
+#: Family name -> generator callable.  The dispatch surface for the
+#: fuzzer, the suite registry and the CLI.
+SYNTH_FAMILIES: dict[str, Callable[..., DAG]] = {
+    "layered": layered,
+    "wide": wide,
+    "deep": deep,
+    "diamond": diamond,
+    "skewed_fanout": skewed_fanout,
+    "near_chain": near_chain,
+    "disconnected": disconnected,
+    "reuse": reuse,
+}
+
+
+def generate_synth(family: str, n: int, seed: int = 0, **kwargs) -> DAG:
+    """Generate one synthetic scenario DAG.
+
+    Args:
+        family: A :data:`SYNTH_FAMILIES` key.
+        n: Target node count (the result lands within a few nodes).
+        seed: Generation seed; the triple ``(family, params, seed)``
+            fully determines the DAG (and its fingerprint).
+        **kwargs: Family-specific knobs (see each generator).
+
+    Raises:
+        WorkloadError: Unknown family or out-of-range parameters —
+            validated up front, before any generation work.
+    """
+    if family not in SYNTH_FAMILIES:
+        raise WorkloadError(
+            f"unknown synth family {family!r}; choose from "
+            f"{sorted(SYNTH_FAMILIES)}"
+        )
+    return SYNTH_FAMILIES[family](n, seed=seed, **kwargs)
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """Declarative, picklable scenario description.
+
+    This is the replayable identity of a generated DAG: the fuzzer
+    ships these to worker processes and writes them into repro-case
+    artifacts, and :meth:`build` regenerates the identical graph
+    anywhere.
+    """
+
+    family: str
+    n: int
+    seed: int = 0
+    kwargs: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def build(self) -> DAG:
+        return generate_synth(
+            self.family, self.n, seed=self.seed, **dict(self.kwargs)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "n": self.n,
+            "seed": self.seed,
+            "kwargs": dict(self.kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthParams":
+        return cls(
+            family=data["family"],
+            n=int(data["n"]),
+            seed=int(data["seed"]),
+            kwargs=tuple(sorted(data.get("kwargs", {}).items())),
+        )

@@ -23,14 +23,21 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--out-dir", default=str(GOLDEN_DIR), metavar="DIR",
+        help="write snapshots here instead of tests/goldens/ (CI "
+        "regenerates to a scratch dir and asserts byte-identity "
+        "against the committed files)",
+    )
     args = parser.parse_args(argv)
 
     from repro.runner.registry import canonical_json, run_all
 
     runs = run_all(jobs=args.jobs, golden=True, progress=True)
-    GOLDEN_DIR.mkdir(exist_ok=True)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
     for name, run in runs.items():
-        path = GOLDEN_DIR / f"{name}.json"
+        path = out_dir / f"{name}.json"
         path.write_text(canonical_json(run.snapshot) + "\n")
         print(f"wrote {path}")
     return 0

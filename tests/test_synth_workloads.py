@@ -1,0 +1,209 @@
+"""Synthetic scenario generators: validity, determinism, registration.
+
+Covers the ISSUE-3 satellite requirements:
+
+* every family emits structurally valid DAGs across sizes down to the
+  degenerate minimum;
+* seed stability — the same ``(family, params, seed)`` triple yields
+  the identical ``runner.fingerprint`` hash *across processes*, and
+  different seeds yield distinct graphs;
+* parameter ranges are validated up front with ``WorkloadError`` (not
+  numpy/stdlib errors) for n=0, negative fan-in, fill_prob>1, ...;
+* the ``synth`` suite group is registered for ``sweep``/``dse``.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs import OpType, validate
+from repro.runner.fingerprint import dag_fingerprint
+from repro.runner.orchestrator import parallel_map
+from repro.workloads import (
+    GROUPS,
+    MIN_NODES,
+    SYNTH_FAMILIES,
+    SYNTH_SUITE,
+    SynthParams,
+    build_workload,
+    generate_synth,
+    get_spec,
+    workload_names,
+)
+from repro.workloads.matrices import (
+    banded_lower,
+    kite_lower,
+    random_lower,
+    skyline_lower,
+)
+
+FAMILIES = sorted(SYNTH_FAMILIES)
+
+
+class TestGeneratorValidity:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("n", [MIN_NODES, 5, 23, 120])
+    def test_valid_and_near_target(self, family, n):
+        dag = generate_synth(family, n, seed=7)
+        validate(dag)  # arities, acyclicity, no dead nodes
+        assert dag.num_operations >= 1
+        # Generators land near the target (reduction trees that close
+        # loose ends may overshoot on heavily-shared shapes).
+        assert dag.num_nodes <= 2 * n + 8
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_degenerate_minimum_compiles_and_verifies(
+        self, family, tiny_config
+    ):
+        from repro.testing import compile_and_verify
+
+        dag = generate_synth(family, MIN_NODES, seed=1)
+        compile_and_verify(dag, tiny_config)
+
+    def test_disconnected_has_multiple_components(self):
+        dag = generate_synth("disconnected", 40, seed=2, components=4)
+        sinks = [
+            s for s in dag.sinks() if dag.op(s) is not OpType.INPUT
+        ]
+        assert len(sinks) == 4
+
+    def test_skewed_fanout_has_a_hub(self):
+        dag = generate_synth("skewed_fanout", 80, seed=3, hubs=1)
+        assert dag.max_fan_out() >= 20
+
+    def test_deep_is_deep_and_wide_is_shallow(self):
+        from repro.graphs import longest_path_length
+
+        deep = generate_synth("deep", 60, seed=4)
+        wide = generate_synth("wide", 60, seed=4)
+        assert longest_path_length(deep) > 3 * longest_path_length(wide)
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_same_seed_same_fingerprint(self, family):
+        a = generate_synth(family, 64, seed=11)
+        b = generate_synth(family, 64, seed=11)
+        assert dag_fingerprint(a) == dag_fingerprint(b)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_distinct_seeds_distinct_graphs(self, family):
+        prints = {
+            dag_fingerprint(generate_synth(family, 64, seed=s))
+            for s in range(10)
+        }
+        assert len(prints) == 10
+
+    def test_fingerprint_stable_across_processes(self):
+        """The cross-process half of the seed-stability guarantee:
+        worker processes regenerate the identical graph bit for bit."""
+        scenarios = [
+            SynthParams(family, 48, seed=21) for family in FAMILIES
+        ]
+        local = [_fingerprint_task(p) for p in scenarios]
+        remote = parallel_map(_fingerprint_task, scenarios, jobs=2)
+        assert remote == local
+
+    def test_params_roundtrip_preserves_identity(self):
+        params = SynthParams(
+            "layered", 50, seed=5, kwargs=(("fill_prob", 0.25),)
+        )
+        clone = SynthParams.from_dict(params.as_dict())
+        assert clone == params
+        assert dag_fingerprint(clone.build()) == dag_fingerprint(
+            params.build()
+        )
+
+
+def _fingerprint_task(params: SynthParams) -> str:
+    return dag_fingerprint(params.build())
+
+
+class TestParameterValidation:
+    """Bad parameters raise WorkloadError up front, never numpy errors."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("n", [0, -5, MIN_NODES - 1])
+    def test_synth_n_out_of_range(self, family, n):
+        with pytest.raises(WorkloadError, match="n must be"):
+            generate_synth(family, n)
+
+    def test_unknown_family(self):
+        with pytest.raises(WorkloadError, match="unknown synth family"):
+            generate_synth("moebius", 10)
+
+    @pytest.mark.parametrize(
+        ("family", "kwargs", "pattern"),
+        [
+            ("wide", {"fan_in": -2}, "fan_in"),
+            ("wide", {"fan_in": 1}, "fan_in"),
+            ("layered", {"fill_prob": 1.5}, "fill_prob"),
+            ("layered", {"fill_prob": -0.1}, "fill_prob"),
+            ("layered", {"width": -1}, "width"),
+            ("diamond", {"paths": 1}, "paths"),
+            ("near_chain", {"skip_prob": 2.0}, "skip_prob"),
+            ("disconnected", {"components": -1}, "components"),
+            ("disconnected", {"components": 99}, "too small"),
+            ("reuse", {"pool_size": 1}, "pool_size"),
+            ("skewed_fanout", {"hubs": -3}, "hubs"),
+        ],
+    )
+    def test_synth_knob_out_of_range(self, family, kwargs, pattern):
+        with pytest.raises(WorkloadError, match=pattern):
+            generate_synth(family, 30, seed=0, **kwargs)
+
+    @pytest.mark.parametrize(
+        ("call", "pattern"),
+        [
+            (lambda: banded_lower(0), "n must be"),
+            (lambda: banded_lower(16, bandwidth=-1), "bandwidth"),
+            (lambda: banded_lower(16, fill_prob=1.5), "fill_prob"),
+            (lambda: banded_lower(16, fill_prob=-0.5), "fill_prob"),
+            (lambda: random_lower(0), "n must be"),
+            (lambda: random_lower(16, nnz_per_row=-1.0), "nnz_per_row"),
+            (lambda: kite_lower(0), "n must be"),
+            (lambda: kite_lower(16, chain_fraction=1.5), "chain_fraction"),
+            (lambda: kite_lower(16, side_nnz=-2.0), "side_nnz"),
+            (lambda: skyline_lower(0), "n must be"),
+            (lambda: skyline_lower(16, mean_bandwidth=0), "mean_bandwidth"),
+            (lambda: skyline_lower(16, tail=0.0), "tail"),
+        ],
+    )
+    def test_matrix_generator_ranges(self, call, pattern):
+        with pytest.raises(WorkloadError, match=pattern):
+            call()
+
+
+class TestSuiteRegistration:
+    def test_synth_group_registered(self):
+        assert "synth" in GROUPS
+        names = workload_names(("synth",))
+        assert names == [spec.name for spec in SYNTH_SUITE]
+        assert {get_spec(n).kind for n in names} == set(SYNTH_FAMILIES)
+
+    def test_default_groups_unchanged(self):
+        assert all(
+            not name.startswith("synth_") for name in workload_names()
+        )
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown workload groups"):
+            workload_names(("pc", "synthetic"))
+
+    @pytest.mark.parametrize("name", ["synth_diamond", "synth_reuse"])
+    def test_build_workload_synth(self, name):
+        dag = build_workload(name, scale=0.01)
+        validate(dag)
+        assert dag.name == name
+        # Same spec + scale regenerate the identical graph.
+        again = build_workload(name, scale=0.01)
+        assert dag_fingerprint(dag) == dag_fingerprint(again)
+
+    def test_sweep_resolves_synth_group(self):
+        from repro.dse import resolve_workloads
+
+        workloads = resolve_workloads(["synth"], scale=0.004)
+        assert sorted(workloads) == sorted(
+            spec.name for spec in SYNTH_SUITE
+        )
+        with pytest.raises(WorkloadError):
+            resolve_workloads(["not-a-workload"], scale=0.01)

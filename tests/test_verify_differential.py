@@ -1,0 +1,273 @@
+"""The differential verification subsystem end to end.
+
+The harness must (a) pass cleanly on healthy scenarios across every
+generator family, (b) catch each class of injected executor fault at
+the oracle stage built to detect it, (c) shrink a failing DAG to a
+minimal reproducer, and (d) write/replay repro-case artifacts.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig
+from repro.errors import VerificationError, WorkloadError
+from repro.graphs import OpType, validate
+from repro.verify import (
+    FAULTS,
+    Scenario,
+    check_scenario,
+    config_from_label,
+    diff_check_dag,
+    extract_subdag,
+    fuzz,
+    load_case,
+    make_scenarios,
+    replay_case,
+    shrink_dag,
+)
+from repro.workloads import SynthParams, generate_synth
+
+
+class TestConfigLabels:
+    def test_roundtrip(self):
+        cfg = config_from_label("D2-B16-R32")
+        assert (cfg.depth, cfg.banks, cfg.regs_per_bank) == (2, 16, 32)
+
+    @pytest.mark.parametrize("label", ["", "banana", "D2-B16", "Dx-B1-R2"])
+    def test_malformed(self, label):
+        with pytest.raises(VerificationError, match="invalid config"):
+            config_from_label(label)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize(
+        "family",
+        ["layered", "deep", "diamond", "skewed_fanout", "disconnected",
+         "reuse"],
+    )
+    def test_families_agree(self, family, tiny_config):
+        dag = generate_synth(family, 60, seed=13)
+        report = diff_check_dag(dag, tiny_config, value_seed=5, batch=3)
+        assert report.ok, str(report.mismatch)
+        assert report.cycles > 0
+
+    def test_spill_heavy_scenario_agrees(self):
+        # R=8 forces the spill machinery through the oracle's path.
+        dag = generate_synth("layered", 120, seed=3)
+        cfg = ArchConfig(depth=2, banks=8, regs_per_bank=8)
+        report = diff_check_dag(dag, cfg, value_seed=1)
+        assert report.ok, str(report.mismatch)
+
+    def test_unknown_fault_rejected(self, tiny_config):
+        dag = generate_synth("deep", 10, seed=0)
+        with pytest.raises(VerificationError, match="unknown fault"):
+            diff_check_dag(dag, tiny_config, fault="gremlins")
+
+
+class TestFaultInjection:
+    """Each fault must be caught at the stage built to detect it."""
+
+    @pytest.mark.parametrize("fault", sorted(FAULTS))
+    def test_fault_caught_at_expected_stage(self, fault, tiny_config):
+        dag = generate_synth("near_chain", 40, seed=8)
+        report = diff_check_dag(
+            dag, tiny_config, value_seed=2, batch=2, fault=fault
+        )
+        assert report.mismatch is not None
+        assert report.mismatch.stage == FAULTS[fault]
+
+    def test_scenario_outcome_carries_mismatch(self):
+        scenario = Scenario(
+            params=SynthParams("diamond", 30, seed=4),
+            config_label="D2-B8-R16",
+            value_seed=9,
+            fault="batch_output",
+        )
+        outcome = check_scenario(scenario)
+        assert outcome.status == "mismatch"
+        assert outcome.mismatch.stage == "scalar-vs-batch"
+
+
+class TestShrinking:
+    def test_always_firing_fault_shrinks_to_minimum(self, tiny_config):
+        """The acceptance-criterion test: an injected simulator fault
+        is caught and shrunk to a minimal reproducer."""
+        dag = generate_synth("layered", 90, seed=17)
+
+        def still_fails(candidate):
+            report = diff_check_dag(
+                candidate, tiny_config, value_seed=3, fault="batch_output"
+            )
+            return report.mismatch is not None
+
+        assert still_fails(dag)
+        shrunk = shrink_dag(dag, still_fails)
+        validate(shrunk.dag)
+        assert still_fails(shrunk.dag)
+        # Minimal reproducer: one operation over two inputs.
+        assert shrunk.dag.num_operations == 1
+        assert shrunk.dag.num_nodes == 3
+        assert shrunk.removed_nodes == dag.num_nodes - 3
+        assert shrunk.checks >= 1
+
+    def test_targeted_bug_keeps_its_trigger(self, tiny_config):
+        """A bug firing only for MUL sinks shrinks to a small DAG that
+        still contains a MUL sink."""
+        dag = generate_synth("layered", 80, seed=0)
+
+        def still_fails(candidate):
+            return any(
+                candidate.op(s) is OpType.MUL for s in candidate.sinks()
+            )
+
+        assert still_fails(dag)  # seed chosen so this holds
+        shrunk = shrink_dag(dag, still_fails)
+        assert still_fails(shrunk.dag)
+        assert shrunk.dag.num_nodes <= 4
+
+    def test_extract_subdag_renumbers_slots_densely(self):
+        dag = generate_synth("layered", 40, seed=2)
+        sink = [
+            s for s in dag.sinks() if dag.op(s) is not OpType.INPUT
+        ][0]
+        from repro.verify import ancestor_closure
+
+        sub = extract_subdag(dag, ancestor_closure(dag, [sink]))
+        validate(sub)
+        slots = sorted(
+            sub.input_slot(leaf) for leaf in sub.leaves()
+        )
+        assert slots == list(range(sub.num_inputs))
+
+
+class TestFuzzCampaigns:
+    def test_clean_run_all_families(self):
+        report = fuzz(budget=16, seed=2, write_artifacts=False)
+        assert report.ok
+        assert report.checked + report.skipped == 16
+        assert set(report.by_family()) == {
+            s.params.family for s in make_scenarios(16, seed=2)
+        }
+
+    def test_campaign_is_deterministic(self):
+        a = make_scenarios(12, seed=9)
+        b = make_scenarios(12, seed=9)
+        assert a == b
+        assert a != make_scenarios(12, seed=10)
+
+    def test_parallel_matches_serial(self):
+        serial = fuzz(budget=8, seed=4, jobs=1, write_artifacts=False)
+        parallel = fuzz(budget=8, seed=4, jobs=2, write_artifacts=False)
+        assert serial.outcomes == parallel.outcomes
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(VerificationError, match="budget"):
+            fuzz(budget=0)
+        with pytest.raises(VerificationError, match="unknown synth"):
+            fuzz(budget=1, families=["nope"])
+        with pytest.raises(VerificationError, match="unknown fault"):
+            fuzz(budget=1, fault="nope")
+
+    def test_injected_fault_produces_shrunk_artifact(self, tmp_path):
+        report = fuzz(
+            budget=2,
+            seed=6,
+            families=["near_chain"],
+            fault="counter_drift",
+            out_dir=tmp_path,
+        )
+        assert not report.ok
+        assert len(report.failures) == 2
+        for failure in report.failures:
+            assert failure.shrunk_nodes == 3  # minimal reproducer
+            assert failure.case_path is not None
+            payload = json.loads(failure.case_path.read_text())
+            assert payload["mismatch"]["stage"] == FAULTS["counter_drift"]
+            assert payload["shrunk_nodes"] == 3
+
+
+class TestArtifacts:
+    def _one_case(self, tmp_path):
+        report = fuzz(
+            budget=1,
+            seed=1,
+            families=["diamond"],
+            fault="batch_output",
+            out_dir=tmp_path,
+        )
+        assert report.failures
+        return report.failures[0].case_path
+
+    def test_roundtrip_and_replay(self, tmp_path):
+        path = self._one_case(tmp_path)
+        case = load_case(path)
+        validate(case.shrunk_dag)
+        assert case.scenario.fault == "batch_output"
+        replay = replay_case(path)
+        assert replay.mismatch is not None
+        assert replay.mismatch.stage == FAULTS["batch_output"]
+
+    def test_replay_clean_after_fault_removed(self, tmp_path):
+        """Disarming the fault models fixing the bug: replay -> ok."""
+        path = self._one_case(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["scenario"]["fault"] = None
+        path.write_text(json.dumps(payload))
+        assert replay_case(path).ok
+
+    def test_malformed_artifact_rejected(self, tmp_path):
+        bad = tmp_path / "case.json"
+        bad.write_text("{\"schema\": 99}")
+        with pytest.raises(VerificationError, match="schema"):
+            load_case(bad)
+        bad.write_text("not json at all")
+        with pytest.raises(VerificationError, match="malformed"):
+            load_case(bad)
+
+
+class TestFuzzCli:
+    def test_clean_exit_zero(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["fuzz", "--budget", "6", "--seed", "3", "--no-artifacts"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 mismatches" in out
+
+    def test_injected_fault_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "fuzz", "--budget", "2", "--seed", "3",
+                "--families", "deep", "--inject-fault", "batch_output",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "MISMATCH" in out
+        assert list(tmp_path.glob("*.json"))
+
+    def test_bad_family_is_clean_systemexit(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown synth"):
+            main(["fuzz", "--budget", "1", "--families", "banana"])
+
+
+class TestVerifySynthExperiment:
+    def test_snapshot_is_deterministic_and_clean(self):
+        from repro.experiments import verify_synth
+
+        report = verify_synth.run(budget=8, seed=5)
+        snap = verify_synth.snapshot(report)
+        assert snap["mismatches"] == 0
+        assert len(snap["scenarios"]) == 8
+        again = verify_synth.snapshot(verify_synth.run(budget=8, seed=5))
+        assert snap == again
+        assert "fuzz: budget 8" in verify_synth.render(report)
