@@ -1,0 +1,332 @@
+"""Cold-compile scaling benchmark (Table-I suite + large synth DAGs).
+
+Measures wall-clock of ``compile_dag`` with the cache out of the
+picture (cold compile is what dominates sweeps, ``repro fuzz``
+campaigns and any new-DAG workflow), per pass and end to end, across:
+
+* the Table-I ``pc`` + ``sptrsv`` workloads at the default test scale;
+* the ``synth_xl`` group (50k-200k node synthetic DAGs) where the
+  partition-parallel path (``partition_threshold`` / ``jobs``) is the
+  production configuration.
+
+Results go three places:
+
+* a text report (``results/bench_compile_scaling.txt``),
+* the machine-readable perf trajectory ``BENCH_compile.json``
+  (appended per run, see ``tools/bench_to_json.py``),
+* optionally a baseline file for later comparison
+  (``--save-baseline``), which ``--baseline`` consumes to print
+  per-workload and aggregate speedups.
+
+The CI perf-smoke job runs ``--profile smoke --check-envelope
+benchmarks/ref_compile_envelope.json`` and fails when the cold
+compile total regresses more than ``--max-regression`` (default 2x)
+against the checked-in reference envelope.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tools python benchmarks/bench_compile_scaling.py \
+        --profile suite --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for entry in (os.path.join(_ROOT, "src"), os.path.join(_ROOT, "tools")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from bench_to_json import append_run, latest_records  # noqa: E402
+
+from repro.arch import MIN_EDP_CONFIG  # noqa: E402
+from repro.compiler import compile_dag  # noqa: E402
+from repro.workloads import DEFAULT_SCALE, build_workload, workload_names  # noqa: E402
+
+#: compile_dag grows partition/jobs knobs in the array-kernel rewrite;
+#: feature-detect so this script can also time the pre-rewrite
+#: compiler when capturing baselines.
+_HAS_PARTITION = (
+    "partition_threshold" in inspect.signature(compile_dag).parameters
+)
+
+BENCH_NAME = "compile_scaling"
+
+
+def _profile_workloads(profile: str) -> list[tuple[str, float]]:
+    """(workload name, scale) pairs per profile."""
+    suite = [(n, DEFAULT_SCALE) for n in workload_names(("pc", "sptrsv"))]
+    xl = [(n, 1.0) for n in workload_names(("synth_xl",))]
+    if profile == "smoke":
+        # Small, CI-friendly fixture: two Table-I shapes plus one
+        # mid-size synth DAG large enough to exercise partitioning
+        # with a lowered threshold.
+        return [
+            ("tretail", DEFAULT_SCALE),
+            ("dw2048", DEFAULT_SCALE),
+            ("synth_xl_layered_50k", 0.2),  # ~10k nodes
+        ]
+    if profile == "suite":
+        return suite
+    if profile == "xl":
+        return xl
+    if profile == "full":
+        return suite + xl
+    raise SystemExit(f"unknown profile {profile!r}")
+
+
+def _time_compile(make_dag, repeat: int, **kwargs) -> tuple[float, object]:
+    """Min-of-``repeat`` cold compile time.
+
+    The DAG is rebuilt for every iteration (outside the timed
+    region): the compiler memoizes per-DAG-object derived data (CSR
+    adjacency, topo order, DagArrays), so re-compiling the same
+    object would measure a warm compile and hide regressions in
+    exactly the array-build paths this benchmark guards.
+    """
+    best = None
+    result = None
+    for _ in range(repeat):
+        dag = make_dag()
+        t0 = time.perf_counter()
+        result = compile_dag(
+            dag, MIN_EDP_CONFIG, validate_input=False, **kwargs
+        )
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, result
+
+
+def _record(name, dag, mode, seconds, result) -> dict:
+    stats = getattr(result, "stats", None)
+    rec = {
+        "workload": name,
+        "nodes": dag.num_nodes,
+        "mode": mode,
+        "seconds": round(seconds, 4),
+    }
+    if stats is not None:
+        rec["instructions"] = getattr(result, "total_instructions", None)
+        rec["passes"] = {
+            k: round(v, 4) for k, v in stats.step_seconds.items()
+        }
+        pieces = getattr(stats, "pieces", 0)
+        if pieces:
+            rec["pieces"] = pieces
+    return rec
+
+
+def run_bench(args: argparse.Namespace) -> list[dict]:
+    records: list[dict] = []
+    for name, scale in _profile_workloads(args.profile):
+        def make_dag(name=name, scale=scale):
+            return build_workload(name, scale=scale)
+
+        dag = make_dag()
+        seconds, result = _time_compile(make_dag, args.repeat)
+        records.append(_record(name, dag, "monolithic", seconds, result))
+        print(
+            f"  {name:<24} {dag.num_nodes:>8} nodes  "
+            f"monolithic      {seconds:8.3f}s",
+            flush=True,
+        )
+        if not _HAS_PARTITION or dag.num_nodes <= args.partition_threshold:
+            continue
+        for jobs in sorted({1, args.jobs}):
+            mode = f"partitioned-j{jobs}"
+            seconds, result = _time_compile(
+                make_dag,
+                args.repeat,
+                partition_threshold=args.partition_threshold,
+                jobs=jobs,
+            )
+            records.append(_record(name, dag, mode, seconds, result))
+            print(
+                f"  {name:<24} {dag.num_nodes:>8} nodes  "
+                f"{mode:<15} {seconds:8.3f}s",
+                flush=True,
+            )
+    return records
+
+
+def production_seconds(records: list[dict]) -> dict[str, float]:
+    """Per-workload production-path time: the fastest measured mode.
+
+    Monolithic vs partitioned vs partitioned+jobs is a deployment
+    knob; a production sweep picks whichever is fastest for the
+    machine at hand (partitioning pays off with many cores and bounds
+    peak memory; on small hosts the monolithic array kernels often
+    win outright now).
+    """
+    best: dict[str, float] = {}
+    for rec in records:
+        name = rec["workload"]
+        seconds = rec["seconds"]
+        if name not in best or seconds < best[name]:
+            best[name] = seconds
+    return best
+
+
+def record_seconds(records: list[dict]) -> dict[str, float]:
+    """Every measured (workload, mode) entry, keyed ``workload|mode``."""
+    return {
+        f"{rec['workload']}|{rec['mode']}": rec["seconds"]
+        for rec in records
+    }
+
+
+def render_report(
+    records: list[dict],
+    args: argparse.Namespace,
+    baseline: list[dict] | None,
+) -> str:
+    lines = [
+        "cold compile scaling "
+        f"(profile={args.profile}, repeat={args.repeat}, "
+        f"partition_threshold={args.partition_threshold}, jobs={args.jobs})",
+        "",
+        f"{'workload':<26}{'nodes':>9}  {'mode':<16}{'seconds':>9}",
+        "-" * 62,
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec['workload']:<26}{rec['nodes']:>9}  "
+            f"{rec['mode']:<16}{rec['seconds']:>9.3f}"
+        )
+    cur = production_seconds(records)
+    total = sum(cur.values())
+    lines += ["-" * 62, f"{'production total':<51}{total:>9.3f}"]
+    if baseline:
+        base = production_seconds(baseline)
+        shared = sorted(set(cur) & set(base))
+        if shared:
+            lines += ["", "speedup vs baseline (baseline_s / current_s):"]
+            for name in shared:
+                lines.append(
+                    f"  {name:<26}{base[name]:>9.3f} /{cur[name]:>9.3f}"
+                    f"  = {base[name] / cur[name]:6.2f}x"
+                )
+            bt = sum(base[n] for n in shared)
+            ct = sum(cur[n] for n in shared)
+            lines += [
+                f"  {'TOTAL':<26}{bt:>9.3f} /{ct:>9.3f}"
+                f"  = {bt / ct:6.2f}x",
+            ]
+    return "\n".join(lines) + "\n"
+
+
+def check_envelope(
+    records: list[dict], envelope_path: str, max_regression: float
+) -> int:
+    """CI gate: fail when the cold-compile total regresses too far.
+
+    Gates on the sum over every shared ``workload|mode`` record —
+    NOT the per-workload minimum — so a regression confined to the
+    partitioned path cannot hide behind a fast monolithic compile.
+    Modes absent from the reference (e.g. a different ``--jobs``) are
+    ignored, so pin ``--jobs`` in CI to match the envelope.
+    """
+    with open(envelope_path, encoding="utf-8") as fh:
+        envelope = json.load(fh)
+    ref = envelope["record_seconds"]
+    cur = record_seconds(records)
+    shared = sorted(set(cur) & set(ref))
+    if not shared:
+        print("envelope check: no overlapping records", file=sys.stderr)
+        return 2
+    ref_total = sum(ref[n] for n in shared)
+    cur_total = sum(cur[n] for n in shared)
+    ratio = cur_total / ref_total
+    print(
+        f"envelope check: current {cur_total:.3f}s vs reference "
+        f"{ref_total:.3f}s over {len(shared)} records "
+        f"-> {ratio:.2f}x (limit {max_regression:.2f}x)"
+    )
+    if ratio > max_regression:
+        print(
+            "PERF REGRESSION: cold compile exceeded the reference "
+            "envelope; investigate before merging (or re-baseline "
+            "benchmarks/ref_compile_envelope.json with a justification).",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", default="suite",
+        choices=("smoke", "suite", "xl", "full"),
+    )
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument("--partition-threshold", type=int, default=20_000)
+    parser.add_argument(
+        "--jobs", type=int, default=max(1, (os.cpu_count() or 1))
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(_ROOT, "results", "bench_compile_scaling.txt")
+    )
+    parser.add_argument(
+        "--json", default=os.path.join(_ROOT, "BENCH_compile.json"),
+        help="perf-trajectory file to append to ('' disables)",
+    )
+    parser.add_argument("--label", default=None)
+    parser.add_argument(
+        "--baseline", default=None,
+        help="trajectory file to compute speedups against",
+    )
+    parser.add_argument(
+        "--save-baseline", default=None,
+        help="also append this run to the given baseline trajectory",
+    )
+    parser.add_argument("--check-envelope", default=None)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    print(
+        f"profile={args.profile} partition={_HAS_PARTITION} "
+        f"jobs={args.jobs} threshold={args.partition_threshold}"
+    )
+    records = run_bench(args)
+
+    baseline = None
+    if args.baseline:
+        baseline = latest_records(args.baseline, bench=BENCH_NAME)
+    report = render_report(records, args, baseline)
+    print()
+    print(report, end="")
+    if args.out:
+        os.makedirs(os.path.dirname(args.out), exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    extra = {
+        "profile": args.profile,
+        "jobs": args.jobs,
+        "partition_threshold": args.partition_threshold,
+    }
+    if args.json:
+        append_run(
+            args.json, BENCH_NAME, records, label=args.label, extra=extra
+        )
+    if args.save_baseline:
+        append_run(
+            args.save_baseline, BENCH_NAME, records,
+            label=args.label or "baseline", extra=extra,
+        )
+    if args.check_envelope:
+        return check_envelope(
+            records, args.check_envelope, args.max_regression
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,14 +126,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def cmd_compile(args: argparse.Namespace) -> int:
     dag = _resolve_workload(args.workload, args.scale)
     config = _parse_config(args.config)
-    result = compile_dag(dag, config, seed=args.seed)
+    result = compile_dag(
+        dag,
+        config,
+        seed=args.seed,
+        partition_threshold=args.partition_threshold,
+        jobs=args.jobs or 1,
+    )
     s = result.stats
     print(f"workload : {dag.name} ({s.num_nodes} nodes, "
           f"{s.num_operations} binary ops)")
     print(f"config   : {config} ({config.num_pes} PEs)")
+    if s.pieces:
+        print(f"pieces   : {s.pieces} partitions "
+              f"(<= {args.partition_threshold} nodes each, "
+              f"jobs={args.jobs or 1})")
     print(f"blocks   : {s.num_blocks} (PE utilization "
           f"{100 * s.pe_utilization:.0f}%)")
-    print(f"program  : {len(result.program.instructions)} instructions "
+    print(f"program  : {result.total_instructions} instructions "
           f"(exec {s.exec_instructions}, copy {s.copy_instructions}, "
           f"load {s.load_instructions}, store {s.store_instructions}, "
           f"nop {s.nop_instructions})")
@@ -377,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", help="compile and print statistics")
     _add_common(p)
+    p.add_argument(
+        "--partition-threshold", type=int, default=None, metavar="N",
+        help="split DAGs larger than N nodes GRAPHOPT-style and "
+        "compile the partitions independently (paper uses ~20000)",
+    )
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile, simulate, verify")

@@ -30,9 +30,12 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..arch import ArchConfig
 from ..errors import CompileError
-from ..graphs import DAG, OpType, dfs_order
+from ..graphs import DAG, OpType
+from .arrays import DagArrays
 from .combos import Slot, SlotAllocator
 from .cones import Cone, build_cone, cone_height
 
@@ -105,46 +108,32 @@ def decompose(dag: DAG, config: ArchConfig) -> Decomposition:
             (which would indicate a bug, not a user error).
     """
     depth = config.depth
-    trees = config.num_trees
     n = dag.num_nodes
+    arrays = DagArrays.of(dag)
 
-    computed = [False] * n
-    remaining = 0
-    for node in dag.nodes():
-        if dag.op(node) is OpType.INPUT:
-            computed[node] = True
-        else:
-            remaining += 1
+    computed = arrays.is_input.tolist()
+    remaining = n - int(arrays.is_input.sum())
 
-    dfs_pos = dfs_order(dag)
-    overflow = depth + 1
+    dfs_pos = arrays.dfs_pos.tolist()
 
-    # height[node]: cone height under the current computed set,
-    # capped at depth+1. Updated incrementally as blocks commit.
-    height = [0] * n
-    order_nodes = sorted(range(n), key=lambda v: _topo_key(dag, v))
-    # Builder DAGs are topologically ordered by id; relabel-safe path:
-    from ..graphs import topological_order
-
-    height_of_pred = height  # alias for readability
-    for node in topological_order(dag):
-        if computed[node]:
-            height[node] = 0
-            continue
-        worst = 0
-        for p in dag.predecessors(node):
-            worst = max(worst, height_of_pred[p])
-        height[node] = min(worst + 1, overflow)
+    # height[node]: cone height under the current computed set, capped
+    # at depth+1.  Seeded by the level-synchronous array kernel,
+    # updated incrementally as blocks commit.
+    height = arrays.capped_heights(depth).tolist()
 
     # Candidate heaps per cone height, keyed by DFS position (lazy
-    # deletion: entries are revalidated on pop).
-    buckets: list[list[tuple[int, int]]] = [[] for _ in range(depth + 1)]
-    for node in dag.nodes():
-        if not computed[node] and 1 <= height[node] <= depth:
-            heapq.heappush(buckets[height[node]], (dfs_pos[node], node))
+    # deletion: entries are revalidated on pop).  A sorted list is a
+    # valid min-heap, so the per-height bucket seeds skip heappush.
+    height_arr = np.asarray(height, dtype=np.int32)
+    buckets: list[list[tuple[int, int]]] = [[]]
+    for h in range(1, depth + 1):
+        members = np.flatnonzero(height_arr == h)
+        bucket = sorted(
+            zip(arrays.dfs_pos[members].tolist(), members.tolist())
+        )
+        buckets.append(bucket)
 
     blocks: list[Block] = []
-    consumers_pending = [dag.out_degree(v) for v in dag.nodes()]
 
     while remaining > 0:
         block = _build_block(
@@ -161,10 +150,6 @@ def decompose(dag: DAG, config: ArchConfig) -> Decomposition:
 
     _annotate_io(dag, blocks)
     return Decomposition(blocks=blocks, dag=dag, config=config)
-
-
-def _topo_key(dag: DAG, v: int) -> int:
-    return v
 
 
 def _build_block(
@@ -242,6 +227,9 @@ def _commit_block(
 ) -> None:
     """Mark block nodes computed and relax descendant cone heights."""
     overflow = depth + 1
+    succs_of = dag._succs
+    preds_of = dag._preds
+    heappush = heapq.heappush
     for node in block.nodes:
         computed[node] = True
         height[node] = 0
@@ -249,19 +237,21 @@ def _commit_block(
     for _ in range(depth):
         nxt: set[int] = set()
         for node in frontier:
-            for succ in dag.successors(node):
+            for succ in succs_of[node]:
                 if computed[succ]:
                     continue
                 worst = 0
-                for p in dag.predecessors(succ):
-                    worst = max(worst, height[p])
-                new_h = min(worst + 1, overflow)
+                for p in preds_of[succ]:
+                    h = height[p]
+                    if h > worst:
+                        worst = h
+                new_h = worst + 1
+                if new_h > overflow:
+                    new_h = overflow
                 if new_h < height[succ]:
                     height[succ] = new_h
                     if 1 <= new_h <= depth:
-                        heapq.heappush(
-                            buckets[new_h], (dfs_pos[succ], succ)
-                        )
+                        heappush(buckets[new_h], (dfs_pos[succ], succ))
                     nxt.add(succ)
         frontier = nxt
         if not frontier:

@@ -17,6 +17,13 @@ The cone's *height* is the slot depth it needs; its *leaves* are
 already-computed variables (earlier blocks' outputs or external
 inputs); its *nodes* are the uncomputed DAG nodes it covers — these
 become computed once the enclosing block executes.
+
+Unrolled cones are stored in *heap layout* (``kinds``/``vals``
+position arrays: the root at position 0, children of position ``p`` at
+``2p + 1`` / ``2p + 2``) so the decomposer and the placer never chase
+object trees on the hot path; the object form (:data:`Inst`) is still
+available through :attr:`Cone.root`, built lazily for tests and
+analysis code.
 """
 
 from __future__ import annotations
@@ -53,6 +60,16 @@ class PassInst:
 
 Inst = LeafInst | OpInst | PassInst
 
+#: Heap-layout position kinds.
+K_ABSENT = 0
+K_LEAF = 1
+K_PASS = 2
+K_ADD = 3
+K_MUL = 4
+
+_KIND_OF_OP = {OpType.ADD: K_ADD, OpType.MUL: K_MUL}
+_OP_OF_KIND = {K_ADD: OpType.ADD, K_MUL: OpType.MUL}
+
 
 @dataclass(frozen=True)
 class Cone:
@@ -62,7 +79,10 @@ class Cone:
         sink: DAG node computed at the cone root.
         height: PE layers needed (= slot depth); leaves sit at depth
             ``height`` below the root.
-        root: Root instance of the unrolled tree.
+        kinds: Per heap position, one of ``K_ABSENT``/``K_LEAF``/
+            ``K_PASS``/``K_ADD``/``K_MUL``.
+        vals: Per heap position, the leaf variable (``K_LEAF``) or the
+            DAG node computed (``K_ADD``/``K_MUL``); ``-1`` otherwise.
         nodes: Distinct uncomputed DAG nodes covered by the cone.
         leaf_vars: Distinct precomputed variables read at the ports.
         num_instances: PE count used, including PASS padding and
@@ -71,10 +91,46 @@ class Cone:
 
     sink: int
     height: int
-    root: Inst
+    kinds: tuple[int, ...]
+    vals: tuple[int, ...]
     nodes: frozenset[int]
     leaf_vars: frozenset[int]
     num_instances: int
+
+    @property
+    def root(self) -> Inst:
+        """Object form of the unrolled tree (built lazily from layout)."""
+        cached = getattr(self, "_root", None)
+        if cached is None:
+            cached = self._build_inst(0)
+            object.__setattr__(self, "_root", cached)
+        return cached
+
+    # The lazily-built object tree is derived data — keep it out of
+    # pickles (cache artifacts, worker round-trips).
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_root", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+    def _build_inst(self, pos: int) -> Inst:
+        kind = self.kinds[pos]
+        if kind == K_LEAF:
+            return LeafInst(var=self.vals[pos])
+        if kind == K_PASS:
+            return PassInst(child=self._build_inst(2 * pos + 1))
+        if kind in (K_ADD, K_MUL):
+            return OpInst(
+                node=self.vals[pos],
+                op=_OP_OF_KIND[kind],
+                left=self._build_inst(2 * pos + 1),
+                right=self._build_inst(2 * pos + 2),
+            )
+        raise CompileError(f"cone {self.sink}: empty heap position {pos}")
 
 
 def cone_height(dag: DAG, computed, node: int, cap: int) -> int:
@@ -92,6 +148,7 @@ def cone_height(dag: DAG, computed, node: int, cap: int) -> int:
     if computed[node]:
         return 0
     overflow = cap + 1
+    preds_of = dag._preds
     # (node, depth_from_root); explicit stack with memo keyed by node
     # *at this computed-state*: heights only depend on the computed map,
     # so a per-call memo is sound and keeps replication cheap.
@@ -106,12 +163,13 @@ def cone_height(dag: DAG, computed, node: int, cap: int) -> int:
         if cached is not None:
             return cached
         worst = 0
-        for p in dag.predecessors(n):
+        for p in preds_of[n]:
             h = height_of(p, budget - 1)
             if h >= budget:
                 memo[n] = overflow
                 return overflow
-            worst = max(worst, h)
+            if h > worst:
+                worst = h
         result = worst + 1
         memo[n] = result
         return result
@@ -130,37 +188,47 @@ def build_cone(dag: DAG, computed, sink: int, max_height: int) -> Cone | None:
     if height == 0 or height > max_height:
         return None
 
+    size = (1 << (height + 1)) - 1
+    kinds = [K_ABSENT] * size
+    vals = [-1] * size
     nodes: set[int] = set()
     leaf_vars: set[int] = set()
     count = 0
+    preds_of = dag._preds
+    ops_of = dag._ops
 
-    def unroll(n: int, depth_below: int) -> Inst:
-        """Instance sitting ``depth_below`` levels above the port row."""
-        nonlocal count
+    # Iterative unroll into heap positions.  ``below`` is the number of
+    # levels between this instance and the port row.
+    stack: list[tuple[int, int, int]] = [(sink, 0, height)]
+    while stack:
+        n, pos, below = stack.pop()
         if computed[n]:
             # Pad with PASS stages down to the port level.
-            inst: Inst = LeafInst(var=n)
             leaf_vars.add(n)
-            for _ in range(depth_below):
-                inst = PassInst(child=inst)
+            for _ in range(below):
+                kinds[pos] = K_PASS
                 count += 1
-            return inst
-        preds = dag.predecessors(n)
+                pos = 2 * pos + 1
+            kinds[pos] = K_LEAF
+            vals[pos] = n
+            continue
+        preds = preds_of[n]
         if len(preds) != 2:
             raise CompileError(
                 f"node {n} has fan-in {len(preds)}; DAG must be binarized"
             )
         nodes.add(n)
         count += 1
-        left = unroll(preds[0], depth_below - 1)
-        right = unroll(preds[1], depth_below - 1)
-        return OpInst(node=n, op=dag.op(n), left=left, right=right)
+        kinds[pos] = _KIND_OF_OP[ops_of[n]]
+        vals[pos] = n
+        stack.append((preds[1], 2 * pos + 2, below - 1))
+        stack.append((preds[0], 2 * pos + 1, below - 1))
 
-    root = unroll(sink, height)
     return Cone(
         sink=sink,
         height=height,
-        root=root,
+        kinds=tuple(kinds),
+        vals=tuple(vals),
         nodes=frozenset(nodes),
         leaf_vars=frozenset(leaf_vars),
         num_instances=count,

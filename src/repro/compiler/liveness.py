@@ -44,36 +44,40 @@ def analyze_residences(instrs: list[Instruction]) -> list[Residence]:
     """Match reads to writes; returns all residences with their reads."""
     live: dict[tuple[int, int], tuple[int, list[int]]] = {}
     done: list[Residence] = []
-
-    def retire(key: tuple[int, int]) -> None:
-        writer, reads = live.pop(key)
-        done.append(
-            Residence(writer=writer, bank=key[0], var=key[1],
-                      reads=tuple(reads))
-        )
+    live_get = live.get
+    done_append = done.append
 
     for idx, instr in enumerate(instrs):
-        for bank, var in consumed_vars(instr):
-            key = (bank, var)
-            if key not in live:
+        for key in consumed_vars(instr):
+            entry = live_get(key)
+            if entry is None:
+                bank, var = key
                 raise CompileError(
                     f"instr {idx} ({instr.mnemonic}) reads var {var} from "
                     f"bank {bank} with no live residence"
                 )
-            live[key][1].append(idx)
-        for bank, var in produced_vars(instr):
-            key = (bank, var)
-            if key in live:
-                prev_writer, prev_reads = live[key]
+            entry[1].append(idx)
+        for key in produced_vars(instr):
+            entry = live_get(key)
+            if entry is not None:
+                prev_writer, prev_reads = entry
                 if not prev_reads:
+                    bank, var = key
                     raise CompileError(
                         f"instr {idx} overwrites unread residence of var "
                         f"{var} in bank {bank} (written at {prev_writer})"
                     )
-                retire(key)
+                done_append(
+                    Residence(writer=prev_writer, bank=key[0], var=key[1],
+                              reads=tuple(prev_reads))
+                )
+                del live[key]  # reinsert at the end (dict order)
             live[key] = (idx, [])
-    for key in list(live):
-        retire(key)
+    for key, (writer, reads) in live.items():
+        done_append(
+            Residence(writer=writer, bank=key[0], var=key[1],
+                      reads=tuple(reads))
+        )
 
     for res in done:
         if not res.reads:
@@ -84,9 +88,20 @@ def analyze_residences(instrs: list[Instruction]) -> list[Residence]:
     return done
 
 
-def annotate_liveness(instrs: list[Instruction]) -> list[Instruction]:
-    """Return a copy of the schedule with free flags set on last reads."""
-    residences = analyze_residences(instrs)
+def annotate_liveness(
+    instrs: list[Instruction],
+    residences: list[Residence] | None = None,
+) -> list[Instruction]:
+    """Return a copy of the schedule with free flags set on last reads.
+
+    Args:
+        residences: Precomputed :func:`analyze_residences` result for
+            ``instrs`` (flag-setting does not change residence
+            structure, so the pipeline shares one analysis between
+            this pass and spilling).
+    """
+    if residences is None:
+        residences = analyze_residences(instrs)
     # last_read[(instr_idx, bank)] marks that this instruction's read of
     # this bank is the final read of its residence.
     last_read: set[tuple[int, int]] = set()
@@ -95,14 +110,26 @@ def annotate_liveness(instrs: list[Instruction]) -> list[Instruction]:
 
     out: list[Instruction] = []
     for idx, instr in enumerate(instrs):
+        # Instructions whose flags are already correct (common on the
+        # post-spill re-annotation) are reused as-is — the replaced
+        # copy would compare equal anyway.
         if isinstance(instr, ExecInstr):
             rst = frozenset(
                 bank
                 for bank, _ in instr.bank_reads
                 if (idx, bank) in last_read
             )
-            out.append(dataclasses.replace(instr, valid_rst=rst))
+            if rst == instr.valid_rst:
+                out.append(instr)
+            else:
+                out.append(dataclasses.replace(instr, valid_rst=rst))
         elif isinstance(instr, CopyInstr):
+            if all(
+                m.free_source == ((idx, m.src_bank) in last_read)
+                for m in instr.moves
+            ):
+                out.append(instr)
+                continue
             moves = tuple(
                 dataclasses.replace(
                     m, free_source=(idx, m.src_bank) in last_read
@@ -111,6 +138,12 @@ def annotate_liveness(instrs: list[Instruction]) -> list[Instruction]:
             )
             out.append(CopyInstr(moves=moves))
         elif isinstance(instr, StoreInstr):
+            if all(
+                s.free_source == ((idx, s.bank) in last_read)
+                for s in instr.slots
+            ):
+                out.append(instr)
+                continue
             slots = tuple(
                 dataclasses.replace(
                     s, free_source=(idx, s.bank) in last_read

@@ -13,11 +13,21 @@ and block outputs.  The constraints mirror the paper's:
 
 The mapper is the paper's greedy: maintain the compatible-bank set
 ``Sb`` of every unassigned io variable, always map the variable with
-the fewest compatible banks next (via the ``Mnodes`` bucket structure,
-O(B) selection), choose uniformly at random among compatible banks
-(objective J: balance), and fall back to the least-contended bank when
-none is compatible — which the scheduler later resolves with ``copy``
-instructions (bank conflicts, objective I).
+the fewest compatible banks next, choose uniformly at random among
+compatible banks (objective J: balance), and fall back to the
+least-contended bank when none is compatible — which the scheduler
+later resolves with ``copy`` instructions (bank conflicts,
+objective I).
+
+The ``Sb`` state lives in numpy: a boolean (io-var, bank) matrix, a
+size vector, and a two-level counting index (per-``|Sb|`` counts per
+256-variable block of the sorted io-var space) that answers "k-th
+smallest-id variable with the minimum ``|Sb|``" in O(blocks) — the
+selection every assignment performs.  The same random choices as the
+historical bucket-of-sets implementation are reproduced exactly: the
+k-th member of a bucket in ascending variable order, with one
+``randrange`` per pop and one per bank choice, so programs (and the
+goldens) are bitwise-unchanged.
 
 When an *output* runs out of compatible banks, constraint H cannot be
 traded for a copy (the value exists only in the datapath that cycle),
@@ -31,13 +41,27 @@ the repair provably succeeds.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..arch import ArchConfig, Interconnect
 from ..errors import MappingError
-from ..graphs import DAG, OpType
 from .blocks import Decomposition
 from .placement import BlockPlacement, place_block, writer_pe
+
+#: Io-var space is indexed in 256-variable blocks by the counting
+#: index (a power of two keeps ``// BLK`` a shift).
+_BLK = 256
+
+#: Below this io-var count the per-assignment numpy calls cost more
+#: than the plain bucket-of-sets selection, so small compiles (the
+#: whole Table-I suite at test scale) take the set-based path.  Both
+#: paths replay the identical random-choice sequence —
+#: tests/test_compiler_arrays.py::TestMapperPathEquivalence pins the
+#: A/B (including the conflict/repair fallbacks) by forcing each path
+#: on the same decompositions.
+_ARRAY_KERNEL_MIN_VARS = 4096
 
 
 @dataclass
@@ -84,7 +108,6 @@ def map_banks(
         raise MappingError(f"unknown mapping strategy {strategy!r}")
     rng = random.Random(seed)
     config = decomposition.config
-    dag = decomposition.dag
 
     placements = [place_block(b, config) for b in decomposition.blocks]
 
@@ -121,14 +144,143 @@ def map_banks(
             out_group_of, groups,
         )
 
-    all_banks = frozenset(range(config.banks))
+    banks = config.banks
+    n_io = len(io_vars)
+    all_banks = frozenset(range(banks))
+    if n_io < _ARRAY_KERNEL_MIN_VARS:
+        bank_of, conflicts, repairs = _assign_small(
+            rng, config, io_vars, writable, var_groups, groups,
+            out_group_of, all_banks,
+        )
+        return Mapping(
+            bank_of=bank_of,
+            write_pe=write_pe,
+            placements=placements,
+            predicted_read_conflicts=conflicts,
+            repairs=repairs,
+        )
+    var_index = {v: i for i, v in enumerate(io_vars)}
+
+    # Sb as a boolean matrix over (io-var index, bank); outputs start
+    # restricted to their hardware-writable banks (constraint H).
+    sb = np.ones((n_io, banks), dtype=bool)
+    for v, options in writable.items():
+        row = sb[var_index[v]]
+        row[:] = False
+        row[list(options)] = True
+    sizes = sb.sum(axis=1).astype(np.int64)
+    alive = np.ones(n_io, dtype=bool)
+
+    # Two-level counting index: cnt[s, blk] = alive vars with |Sb|=s in
+    # io-var block blk; bucket_tot[s] = row sums, kept incrementally.
+    nblk = (n_io + _BLK - 1) // _BLK or 1
+    blk_of = np.arange(n_io, dtype=np.int64) // _BLK
+    cnt = np.zeros((banks + 1, nblk), dtype=np.int64)
+    np.add.at(cnt, (sizes, blk_of), 1)
+    bucket_tot = np.bincount(sizes, minlength=banks + 1).astype(np.int64)
+
+    # Group membership in index space, for the compatibility updates.
+    group_members: list[np.ndarray] = [
+        np.fromiter(
+            (var_index[v] for v in g), dtype=np.int64, count=len(g)
+        )
+        for g in groups
+    ]
+    gids_of: list[list[int]] = [var_groups[v] for v in io_vars]
+
+    bank_of: dict[int, int] = {}
+    conflicts = 0
+    repairs = 0
+
+    # A pop can lower the minimum |Sb| by at most one (each peer loses
+    # at most one bank), so the min-bucket scan resumes near the
+    # previous minimum instead of restarting at zero.
+    s = 0
+    for _ in range(n_io):
+        # --- pop the min-|Sb| variable, k-th in ascending var order ---
+        if s > 0:
+            s -= 1
+        while not bucket_tot[s]:
+            s += 1
+        k = rng.randrange(int(bucket_tot[s]))
+        row_cum = np.cumsum(cnt[s])
+        blk = int(np.searchsorted(row_cum, k, side="right"))
+        base = int(row_cum[blk - 1]) if blk else 0
+        lo = blk * _BLK
+        seg = (
+            (sizes[lo : lo + _BLK] == s) & alive[lo : lo + _BLK]
+        ).nonzero()[0]
+        v_idx = lo + int(seg[k - base])
+        v = io_vars[v_idx]
+
+        # --- choose its bank -----------------------------------------
+        if s > 0:
+            options = sb[v_idx].nonzero()[0]
+            bank = int(options[rng.randrange(options.size)])
+        elif v in writable:
+            bank, moved = _repair_output(
+                v, writable, bank_of, out_group_of, groups, rng
+            )
+            repairs += moved
+        else:
+            bank = _least_contended(
+                v, all_banks, var_groups, groups, bank_of, rng
+            )
+            conflicts += 1
+        bank_of[v] = bank
+
+        # --- retire v and update peers' compatibility ----------------
+        alive[v_idx] = False
+        cnt[s, v_idx // _BLK] -= 1
+        bucket_tot[s] -= 1
+        gids = gids_of[v_idx]
+        if len(gids) == 1:
+            peers = group_members[gids[0]]
+        else:
+            peers = np.concatenate([group_members[g] for g in gids])
+        hit = sb[peers, bank] & alive[peers]
+        if hit.any():
+            affected = np.unique(peers[hit])
+            sb[affected, bank] = False
+            old = sizes[affected]
+            sizes[affected] = old - 1
+            blks = affected // _BLK
+            np.add.at(cnt, (old, blks), -1)
+            np.add.at(cnt, (old - 1, blks), 1)
+            np.add.at(bucket_tot, old, -1)
+            np.add.at(bucket_tot, old - 1, 1)
+
+    return Mapping(
+        bank_of=bank_of,
+        write_pe=write_pe,
+        placements=placements,
+        predicted_read_conflicts=conflicts,
+        repairs=repairs,
+    )
+
+
+def _assign_small(
+    rng: random.Random,
+    config: ArchConfig,
+    io_vars: list[int],
+    writable: dict[int, tuple[int, ...]],
+    var_groups: dict[int, list[int]],
+    groups: list[list[int]],
+    out_group_of: dict[int, int],
+    all_banks: frozenset[int],
+) -> tuple[dict[int, int], int, int]:
+    """Bucket-of-sets Algorithm 2 (the historical implementation).
+
+    Kept as the small-DAG fast path: identical selection semantics to
+    the array kernel (min-|Sb| bucket, k-th member in ascending var
+    order, same randrange sequence), cheaper below a few thousand io
+    vars.
+    """
     sb: dict[int, set[int]] = {}
     for v in io_vars:
         base = set(writable[v]) if v in writable else set(all_banks)
         sb[v] = base
 
-    # Mnodes: buckets keyed by |Sb| for O(B) min selection (Algorithm 2
-    # lines 9-18). Stale entries are skipped on pop.
     buckets: list[set[int]] = [set() for _ in range(config.banks + 1)]
     for v in io_vars:
         buckets[len(sb[v])].add(v)
@@ -163,14 +315,7 @@ def map_banks(
                     sb[peer].discard(bank)
                     buckets[size].discard(peer)
                     buckets[size - 1].add(peer)
-
-    return Mapping(
-        bank_of=bank_of,
-        write_pe=write_pe,
-        placements=placements,
-        predicted_read_conflicts=conflicts,
-        repairs=repairs,
-    )
+    return bank_of, conflicts, repairs
 
 
 def _pop_min_sb(

@@ -26,7 +26,7 @@ from ..arch import ArchConfig, Interconnect, Program, Topology
 from ..errors import CompileError
 from ..graphs import DAG, OpType, binarize, validate
 from .blocks import Decomposition, decompose
-from .liveness import annotate_liveness
+from .liveness import analyze_residences, annotate_liveness
 from .mapping import Mapping, map_banks
 from .regalloc import Allocation, allocate_addresses
 from .reorder import reorder, verify_hazard_free
@@ -54,6 +54,8 @@ class CompileStats:
     mapping_repairs: int = 0
     compile_seconds: float = 0.0
     step_seconds: dict[str, float] = field(default_factory=dict)
+    #: Number of independently compiled partitions (0 = monolithic).
+    pieces: int = 0
 
 
 @dataclass
@@ -106,7 +108,9 @@ def compile_dag(
     trace_occupancy: bool = False,
     validate_input: bool = True,
     keep: frozenset[int] | set[int] | tuple[int, ...] = (),
-) -> CompileResult:
+    partition_threshold: int | None = None,
+    jobs: int = 1,
+):
     """Compile a DAG for a DPU-v2 configuration.
 
     Args:
@@ -119,6 +123,8 @@ def compile_dag(
             ``"random"`` (fig. 10(b) baseline).
         trace_occupancy: Record the per-instruction bank-occupancy
             trace (fig. 10(c)/(d)); costs memory on long programs.
+            Mutually exclusive with the partitioned path — combining
+            it with an active ``partition_threshold`` raises.
         validate_input: Run structural validation first (disable for
             trusted, repeatedly compiled DAGs).
         keep: Original-DAG node ids whose values must be observable
@@ -126,11 +132,45 @@ def compile_dag(
             sinks).  Values fully consumed inside the PE trees never
             reach the register file otherwise — use this e.g. for
             every ``x_i`` of a triangular solve.
+        partition_threshold: When set and the DAG is larger than this
+            many nodes, split it GRAPHOPT-style and compile partitions
+            independently (returns a
+            :class:`~repro.compiler.partitioned.PartitionedCompileResult`
+            instead of a :class:`CompileResult`; boundary values flow
+            through data memory and execution is bitwise-identical to
+            the monolithic program).  ``None`` (default) always
+            compiles monolithically.
+        jobs: Worker processes for the partitioned path (ignored when
+            compiling monolithically).
+
+    Returns:
+        A :class:`CompileResult`, or a ``PartitionedCompileResult``
+        when the partitioned path is taken.
 
     Raises:
         CompileError and subclasses on any internal inconsistency —
         the pipeline cross-checks every pass.
     """
+    if partition_threshold is not None and dag.num_nodes > partition_threshold:
+        if trace_occupancy:
+            raise CompileError(
+                "trace_occupancy is not supported on the partitioned "
+                "path; compile monolithically (partition_threshold=None) "
+                "to record occupancy traces"
+            )
+        from .partitioned import compile_partitioned
+
+        return compile_partitioned(
+            dag,
+            config,
+            topology=topology,
+            seed=seed,
+            mapping_strategy=mapping_strategy,
+            validate_input=validate_input,
+            keep=keep,
+            partition_threshold=partition_threshold,
+            jobs=jobs,
+        )
     t_start = time.perf_counter()
     steps: dict[str, float] = {}
 
@@ -176,8 +216,11 @@ def compile_dag(
     steps["reorder"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    flagged = annotate_liveness(reordered.instructions)
-    spilled = insert_spills(flagged, config, next_row=schedule.num_rows)
+    residences = analyze_residences(reordered.instructions)
+    flagged = annotate_liveness(reordered.instructions, residences=residences)
+    spilled = insert_spills(
+        flagged, config, next_row=schedule.num_rows, residences=residences
+    )
     # Spilling splits residences; re-run liveness so the flags reflect
     # the final read order, then assert the pipeline discipline.
     final_instrs = annotate_liveness(spilled.instructions)

@@ -5,17 +5,24 @@ Positions are canonical (see the deviation note in
 an OpInst's left/right children go to the left/right child PEs, and a
 PassInst forwards its child through operand A.  Leaves land on the
 register read ports spanned by the slot.
+
+The placer walks each cone's heap layout (``kinds``/``vals``) in the
+same pre-order as the old object-tree recursion — pre-order matters:
+it fixes the order of a node's replica list, which
+:func:`writer_pe` breaks ties on — and converts (depth, offset)
+coordinates to global PE/port ids with a per-call layer-base table
+instead of per-instance :meth:`~repro.arch.ArchConfig.pe_id` calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..arch import ArchConfig, PEOp
 from ..errors import MappingError
-from ..graphs import OpType
 from .blocks import Block, PlacedCone
-from .cones import Inst, LeafInst, OpInst, PassInst
+from .cones import K_ADD, K_LEAF, K_MUL, K_PASS
 
 
 @dataclass
@@ -37,53 +44,97 @@ class BlockPlacement:
         return set(self.port_vars.values())
 
 
-_OP_TO_PEOP = {OpType.ADD: PEOp.ADD, OpType.MUL: PEOp.MUL}
+_PEOP_OF_KIND = {K_ADD: PEOp.ADD, K_MUL: PEOp.MUL}
+
+
+@lru_cache(maxsize=32)
+def _depth_offset_table(height: int) -> tuple[tuple[int, int], ...]:
+    """(depth, offset) of every heap position of a height-``h`` cone."""
+    out = []
+    for pos in range((1 << (height + 1)) - 1):
+        depth = (pos + 1).bit_length() - 1
+        out.append((depth, pos + 1 - (1 << depth)))
+    return tuple(out)
+
+
+def _layer_bases(config: ArchConfig) -> list[int]:
+    """``base[layer]`` = first PE id of 1-based ``layer`` within a tree."""
+    depth = config.depth
+    bases = [0] * (depth + 2)
+    acc = 0
+    for layer in range(1, depth + 1):
+        bases[layer] = acc
+        acc += 1 << (depth - layer)
+    return bases
 
 
 def place_block(block: Block, config: ArchConfig) -> BlockPlacement:
     """Bind every cone of ``block`` to PEs and ports."""
     placement = BlockPlacement()
+    bases = _layer_bases(config)
     for placed in block.placed:
-        _place_cone(placed, config, placement)
+        _place_cone(placed, config, placement, bases)
     return placement
 
 
 def _place_cone(
-    placed: PlacedCone, config: ArchConfig, out: BlockPlacement
+    placed: PlacedCone,
+    config: ArchConfig,
+    out: BlockPlacement,
+    bases: list[int] | None = None,
 ) -> None:
+    if bases is None:
+        bases = _layer_bases(config)
     slot = placed.slot
+    cone = placed.cone
     height = slot.depth
+    kinds = cone.kinds
+    vals = cone.vals
+    tree_pe_base = slot.tree * config.pes_per_tree
+    port_base = config.input_port(slot.tree, 0) + slot.index * (1 << height)
+    pe_ops = out.pe_ops
+    port_vars = out.port_vars
+    node_pes = out.node_pes
 
-    def visit(inst: Inst, depth: int, offset: int) -> None:
+    # Linear walk of the heap layout.  Within one layer, ascending
+    # position order equals the old pre-order's left-to-right order,
+    # and writer_pe's deepest-layer tie-break only compares replicas
+    # within a layer — so the replica lists it sees are unchanged.
+    depth_off = _depth_offset_table(height)
+    slot_index = slot.index
+    for pos, kind in enumerate(kinds):
+        if not kind:
+            continue
+        depth, offset = depth_off[pos]
         layer = height - depth
-        if isinstance(inst, LeafInst):
+        if kind == K_LEAF:
             if layer != 0:
                 raise MappingError(
-                    f"leaf of cone {placed.cone.sink} at layer {layer}"
+                    f"leaf of cone {cone.sink} at layer {layer}"
                 )
-            port_index = slot.index * (1 << height) + offset
-            port = config.input_port(slot.tree, port_index)
-            prev = out.port_vars.get(port)
-            if prev is not None and prev != inst.var:
+            port = port_base + offset
+            var = vals[pos]
+            prev = port_vars.get(port)
+            if prev is not None and prev != var:
                 raise MappingError(
-                    f"port {port} claimed by vars {prev} and {inst.var}"
+                    f"port {port} claimed by vars {prev} and {var}"
                 )
-            out.port_vars[port] = inst.var
-            return
-        index = slot.index * (1 << depth) + offset
-        pe = config.pe_id(slot.tree, layer, index)
-        if pe in out.pe_ops:
+            port_vars[port] = var
+            continue
+        pe = tree_pe_base + bases[layer] + (slot_index << depth) + offset
+        if pe in pe_ops:
             raise MappingError(f"PE {pe} double-booked within a block")
-        if isinstance(inst, PassInst):
-            out.pe_ops[pe] = PEOp.PASS_A
-            visit(inst.child, depth + 1, 2 * offset)
-            return
-        out.pe_ops[pe] = _OP_TO_PEOP[inst.op]
-        out.node_pes.setdefault(inst.node, []).append(pe)
-        visit(inst.left, depth + 1, 2 * offset)
-        visit(inst.right, depth + 1, 2 * offset + 1)
+        if kind == K_PASS:
+            pe_ops[pe] = PEOp.PASS_A
+            continue
+        pe_ops[pe] = _PEOP_OF_KIND[kind]
+        node_pes.setdefault(vals[pos], []).append(pe)
 
-    visit(placed.cone.root, 0, 0)
+
+@lru_cache(maxsize=64)
+def pe_layer_table(config: ArchConfig) -> tuple[int, ...]:
+    """1-based layer of every global PE id (configs are frozen)."""
+    return tuple(config.pe_layer(pe) for pe in range(config.num_pes))
 
 
 def writer_pe(
@@ -98,4 +149,4 @@ def writer_pe(
     pes = placement.node_pes.get(node)
     if not pes:
         raise MappingError(f"node {node} has no PE in this block")
-    return max(pes, key=config.pe_layer)
+    return max(pes, key=pe_layer_table(config).__getitem__)

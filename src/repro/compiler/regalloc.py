@@ -73,6 +73,7 @@ def allocate_addresses(
 
     for idx, instr in enumerate(instrs):
         reads: dict[int, int] = {}
+        read_var: dict[int, int] = {}
         for bank, var in consumed_vars(instr):
             table = addr_of[bank]
             if var not in table:
@@ -81,11 +82,17 @@ def allocate_addresses(
                     f"bank {bank} but it is not allocated"
                 )
             reads[bank] = table[var]
+            read_var[bank] = var
         read_addrs.append(reads)
 
         # Frees (valid_rst) before this instruction's own reserves.
         for bank in instr.valid_rst:
-            var = _var_read_from(instr, bank, idx)
+            var = read_var.get(bank)
+            if var is None:
+                raise CompileError(
+                    f"instr {idx} asserts valid_rst for bank {bank} "
+                    "without reading it"
+                )
             addr = addr_of[bank].pop(var)
             heapq.heappush(free[bank], addr)
 
@@ -116,13 +123,4 @@ def allocate_addresses(
         write_addrs=write_addrs,
         peak_occupancy=peak,
         trace=samples,
-    )
-
-
-def _var_read_from(instr: Instruction, bank: int, idx: int) -> int:
-    for b, var in consumed_vars(instr):
-        if b == bank:
-            return var
-    raise CompileError(
-        f"instr {idx} asserts valid_rst for bank {bank} without reading it"
     )

@@ -34,6 +34,7 @@ from ..arch import (
 )
 from ..errors import ScheduleError
 from ..graphs import DAG, OpType
+from .arrays import DagArrays
 from .blocks import Decomposition
 from .mapping import Mapping
 
@@ -88,6 +89,7 @@ def build_schedule(
     dag = decomposition.dag
     config = decomposition.config
     bank_of = mapping.bank_of
+    is_input = DagArrays.of(dag).is_input.tolist()
     stats = ScheduleStats()
     instrs: list[Instruction] = []
 
@@ -105,7 +107,7 @@ def build_schedule(
         fresh = sorted(
             v
             for v in block.input_vars
-            if dag.op(v) is OpType.INPUT and v not in loaded
+            if is_input[v] and v not in loaded
         )
         block_rows: list[dict[int, int]] = []  # per row: bank -> var
         for v in fresh:
@@ -258,13 +260,11 @@ def _emit_output_stores(
     keep_vars: frozenset[int] = frozenset(),
 ) -> tuple[dict[int, tuple[int, int]], int]:
     """Store every DAG sink (+ kept vars) to memory, row-packed."""
+    arrays = DagArrays.of(dag)
+    sink_mask = (arrays.out_degree == 0) & ~arrays.is_input
     sinks = sorted(
-        {
-            v
-            for v in dag.nodes()
-            if not dag.successors(v) and dag.op(v) is not OpType.INPUT
-        }
-        | {v for v in keep_vars if dag.op(v) is not OpType.INPUT}
+        set(sink_mask.nonzero()[0].tolist())
+        | {v for v in keep_vars if not arrays.is_input[v]}
     )
     queues: dict[int, list[int]] = {}
     for v in sinks:

@@ -30,6 +30,7 @@ is guarded by an in-flight check with ``nop`` aging as a last resort.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from ..arch import (
@@ -44,7 +45,7 @@ from ..arch import (
     result_latency,
 )
 from ..errors import SpillError
-from .liveness import analyze_residences
+from .liveness import Residence, analyze_residences
 
 
 @dataclass
@@ -96,22 +97,34 @@ class _SpillState:
                 self.reads_by_key.setdefault((bank, var), []).append(idx)
 
     def reads_after(self, bank: int, var: int, idx: int) -> list[int]:
-        return [r for r in self.reads_by_key.get((bank, var), []) if r >= idx]
+        reads = self.reads_by_key.get((bank, var), [])
+        # ``reads`` is ascending, so the suffix starts at a bisect —
+        # the old full scan made reload-heavy programs quadratic.
+        return reads[bisect_left(reads, idx) :]
+
+    def has_reads_after(self, bank: int, var: int, idx: int) -> bool:
+        reads = self.reads_by_key.get((bank, var), [])
+        return bisect_left(reads, idx) < len(reads)
 
 
 def insert_spills(
     instrs: list[Instruction],
     config: ArchConfig,
     next_row: int,
+    residences: list[Residence] | None = None,
 ) -> SpillResult:
     """Bound every bank's occupancy to R by spilling to data memory.
 
     Args:
         instrs: Liveness-annotated, reordered schedule.
         next_row: First data-memory row available for spill slots.
+        residences: Precomputed residence analysis of ``instrs``
+            (liveness flags do not change residence structure, so the
+            pipeline reuses the annotation pass's analysis).
     """
     st = _SpillState(instrs, config, next_row)
-    residences = analyze_residences(instrs)
+    if residences is None:
+        residences = analyze_residences(instrs)
     res_of_write: dict[tuple[int, int, int], tuple[int, ...]] = {
         (r.writer, r.bank, r.var): r.reads for r in residences
     }
@@ -256,8 +269,7 @@ def _emit_reload(st: _SpillState, bank: int, var: int, current_idx: int,
             continue  # residence superseded by a later spill row
         if len(st.occupants[mate_bank]) >= st.capacity - 1:
             continue  # no headroom: bringing it back would thrash
-        mate_reads = st.reads_after(mate_bank, mate_var, current_idx)
-        if not mate_reads:
+        if not st.has_reads_after(mate_bank, mate_var, current_idx):
             continue
         dests.append((mate_bank, mate_var))
 

@@ -47,7 +47,10 @@ class DAG:
         "_succs",
         "_input_slots",
         "_num_inputs",
+        "_pred_csr",
+        "_succ_csr",
         "name",
+        "__weakref__",
     )
 
     def __init__(
@@ -86,6 +89,8 @@ class DAG:
         self._num_inputs = sum(
             1 for op in self._ops if op is OpType.INPUT
         )
+        self._pred_csr = None
+        self._succ_csr = None
         self.name = name
 
     def _assign_input_slots(
@@ -203,6 +208,69 @@ class DAG:
 
     def max_fan_out(self) -> int:
         return max((len(s) for s in self._succs), default=0)
+
+    # ------------------------------------------------------------------
+    # Array views (compiler kernels)
+    # ------------------------------------------------------------------
+    def pred_csr(self) -> tuple["np.ndarray", "np.ndarray"]:
+        """CSR view of the predecessor lists: ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are ``predecessors(v)`` in
+        order.  Built once and cached (the DAG is immutable); the
+        arrays are shared — treat them as read-only.
+        """
+        cached = getattr(self, "_pred_csr", None)
+        if cached is None:
+            cached = self._build_csr(self._preds)
+            self._pred_csr = cached
+        return cached
+
+    def succ_csr(self) -> tuple["np.ndarray", "np.ndarray"]:
+        """CSR view of the successor lists: ``(indptr, indices)``."""
+        cached = getattr(self, "_succ_csr", None)
+        if cached is None:
+            cached = self._build_csr(self._succs)
+            self._succ_csr = cached
+        return cached
+
+    @staticmethod
+    def _build_csr(
+        rows: Sequence[Sequence[int]],
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        import numpy as np
+
+        n = len(rows)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((len(r) for r in rows), dtype=np.int64, count=n),
+            out=indptr[1:],
+        )
+        indices = np.fromiter(
+            (x for row in rows for x in row),
+            dtype=np.int32,
+            count=int(indptr[-1]),
+        )
+        return indptr, indices
+
+    # Cached CSR views are derived data: rebuild after unpickling
+    # instead of shipping numpy arrays inside every artifact/worker
+    # payload (also keeps pickles from older revisions loadable).
+    def __getstate__(self) -> dict:
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_pred_csr", "_succ_csr", "__weakref__")
+        }
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # pre-__getstate__ pickles
+            state = state[1] or {}
+        for key, value in state.items():
+            if key in ("_pred_csr", "_succ_csr"):
+                continue
+            setattr(self, key, value)
+        self._pred_csr = None
+        self._succ_csr = None
 
     def __len__(self) -> int:
         return self.num_nodes

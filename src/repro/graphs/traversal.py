@@ -9,11 +9,74 @@ recursion would overflow on the paper's deep SpTRSV DAGs (longest path
 
 from __future__ import annotations
 
-from collections import deque
+import weakref
 from collections.abc import Iterable
+
+import numpy as np
 
 from ..errors import CycleError
 from .dag import DAG
+
+# DAGs are immutable, so their traversal structure is a pure function
+# of identity.  The compiler runs decompose -> schedule -> liveness ->
+# spill -> re-liveness over one DAG; memoizing here means the
+# topological order and ASAP levels are computed once per DAG instead
+# of once per pass.  Weak keys keep the memo from pinning DAGs alive.
+_TOPO_MEMO: "weakref.WeakKeyDictionary[DAG, tuple[np.ndarray, np.ndarray]]"
+_TOPO_MEMO = weakref.WeakKeyDictionary()
+
+def _topo_arrays(dag: DAG) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(topo_order, levels)`` int32 arrays (shared; read-only).
+
+    The order is classic FIFO Kahn — the order the whole compiler was
+    built and goldened against.  A node's ASAP level falls out of the
+    same sweep: in FIFO Kahn a node is enqueued exactly when its last
+    predecessor is processed, so its dequeue "generation" equals
+    ``1 + max(level(pred))``.
+    """
+    cached = _TOPO_MEMO.get(dag)
+    if cached is not None:
+        return cached
+    n = dag.num_nodes
+    succs = dag._succs
+    indegree = [len(p) for p in dag._preds]
+    order: list[int] = [v for v in range(n) if indegree[v] == 0]
+    levels = [0] * n
+    head = 0
+    level_of = levels  # alias: read as "level written so far"
+    # order doubles as the FIFO queue: items are appended as they
+    # become ready and `head` walks the settled prefix.
+    while head < len(order):
+        node = order[head]
+        head += 1
+        node_level = level_of[node] + 1
+        for succ in succs[node]:
+            indegree[succ] -= 1
+            if level_of[succ] < node_level:
+                level_of[succ] = node_level
+            if indegree[succ] == 0:
+                order.append(succ)
+    if len(order) != n:
+        raise CycleError(
+            f"graph has a cycle: only {len(order)}/{dag.num_nodes} nodes "
+            "are topologically sortable"
+        )
+    result = (
+        np.asarray(order, dtype=np.int32),
+        np.asarray(levels, dtype=np.int32),
+    )
+    _TOPO_MEMO[dag] = result
+    return result
+
+
+def topological_order_array(dag: DAG) -> np.ndarray:
+    """Memoized FIFO-Kahn order as an int32 array (shared; read-only)."""
+    return _topo_arrays(dag)[0]
+
+
+def node_levels_array(dag: DAG) -> np.ndarray:
+    """Memoized ASAP levels as an int32 array (shared; read-only)."""
+    return _topo_arrays(dag)[1]
 
 
 def topological_order(dag: DAG) -> list[int]:
@@ -23,22 +86,7 @@ def topological_order(dag: DAG) -> list[int]:
         CycleError: If the graph contains a cycle (should be impossible
             for builder-produced DAGs but guards external input files).
     """
-    indegree = [dag.in_degree(n) for n in dag.nodes()]
-    ready = deque(n for n in dag.nodes() if indegree[n] == 0)
-    order: list[int] = []
-    while ready:
-        node = ready.popleft()
-        order.append(node)
-        for succ in dag.successors(node):
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                ready.append(succ)
-    if len(order) != dag.num_nodes:
-        raise CycleError(
-            f"graph has a cycle: only {len(order)}/{dag.num_nodes} nodes "
-            "are topologically sortable"
-        )
-    return order
+    return _topo_arrays(dag)[0].tolist()
 
 
 def node_levels(dag: DAG) -> list[int]:
@@ -48,12 +96,7 @@ def node_levels(dag: DAG) -> list[int]:
     its inputs.  This is the "wavefront" structure used by the CPU/GPU
     baselines (level-parallel execution) and by Table I's longest path.
     """
-    levels = [0] * dag.num_nodes
-    for node in topological_order(dag):
-        preds = dag.predecessors(node)
-        if preds:
-            levels[node] = 1 + max(levels[p] for p in preds)
-    return levels
+    return _topo_arrays(dag)[1].tolist()
 
 
 def level_sets(dag: DAG) -> list[list[int]]:

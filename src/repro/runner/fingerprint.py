@@ -36,7 +36,7 @@ from ..graphs import DAG, OpType, topological_order
 
 #: Version tag of the cached-artifact schema.  Bump on any compiler,
 #: activity-model or payload-layout change so stale artifacts miss.
-COMPILER_CACHE_VERSION = "1"
+COMPILER_CACHE_VERSION = "2"  # 2: array-form Cone layout in cached Decompositions
 
 _DIGEST_BYTES = 16
 

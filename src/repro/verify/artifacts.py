@@ -76,6 +76,8 @@ def write_case(case: ReproCase, out_dir: str | Path | None = None) -> Path:
             "value_seed": case.scenario.value_seed,
             "batch": case.scenario.batch,
             "fault": case.scenario.fault,
+            "partition_threshold": case.scenario.partition_threshold,
+            "partition_jobs": case.scenario.partition_jobs,
         },
         "mismatch": {
             "stage": case.mismatch.stage,
@@ -106,12 +108,17 @@ def load_case(path: str | Path) -> ReproCase:
                 f"{payload.get('schema')!r}"
             )
         raw = payload["scenario"]
+        raw_threshold = raw.get("partition_threshold")
         scenario = Scenario(
             params=SynthParams.from_dict(raw["params"]),
             config_label=raw["config"],
             value_seed=int(raw["value_seed"]),
             batch=int(raw["batch"]),
             fault=raw.get("fault"),
+            partition_threshold=(
+                None if raw_threshold is None else int(raw_threshold)
+            ),
+            partition_jobs=int(raw.get("partition_jobs", 1)),
         )
         mismatch = Mismatch(
             stage=payload["mismatch"]["stage"],
@@ -147,4 +154,6 @@ def replay_case(path: str | Path) -> DiffReport:
         value_seed=case.scenario.value_seed,
         batch=case.scenario.batch,
         fault=case.scenario.fault,
+        partition_threshold=case.scenario.partition_threshold,
+        partition_jobs=case.scenario.partition_jobs,
     )

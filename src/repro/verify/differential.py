@@ -59,6 +59,7 @@ FAULTS: dict[str, str] = {
     "scalar_value": "reference-vs-scalar",
     "counter_drift": "plan-vs-scalar-counters",
     "warm_output": "warm-vs-cold",
+    "partition_boundary": "partitioned-vs-reference",
 }
 
 
@@ -94,6 +95,12 @@ class Scenario:
     value_seed: int = 0
     batch: int = 3
     fault: str | None = None
+    #: When set, the oracle additionally compiles through the
+    #: partition-parallel path (pieces of at most this many nodes,
+    #: ``partition_jobs`` workers) and cross-checks the stitched
+    #: execution bitwise against the reference.
+    partition_threshold: int | None = None
+    partition_jobs: int = 1
 
     def config(self) -> ArchConfig:
         return config_from_label(self.config_label)
@@ -165,11 +172,19 @@ def diff_check_dag(
     batch: int = 3,
     fault: str | None = None,
     compile_seed: int = 0,
+    partition_threshold: int | None = None,
+    partition_jobs: int = 1,
 ) -> DiffReport:
     """Run the full three-way differential oracle on one DAG.
 
     Returns a :class:`DiffReport` whose ``mismatch`` is ``None`` when
     every cross-check agrees, else the first disagreement.
+
+    With ``partition_threshold`` set (or the ``partition_boundary``
+    fault selected, which implies a threshold of half the DAG), the
+    oracle also compiles through the partition-parallel path and
+    checks the stitched scalar and batch executions bitwise against
+    the reference interpreter.
 
     Raises:
         SpillError: When the config genuinely cannot hold the DAG's
@@ -179,7 +194,8 @@ def diff_check_dag(
     """
     stats: dict[str, int] = {}
     mismatch = _oracle(
-        dag, config, value_seed, batch, fault, compile_seed, stats
+        dag, config, value_seed, batch, fault, compile_seed, stats,
+        partition_threshold, partition_jobs,
     )
     return DiffReport(mismatch, cycles=stats.get("cycles", 0))
 
@@ -192,6 +208,8 @@ def _oracle(
     fault: str | None,
     compile_seed: int,
     stats: dict[str, int],
+    partition_threshold: int | None = None,
+    partition_jobs: int = 1,
 ) -> Mismatch | None:
     _validate_fault(fault)
     validate(dag)
@@ -294,6 +312,20 @@ def _oracle(
             f"batch totals are not per-row counters x {batch_result.batch}",
         )
 
+    # ---- partition-parallel compile vs monolithic -------------------
+    threshold = partition_threshold
+    if fault == "partition_boundary" and threshold is None:
+        # The fault targets the stitched boundary values, so imply a
+        # threshold that forces at least two pieces at any DAG size.
+        threshold = max(1, dag.num_nodes // 2)
+    if threshold is not None and dag.num_nodes > threshold:
+        mismatch = _check_partitioned(
+            dag, config, compile_seed, threshold, partition_jobs,
+            matrix, reference_rows, result, fault,
+        )
+        if mismatch is not None:
+            return mismatch
+
     # ---- warm cache vs cold path ------------------------------------
     if caching:
         warm = cached_compile(
@@ -361,6 +393,75 @@ def _oracle(
     return None
 
 
+def _check_partitioned(
+    dag: DAG,
+    config: ArchConfig,
+    compile_seed: int,
+    threshold: int,
+    jobs: int,
+    matrix: np.ndarray,
+    reference_rows: list[np.ndarray],
+    result: CompileResult,
+    fault: str | None,
+) -> Mismatch | None:
+    """Partitioned-compile cross-check: the stitched scalar and batch
+    executions must match the reference interpreter bitwise on every
+    extracted node (boundary values, keeps and sinks)."""
+    try:
+        part = compile_dag(
+            dag,
+            config,
+            topology=DEFAULT_TOPOLOGY,
+            seed=compile_seed,
+            validate_input=False,
+            partition_threshold=threshold,
+            jobs=jobs,
+        )
+    except SpillError:
+        raise
+    except ReproError as exc:
+        return Mismatch(
+            "partition-compile", f"{type(exc).__name__}: {exc}"
+        )
+    node_map = result.node_map
+
+    try:
+        stitched = part.run(list(matrix[0][: dag.num_inputs]))
+    except ReproError as exc:
+        return Mismatch(
+            "partition-execute", f"{type(exc).__name__}: {exc}"
+        )
+    if fault == "partition_boundary" and stitched:
+        worst = max(stitched)
+        stitched[worst] = float(np.nextafter(stitched[worst], np.inf))
+    for node in sorted(stitched):
+        want = float(reference_rows[0][node_map[node]])
+        if not _bitwise_equal(stitched[node], want):
+            return Mismatch(
+                "partitioned-vs-reference",
+                f"node {node}: stitched {stitched[node]!r} != reference "
+                f"{want!r} ({part.num_pieces} pieces, jobs={jobs})",
+            )
+
+    try:
+        stitched_batch = part.run_batch(matrix[:, : dag.num_inputs])
+    except ReproError as exc:
+        return Mismatch(
+            "partition-batch-execute", f"{type(exc).__name__}: {exc}"
+        )
+    for node in sorted(stitched_batch):
+        col = stitched_batch[node]
+        for row in range(len(matrix)):
+            want = float(reference_rows[row][node_map[node]])
+            if not _bitwise_equal(float(col[row]), want):
+                return Mismatch(
+                    "partitioned-batch-vs-reference",
+                    f"node {node} row {row}: stitched "
+                    f"{float(col[row])!r} != reference {want!r}",
+                )
+    return None
+
+
 def check_scenario(scenario: Scenario) -> ScenarioOutcome:
     """Generate a scenario's DAG and run the oracle; never raises for
     pipeline disagreements (they come back as ``status="mismatch"``).
@@ -379,6 +480,8 @@ def check_scenario(scenario: Scenario) -> ScenarioOutcome:
             value_seed=scenario.value_seed,
             batch=scenario.batch,
             fault=scenario.fault,
+            partition_threshold=scenario.partition_threshold,
+            partition_jobs=scenario.partition_jobs,
         )
     except SpillError as exc:
         return ScenarioOutcome(

@@ -91,6 +91,14 @@ def make_scenarios(
         else:  # chunky
             n = rng.randint(121, 260)
         kwargs = _family_kwargs(rng, family, n)
+        # Every fourth scenario also exercises the partition-parallel
+        # compile path.  The assignment and threshold are derived
+        # WITHOUT consuming the master rng, so the (family, n, seed,
+        # config, value_seed, batch) stream — and with it the pinned
+        # verify_synth golden — is unchanged from earlier revisions.
+        partition_threshold = None
+        if i % 4 == 3 and n > 2 * MIN_NODES:
+            partition_threshold = max(1, n // (2 + i % 3))
         scenarios.append(
             Scenario(
                 params=SynthParams(
@@ -103,6 +111,7 @@ def make_scenarios(
                 value_seed=rng.randrange(2**31),
                 batch=rng.choice((1, 2, 4)),
                 fault=fault,
+                partition_threshold=partition_threshold,
             )
         )
     return scenarios
@@ -209,6 +218,15 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+def _shrunk_threshold(scenario, candidate) -> int | None:
+    """Keep the partitioned path active while shrinking a partitioned
+    scenario: scale the threshold down so the candidate still splits
+    into at least two pieces."""
+    if scenario.partition_threshold is None:
+        return None
+    return max(1, min(scenario.partition_threshold, candidate.num_nodes // 2))
+
+
 def _shrink_failure(
     outcome: ScenarioOutcome,
     write_artifacts: bool,
@@ -226,6 +244,8 @@ def _shrink_failure(
             value_seed=scenario.value_seed,
             batch=scenario.batch,
             fault=scenario.fault,
+            partition_threshold=_shrunk_threshold(scenario, candidate),
+            partition_jobs=scenario.partition_jobs,
         )
         return report.mismatch is not None
 
@@ -240,6 +260,8 @@ def _shrink_failure(
             value_seed=scenario.value_seed,
             batch=scenario.batch,
             fault=scenario.fault,
+            partition_threshold=_shrunk_threshold(scenario, shrunk.dag),
+            partition_jobs=scenario.partition_jobs,
         )
         case = ReproCase(
             scenario=scenario,

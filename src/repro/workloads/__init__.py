@@ -14,6 +14,7 @@ from .suite import (
     DEFAULT_SCALE,
     GROUPS,
     SYNTH_SUITE,
+    SYNTH_XL_SUITE,
     TABLE_I,
     WorkloadSpec,
     build_suite,
@@ -40,6 +41,7 @@ __all__ = [
     "WorkloadSpec",
     "TABLE_I",
     "SYNTH_SUITE",
+    "SYNTH_XL_SUITE",
     "GROUPS",
     "DEFAULT_SCALE",
     "workload_names",

@@ -20,6 +20,10 @@ of :mod:`repro.workloads.synth` under stable workload names:
   and any group-driven experiment can run the synthetic scenarios
   exactly like Table-I entries.  Their "paper" stats are the nominal
   full-scale generator targets, not published numbers.
+* ``synth_xl`` — 50k-200k node ``layered``/``reuse`` instances (at
+  ``scale=1.0``) sized to exercise the partition-parallel compile
+  path (``compile_dag(partition_threshold=..., jobs=...)``) in
+  sweeps, fuzzing and the cold-compile scaling benchmark.
 """
 
 from __future__ import annotations
@@ -89,7 +93,23 @@ SYNTH_SUITE: tuple[WorkloadSpec, ...] = (
     WorkloadSpec("synth_reuse", "synth", 8_000, 10, "reuse", 408),
 )
 
-_BY_NAME = {spec.name: spec for spec in TABLE_I + SYNTH_SUITE}
+# Large-scale synthetic workloads exercising the partition-parallel
+# compile path (``compile_dag(partition_threshold=..., jobs=...)``).
+# At ``scale=1.0`` they span 50k-200k nodes — the regime where the
+# paper splits the DAG with the GRAPHOPT-style partitioner before
+# compiling.  Longest-path stats are the generators' nominal targets
+# (layered depth ~ sqrt(n); reuse is flat plus the closing reduction).
+SYNTH_XL_SUITE: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("synth_xl_layered_50k", "synth_xl", 50_000, 225, "layered", 501),
+    WorkloadSpec("synth_xl_layered_100k", "synth_xl", 100_000, 320, "layered", 502),
+    WorkloadSpec("synth_xl_layered_200k", "synth_xl", 200_000, 450, "layered", 503),
+    WorkloadSpec("synth_xl_reuse_100k", "synth_xl", 100_000, 20, "reuse", 504),
+    WorkloadSpec("synth_xl_reuse_200k", "synth_xl", 200_000, 21, "reuse", 505),
+)
+
+_BY_NAME = {
+    spec.name: spec for spec in TABLE_I + SYNTH_SUITE + SYNTH_XL_SUITE
+}
 
 #: Default shrink factor used by tests/benches. At 0.05 the small suite
 #: spans ~400-4000 nodes, which compiles in seconds under CPython while
@@ -97,13 +117,13 @@ _BY_NAME = {spec.name: spec for spec in TABLE_I + SYNTH_SUITE}
 DEFAULT_SCALE = 0.05
 
 
-#: Every registered group name, including the synthetic one.
-GROUPS: tuple[str, ...] = ("pc", "sptrsv", "large_pc", "synth")
+#: Every registered group name, including the synthetic ones.
+GROUPS: tuple[str, ...] = ("pc", "sptrsv", "large_pc", "synth", "synth_xl")
 
 
 def workload_names(groups: Iterable[str] = ("pc", "sptrsv")) -> list[str]:
     """Names of the suite workloads in the given groups, Table I order
-    (the ``synth`` group follows, in family order)."""
+    (the ``synth`` and ``synth_xl`` groups follow, in family order)."""
     wanted = set(groups)
     unknown = wanted - set(GROUPS)
     if unknown:
@@ -113,7 +133,7 @@ def workload_names(groups: Iterable[str] = ("pc", "sptrsv")) -> list[str]:
         )
     return [
         spec.name
-        for spec in TABLE_I + SYNTH_SUITE
+        for spec in TABLE_I + SYNTH_SUITE + SYNTH_XL_SUITE
         if spec.group in wanted
     ]
 
@@ -143,7 +163,7 @@ def build_workload(name: str, scale: float = DEFAULT_SCALE) -> DAG:
     if scale <= 0:
         raise WorkloadError("scale must be positive")
     spec = get_spec(name)
-    if spec.group == "synth":
+    if spec.group in ("synth", "synth_xl"):
         from .synth import MIN_NODES, generate_synth
 
         target = max(int(spec.paper_nodes * scale), MIN_NODES)
