@@ -1,0 +1,127 @@
+"""Micro-bench: batch assembly from non-contiguous request rows.
+
+The serving hot path assembles each micro-batch from B independent
+(often non-contiguous, often wider-than-needed) request rows.  Two
+ways to feed the batch engine:
+
+* ``stack``    — ``np.stack(rows)`` into a fresh (B, width) matrix,
+  then ``BatchSimulator.run`` (which gathers the plan's input slots
+  out of it): a full-width assembly copy *plus* the slot gather;
+* ``run_rows`` — ``BatchSimulator.run_rows(rows)``: gather **only**
+  the ``input_slots`` cells of each row straight into the (slots, B)
+  scatter source — no full-width intermediate at all.
+
+The difference is pure assembly overhead (the sweep is identical and
+bitwise equal), so it is reported as time per batch for the assembly
++ input-scatter phase, measured by running both paths on plans with
+the sweep cost included (same sweep cancels in the delta).  Writes
+``results/bench_batch_assembly.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.runner.cache import cached_compile, cached_plan  # noqa: E402
+from repro.serve import ProgramSpec  # noqa: E402
+from repro.sim import BatchSimulator  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
+
+
+def measure(name: str, scale: float, batch: int, pad: int, repeat: int):
+    spec = ProgramSpec(name=name, scale=scale)
+    dag = build_workload(name, scale=scale)
+    plan = cached_plan(cached_compile(dag, spec.config()))
+    sim = BatchSimulator(plan)
+    rng = np.random.default_rng(0)
+    # Rows live padded inside a Fortran-ordered tenant buffer: every
+    # row is a strided view, the worst case for assembly.
+    buffer = np.asfortranarray(
+        rng.uniform(0.9, 1.1, size=(batch, plan.num_inputs + pad))
+    )
+    rows = [buffer[j] for j in range(batch)]
+
+    def stack_path():
+        return sim.run(np.stack([r[: plan.num_inputs] for r in rows]))
+
+    def rows_path():
+        return sim.run_rows(rows)
+
+    a = stack_path()
+    b = rows_path()
+    for var in a.outputs:  # the two paths must agree bitwise
+        assert np.array_equal(a.outputs[var], b.outputs[var], equal_nan=True)
+
+    def clock(fn):
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    stack_s = clock(stack_path)
+    rows_s = clock(rows_path)
+    return {
+        "workload": name,
+        "nodes": dag.num_nodes,
+        "inputs": plan.num_inputs,
+        "batch": batch,
+        "pad": pad,
+        "stack_ms": stack_s * 1e3,
+        "run_rows_ms": rows_s * 1e3,
+        "saved_us_per_batch": (stack_s - rows_s) * 1e6,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--pad", type=int, default=192)
+    parser.add_argument("--repeat", type=int, default=20)
+    parser.add_argument(
+        "--out", default=str(ROOT / "results" / "bench_batch_assembly.txt")
+    )
+    args = parser.parse_args(argv)
+    records = [
+        measure("synth_layered", 0.2, args.batch, args.pad, args.repeat),
+        measure("synth_wide", 0.2, args.batch, args.pad, args.repeat),
+        measure("tretail", 0.05, args.batch, args.pad, args.repeat),
+    ]
+    lines = [
+        f"batch assembly from non-contiguous rows (batch {args.batch}, "
+        f"rows padded +{args.pad} cols, best of {args.repeat})",
+        "",
+        f"{'workload':16s} {'nodes':>6s} {'inputs':>6s} "
+        f"{'stack ms':>9s} {'run_rows ms':>12s} {'saved us':>9s}",
+    ]
+    for r in records:
+        lines.append(
+            f"{r['workload']:16s} {r['nodes']:6d} {r['inputs']:6d} "
+            f"{r['stack_ms']:9.3f} {r['run_rows_ms']:12.3f} "
+            f"{r['saved_us_per_batch']:9.1f}"
+        )
+    lines += [
+        "",
+        "both paths are bitwise identical (asserted per run); the",
+        "delta is pure assembly overhead the serving hot path avoids",
+        "by gathering only the plan's input_slots cells per row.",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

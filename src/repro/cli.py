@@ -16,7 +16,12 @@ Mirrors the paper artifact's ``run.sh`` workflow:
 * ``encode``   — emit the packed binary program for a DAG;
 * ``fuzz``     — differential verification: seeded synthetic
   scenarios through the three-way executor cross-check, shrinking
-  any mismatch to a replayable case under ``results/repro_cases/``.
+  any mismatch to a replayable case under ``results/repro_cases/``;
+* ``serve``    — the asyncio inference service: dynamic micro-batching
+  over warm execution plans behind a minimal HTTP front end;
+* ``loadgen``  — drive a server (or an in-process service) with a
+  seeded traffic schedule and report latency percentiles, optionally
+  verifying every response bitwise against direct execution.
 
 The evaluation commands (``run``, ``suite``, ``dse``, ``sweep``,
 ``all``) share ``--cache-dir``/``--no-cache``: compiled programs and
@@ -365,6 +370,305 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_specs(args: argparse.Namespace) -> list:
+    from .serve import ProgramSpec
+
+    names = [n.strip() for n in args.programs.split(",") if n.strip()]
+    if not names:
+        raise SystemExit("--programs must name at least one workload")
+    return [
+        ProgramSpec(
+            name=name,
+            config_label=args.config,
+            seed=args.seed,
+            scale=args.scale,
+            partition_threshold=args.partition_threshold,
+        )
+        for name in names
+    ]
+
+
+def _serve_policy(args: argparse.Namespace):
+    from .serve import BatchPolicy
+
+    return BatchPolicy(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+    )
+
+
+async def serve_forever(
+    specs: list,
+    policy,
+    workers: int = 0,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    stop=None,
+    on_ready=None,
+) -> int:
+    """Register programs, bind the HTTP server, run until ``stop``.
+
+    ``stop`` is an :class:`asyncio.Event` (the CLI wires SIGINT/SIGTERM
+    to it; tests set it directly); ``on_ready(host, port)`` fires once
+    the socket is listening.
+    """
+    import asyncio
+
+    from .errors import ReproError
+    from .serve import InferenceService
+    from .serve.http import start_http_server
+
+    service = InferenceService(policy=policy, workers=workers)
+    for spec in specs:
+        try:
+            program = service.register(spec)
+        except ReproError as exc:
+            print(f"cannot serve {spec.name}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"registered {program.key}: {program.num_nodes} nodes, "
+            f"{program.num_inputs} inputs, "
+            f"{program.cycles_per_row} cycles/row"
+        )
+    stop = stop if stop is not None else asyncio.Event()
+    async with service:
+        server = await start_http_server(service, host=host, port=port)
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        print(
+            f"serving {len(specs)} program(s) on "
+            f"http://{bound_host}:{bound_port} "
+            f"(max_batch={policy.max_batch}, "
+            f"max_wait={policy.max_wait_s * 1e3:g}ms, workers={workers})",
+            flush=True,
+        )
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        try:
+            await stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the inference server until interrupted."""
+    import asyncio
+
+    from .errors import ReproError
+
+    _setup_cache(args)
+    try:
+        specs = _serve_specs(args)
+        policy = _serve_policy(args)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    async def main() -> int:
+        stop = asyncio.Event()
+        try:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signame in ("SIGINT", "SIGTERM"):
+                loop.add_signal_handler(getattr(signal, signame), stop.set)
+        except (NotImplementedError, OSError):  # pragma: no cover
+            pass
+        return await serve_forever(
+            specs,
+            policy,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            stop=stop,
+        )
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+def _spawn_server(args: argparse.Namespace) -> tuple:
+    """Start ``repro serve`` as a subprocess; returns (proc, host, port)."""
+    import socket
+    import subprocess
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--programs", args.programs,
+        "--config", args.config,
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--host", "127.0.0.1",
+        "--port", str(port),
+        "--max-batch", str(args.max_batch),
+        "--max-wait-ms", str(args.max_wait_ms),
+        "--max-queue", str(args.max_queue),
+        "--workers", str(args.workers),
+        "--cache-dir", args.cache_dir,
+    ]
+    if args.no_cache:
+        cmd.append("--no-cache")
+    if args.partition_threshold is not None:
+        cmd += ["--partition-threshold", str(args.partition_threshold)]
+    proc = subprocess.Popen(cmd)
+    return proc, "127.0.0.1", port
+
+
+async def _await_ready(host: str, port: int, timeout_s: float = 120.0):
+    """Poll /healthz until the spawned server answers."""
+    import asyncio
+
+    from .serve.http import HttpClient
+
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while True:
+        client = HttpClient(host, port)
+        try:
+            status, doc = await client.request("GET", "/healthz")
+            if status == 200 and doc.get("ok"):
+                return
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await client.close()
+        if asyncio.get_running_loop().time() > deadline:
+            raise SystemExit(
+                f"server on {host}:{port} not ready after {timeout_s:.0f}s"
+            )
+        await asyncio.sleep(0.2)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Generate traffic against a server and report latency/parity."""
+    import asyncio
+
+    from .errors import ReproError
+    from .serve import (
+        InferenceService,
+        ParityChecker,
+        build_served_program,
+        run_open_loop,
+        run_open_loop_http,
+    )
+    from .workloads.traffic import make_traffic
+
+    _setup_cache(args)
+    patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
+    if not patterns:
+        raise SystemExit("--patterns must name at least one pattern")
+    try:
+        specs = _serve_specs(args)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    program_names = [spec.name for spec in specs]
+    per_pattern = max(1, args.requests // len(patterns))
+
+    # The client builds request rows (and the parity baseline) from
+    # the same specs the server registered: same content fingerprint,
+    # same artifact cache, so this is a load, not a compile.
+    try:
+        local = {
+            spec.name: build_served_program(spec) for spec in specs
+        }
+    except ReproError as exc:
+        raise SystemExit(f"cannot build client-side programs: {exc}")
+    checker = (
+        ParityChecker(lambda key: local[key]) if args.check else None
+    )
+
+    try:
+        schedules = [
+            make_traffic(
+                pattern,
+                per_pattern,
+                rate=args.rate,
+                seed=args.seed + i,
+                programs=program_names,
+            )
+            for i, pattern in enumerate(patterns)
+        ]
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    async def drive_http(host: str, port: int) -> list:
+        await _await_ready(host, port)
+        reports = []
+        for schedule in schedules:
+            reports.append(await run_open_loop_http(
+                host, port, schedule,
+                lambda key: local[key].num_inputs,
+                time_scale=args.time_scale,
+                checker=checker,
+            ))
+        return reports
+
+    async def drive_in_process() -> list:
+        service = InferenceService(
+            policy=_serve_policy(args), workers=args.workers
+        )
+        for program in local.values():
+            service.install(program)
+        reports = []
+        async with service:
+            for schedule in schedules:
+                reports.append(await run_open_loop(
+                    service, schedule,
+                    time_scale=args.time_scale,
+                    check=args.check,
+                ))
+        return reports
+
+    proc = None
+    try:
+        if args.spawn:
+            proc, host, port = _spawn_server(args)
+            reports = asyncio.run(drive_http(host, port))
+        elif args.url:
+            host, _, port_text = args.url.rpartition(":")
+            host = host.removeprefix("http://") or "127.0.0.1"
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise SystemExit(
+                    f"--url must look like host:port, got {args.url!r}"
+                )
+            reports = asyncio.run(drive_http(host, port))
+        else:
+            reports = asyncio.run(drive_in_process())
+    finally:
+        if proc is not None:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    failures = 0
+    for report in reports:
+        print(report.render())
+        print()
+        if not report.clean:
+            failures += 1
+    if args.bench_json:
+        sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+        from bench_to_json import append_run
+
+        records = [rec for report in reports for rec in report.records()]
+        append_run(
+            args.bench_json, "serve", records,
+            label=f"loadgen-{'-'.join(patterns)}",
+        )
+        print(f"appended {len(records)} record(s) to {args.bench_json}")
+    if failures:
+        print(f"FAILED: {failures} traffic pattern(s) saw errors, "
+              "rejections or parity mismatches")
+        return 1
+    return 0
+
+
 def cmd_encode(args: argparse.Namespace) -> int:
     dag = _resolve_workload(args.workload, args.scale)
     config = _parse_config(args.config)
@@ -483,6 +787,94 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_fuzz)
+
+    def _add_serving_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--programs", default="synth_layered", metavar="A,B,...",
+            help="comma-separated suite workload names to serve "
+            "(default: synth_layered)",
+        )
+        p.add_argument("--config", default="D3-B64-R32")
+        p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--max-batch", type=int, default=64, metavar="B",
+            help="micro-batch dispatch size (1 = batch-1 serving)",
+        )
+        p.add_argument(
+            "--max-wait-ms", type=float, default=2.0, metavar="MS",
+            help="max time a request waits for its batch to fill",
+        )
+        p.add_argument(
+            "--max-queue", type=int, default=1024, metavar="N",
+            help="per-program admission bound (backpressure beyond it)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=0, metavar="N",
+            help="execute micro-batches on N worker processes "
+            "(0: inline on the event loop)",
+        )
+        p.add_argument(
+            "--partition-threshold", type=int, default=None, metavar="N",
+            help="compile DAGs larger than N nodes via the "
+            "partition-parallel path",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="asyncio inference service with dynamic micro-batching",
+    )
+    _add_serving_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free one)",
+    )
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a server with seeded traffic and report latency",
+    )
+    _add_serving_args(p)
+    p.add_argument(
+        "--patterns", default="poisson", metavar="A,B,...",
+        help="traffic patterns (poisson, bursty, diurnal, multi_tenant); "
+        "--requests is split evenly across them",
+    )
+    p.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="total requests across all patterns (default 200)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=400.0, metavar="R",
+        help="offered load in requests/s of schedule time",
+    )
+    p.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="X",
+        help="multiply schedule time by X on replay (<1 compresses)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="verify every response bitwise against direct execution",
+    )
+    p.add_argument(
+        "--url", default="", metavar="HOST:PORT",
+        help="target a running server (default: in-process service)",
+    )
+    p.add_argument(
+        "--spawn", action="store_true",
+        help="start `repro serve` as a subprocess, drive it over HTTP, "
+        "then shut it down (what the CI smoke job uses)",
+    )
+    p.add_argument(
+        "--bench-json", default="", metavar="FILE",
+        help="append latency records to a repro-bench-v1 trajectory "
+        "file (e.g. BENCH_serve.json)",
+    )
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("encode", help="emit the packed binary program")
     _add_common(p)

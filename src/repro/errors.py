@@ -67,3 +67,8 @@ class WorkloadError(ReproError):
 class VerificationError(ReproError):
     """The differential verification harness was misused (bad scenario
     description, unknown fault name, malformed repro-case artifact)."""
+
+
+class ServeError(ReproError):
+    """The inference service was misconfigured or misused (unknown
+    program key, invalid batching policy, malformed request)."""

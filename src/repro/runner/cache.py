@@ -13,7 +13,11 @@ tmp-file + :func:`os.replace`, so concurrent workers racing on the
 same key at worst redo the work — they never observe a torn file.  A
 corrupted or truncated artifact is treated as a miss (and unlinked),
 never an error: the cache must always be safe to delete, truncate or
-share.
+share.  The directory is designed to be hammered by many processes at
+once (the serving layer makes cross-process races routine):
+``prune``/``clear`` serialize against each other through an advisory
+:mod:`fcntl` lock and tolerate entries vanishing mid-scan, while
+readers racing maintenance see at worst a miss.
 
 Because the compile key is invariant under node renumbering, a hit
 may come from a structurally identical DAG with permuted node ids.
@@ -32,10 +36,16 @@ orchestrator's worker processes inherit it); the library default is
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import tempfile
 from pathlib import Path
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..arch import DEFAULT_TOPOLOGY, Interconnect, Topology
 from ..compiler import CompileResult, compile_dag
@@ -120,8 +130,51 @@ class ArtifactCache:
             return []
         return sorted(self.directory.glob("*/*.pkl"))
 
+    @staticmethod
+    def _stat_entries(paths: list[Path]) -> list[tuple[Path, os.stat_result]]:
+        """Stat every entry, skipping files another process just
+        removed — listing and statting can never be atomic together."""
+        stats = []
+        for path in paths:
+            try:
+                stats.append((path, path.stat()))
+            except OSError:
+                continue  # unlinked (or pruned) between glob and stat
+        return stats
+
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.entries())
+        return sum(st.st_size for _, st in self._stat_entries(self.entries()))
+
+    @contextlib.contextmanager
+    def _maintenance_lock(self):
+        """Advisory inter-process lock serializing ``prune``/``clear``.
+
+        Concurrent maintenance runs would race each other's unlinks
+        into double-eviction (both see the same total, both remove);
+        readers and writers are *not* locked — ``get`` already treats
+        a vanished or torn artifact as a plain miss and ``put`` is an
+        atomic tmp-file + rename.  Falls back to unlocked on platforms
+        without :mod:`fcntl` or on unwritable directories (the
+        operations themselves stay safe, just less coordinated).
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.directory / ".maintenance.lock"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
 
     def prune(self, max_bytes: int) -> int:
         """Evict least-recently-used artifacts down to ``max_bytes``.
@@ -129,28 +182,33 @@ class ArtifactCache:
         Returns the number of artifacts removed.  Uses ``st_mtime`` as
         the recency signal (``get`` does not touch mtimes, so this is
         write-recency — good enough for bounding a scratch dir).
+        Safe against concurrent readers/writers: eviction holds the
+        maintenance lock, tolerates entries vanishing underneath it,
+        and never touches in-progress tmp files.
         """
-        entries = [(p, p.stat()) for p in self.entries()]
-        entries.sort(key=lambda e: e[1].st_mtime)
-        total = sum(st.st_size for _, st in entries)
-        removed = 0
-        for path, st in entries:
-            if total <= max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= st.st_size
-            removed += 1
-        return removed
+        with self._maintenance_lock():
+            entries = self._stat_entries(self.entries())
+            entries.sort(key=lambda e: e[1].st_mtime)
+            total = sum(st.st_size for _, st in entries)
+            removed = 0
+            for path, st in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= st.st_size
+                removed += 1
+            return removed
 
     def clear(self) -> None:
-        for path in self.entries():
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        with self._maintenance_lock():
+            for path in self.entries():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ArtifactCache({str(self.directory)!r})"

@@ -1,0 +1,80 @@
+"""Online inference serving over the two-phase execution engine.
+
+The batch engine (PR 1) made one process execute a ``(B, num_inputs)``
+matrix 650-1300x faster than row-at-a-time simulation; this package
+turns that into *served* throughput for a stream of independent
+requests:
+
+* :mod:`repro.serve.batcher` — per-program queues + the dynamic
+  micro-batching policy (``max_batch`` / ``max_wait`` / bounded-queue
+  admission control), both as a live asyncio engine and as a pure
+  coalescing law for tests and offline analysis;
+* :mod:`repro.serve.planpool` — the warm pool of compiled + lowered
+  programs, keyed by content fingerprint and fed through the
+  content-addressed artifact cache (a warm disk cache makes process
+  start instant; misses compile via the PR-4 partition-parallel path
+  for large DAGs);
+* :mod:`repro.serve.service` — the asyncio
+  :class:`~repro.serve.service.InferenceService`: submit -> coalesce
+  -> execute (inline or across worker processes) -> scatter, with
+  responses bitwise identical to direct plan execution;
+* :mod:`repro.serve.http` — a minimal stdlib HTTP/1.1 front end
+  (``POST /infer``, ``GET /stats``, ``GET /healthz``) plus the tiny
+  keep-alive client the load generator uses;
+* :mod:`repro.serve.loadtest` — open/closed-loop load harness over
+  :mod:`repro.workloads.traffic` schedules: p50/p95/p99 latency,
+  rows/s, and bitwise served-vs-direct verification.
+
+CLI entry points: ``repro serve`` and ``repro loadgen``.
+"""
+
+from .batcher import BatcherStats, BatchPolicy, MicroBatcher, plan_batches
+from .loadtest import (
+    LoadReport,
+    ParityChecker,
+    RequestOutcome,
+    request_inputs,
+    run_closed_loop,
+    run_open_loop,
+    run_open_loop_http,
+)
+from .planpool import (
+    DEFAULT_CONFIG_LABEL,
+    PlanPool,
+    ProgramSpec,
+    ServedProgram,
+    build_served_program,
+)
+from .service import (
+    InferenceRequest,
+    InferenceResponse,
+    InferenceService,
+    ServiceStats,
+    program_from_plan,
+    serve_rows,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "BatcherStats",
+    "MicroBatcher",
+    "plan_batches",
+    "PlanPool",
+    "ProgramSpec",
+    "ServedProgram",
+    "build_served_program",
+    "DEFAULT_CONFIG_LABEL",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceService",
+    "ServiceStats",
+    "program_from_plan",
+    "serve_rows",
+    "LoadReport",
+    "RequestOutcome",
+    "ParityChecker",
+    "request_inputs",
+    "run_open_loop",
+    "run_open_loop_http",
+    "run_closed_loop",
+]

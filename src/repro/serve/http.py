@@ -1,0 +1,303 @@
+"""Minimal stdlib HTTP/1.1 front end for the inference service.
+
+The container image carries no web framework, and the service needs
+only three routes — so this module speaks just enough HTTP over
+:func:`asyncio.start_server` for ``curl``, the ``repro loadgen``
+client and CI to talk to it:
+
+* ``POST /infer`` — body ``{"program": key, "inputs": [...],
+  "tenant": ..., "deadline_ms": ...}``; responds with the
+  :class:`~repro.serve.service.InferenceResponse` as JSON.  Float
+  outputs survive the JSON round-trip **bitwise** (Python serializes
+  floats via shortest-round-trip repr), which is what lets the load
+  generator assert served-vs-direct parity across the wire.
+* ``GET /stats`` — service totals + batcher histogram.
+* ``GET /healthz`` — readiness probe listing registered programs.
+
+Connections are keep-alive by default (the load generator reuses one
+connection per in-flight lane); malformed requests get a 400 and the
+connection is closed.  :class:`HttpClient` is the matching tiny
+client used by ``repro loadgen``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ServeError
+from .service import InferenceResponse, InferenceService
+
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 64
+
+
+def response_to_json(response: InferenceResponse) -> dict:
+    """Wire form of a response (output keys become JSON strings)."""
+    return {
+        "id": response.id,
+        "program": response.program,
+        "tenant": response.tenant,
+        "status": response.status,
+        "outputs": (
+            None
+            if response.outputs is None
+            else {str(node): value for node, value in response.outputs.items()}
+        ),
+        "batch": response.batch,
+        "queue_ms": round(response.queue_s * 1e3, 6),
+        "total_ms": round(response.total_s * 1e3, 6),
+        "error": response.error,
+    }
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one request; ``None`` on clean EOF (client went away)."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("ascii").split()
+    except ValueError:
+        raise _BadRequest("malformed request line")
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = raw.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise _BadRequest("malformed header")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _BadRequest("too many headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise _BadRequest("bad content-length")
+        if not 0 <= n <= _MAX_BODY:
+            raise _BadRequest("body too large")
+        body = await reader.readexactly(n)
+    return method, target, headers, body
+
+
+def _encode_response(
+    status: int, payload: dict, keep_alive: bool
+) -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 503: "Service Unavailable"}
+    body = (json.dumps(payload) + "\n").encode()
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _handle_infer(service: InferenceService, body: bytes) -> dict:
+    try:
+        doc = json.loads(body.decode())
+        if not isinstance(doc, dict):
+            raise _BadRequest("/infer body must be a JSON object")
+        program = doc["program"]
+        inputs = doc["inputs"]
+        tenant = doc.get("tenant", "default")
+        deadline_ms = doc.get("deadline_ms")
+        if not isinstance(program, str):
+            raise _BadRequest("program must be a string")
+        if not isinstance(tenant, str):
+            raise _BadRequest("tenant must be a string")
+        if not (
+            isinstance(inputs, list)
+            and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in inputs
+            )
+        ):
+            raise _BadRequest("inputs must be a list of numbers")
+        if deadline_ms is not None and not (
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool)
+        ):
+            raise _BadRequest("deadline_ms must be a number")
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise _BadRequest(f"malformed /infer body: {exc}")
+    response = await service.submit(
+        program,
+        inputs,
+        tenant=tenant,
+        deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+    )
+    return response_to_json(response)
+
+
+async def handle_connection(
+    service: InferenceService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError):
+                writer.write(_encode_response(
+                    400, {"error": "malformed request"}, False
+                ))
+                break
+            if parsed is None:
+                break
+            method, target, headers, body = parsed
+            keep_alive = headers.get("connection", "keep-alive") != "close"
+            try:
+                if method == "POST" and target == "/infer":
+                    payload = await _handle_infer(service, body)
+                    status = 200
+                elif method == "GET" and target == "/stats":
+                    payload, status = service.stats_dict(), 200
+                elif method == "GET" and target == "/healthz":
+                    payload, status = (
+                        {"ok": True, "programs": service.programs()},
+                        200,
+                    )
+                elif target in ("/infer", "/stats", "/healthz"):
+                    payload, status = {"error": "method not allowed"}, 405
+                else:
+                    payload, status = {"error": f"no route {target}"}, 404
+            except _BadRequest as exc:
+                payload, status, keep_alive = {"error": str(exc)}, 400, False
+            except ServeError as exc:
+                payload, status = {"error": str(exc)}, 503
+            writer.write(_encode_response(status, payload, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except asyncio.CancelledError:
+        # Server shutdown with the connection parked on keep-alive:
+        # end the handler task cleanly (a cancelled task makes the
+        # streams machinery log spurious tracebacks).
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+
+async def start_http_server(
+    service: InferenceService, host: str = "127.0.0.1", port: int = 8321
+) -> asyncio.base_events.Server:
+    """Bind the service to a listening socket; returns the server
+    (close via ``server.close()`` + ``await server.wait_closed()``)."""
+
+    async def handler(reader, writer):
+        await handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+class HttpClient:
+    """Tiny keep-alive JSON-over-HTTP client (the loadgen's legs).
+
+    One client = one connection = one in-flight request at a time;
+    the load generator opens one client per concurrency lane.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round-trip; reconnects once on a dropped keep-alive."""
+        for attempt in (0, 1):
+            await self._connect()
+            try:
+                return await self._roundtrip(method, path, payload)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: dict | None
+    ) -> tuple[int, dict]:
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("ascii", "replace").split(maxsplit=2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw_body = await self._reader.readexactly(length)
+        doc = json.loads(raw_body.decode()) if raw_body else {}
+        if headers.get("connection") == "close":
+            await self.close()
+        return status, doc
+
+    async def infer(
+        self,
+        program: str,
+        inputs: list[float],
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> dict:
+        payload = {"program": program, "inputs": inputs, "tenant": tenant}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        _status, doc = await self.request("POST", "/infer", payload)
+        return doc
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = None
+        self._writer = None

@@ -1,0 +1,426 @@
+"""Load-test harness: replay traffic schedules, measure, verify.
+
+Drives an :class:`~repro.serve.service.InferenceService` — in-process
+or across the wire through :class:`~repro.serve.http.HttpClient` —
+with a :class:`~repro.workloads.traffic.TrafficSchedule`, and reduces
+the per-request outcomes to the numbers serving work cares about:
+p50/p95/p99 latency, sustained rows/s, and error/backpressure counts.
+
+Two drive modes:
+
+* **open loop** (:func:`run_open_loop`) — arrivals fire at their
+  scheduled (scaled) times regardless of completions, the honest way
+  to measure latency under a given offered load;
+* **closed loop** (:func:`run_closed_loop`) — C lanes submit
+  back-to-back, measuring sustainable throughput at concurrency C
+  (what the micro-batching speedup benchmark uses).
+
+Request payloads are deterministic: :func:`request_inputs` derives the
+row from the arrival's ``value_seed``, so the same schedule replays
+bit-identical traffic anywhere — which is what makes ``--check``
+meaningful: the harness re-executes every checked request directly on
+the program's plan and compares the served outputs **bitwise**.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServeError
+from ..workloads.traffic import Arrival, TrafficSchedule
+from .http import HttpClient
+from .planpool import ServedProgram
+from .service import InferenceService
+
+
+def request_inputs(num_inputs: int, value_seed: int) -> np.ndarray:
+    """The canonical request row for a value seed.
+
+    Near-1.0 uniforms (the differential oracle's convention) so deep
+    product chains stay finite.  Client and parity checker both call
+    this, so expected and served inputs are the same bits.
+    """
+    rng = np.random.default_rng(value_seed)
+    return rng.uniform(0.9, 1.1, size=max(num_inputs, 1))
+
+
+def _bitwise_equal(a: float, b: float) -> bool:
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One request's client-side view."""
+
+    arrival: Arrival
+    status: str
+    latency_s: float
+    batch: int
+    parity_ok: bool | None  # None = not checked
+    error: str | None = None
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load-test run."""
+
+    pattern: str
+    mode: str  # "open" | "closed"
+    outcomes: list[RequestOutcome]
+    wall_s: float
+    policy: dict = field(default_factory=dict)
+
+    # -- tallies -------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def ok(self) -> int:
+        return self.count("ok")
+
+    @property
+    def rejected(self) -> int:
+        return self.count("rejected")
+
+    @property
+    def errors(self) -> int:
+        return self.count("error") + self.count("timeout")
+
+    @property
+    def parity_mismatches(self) -> int:
+        return sum(1 for o in self.outcomes if o.parity_ok is False)
+
+    @property
+    def clean(self) -> bool:
+        """Zero errors, zero rejections, zero parity mismatches."""
+        return (
+            self.ok == self.requests and self.parity_mismatches == 0
+        )
+
+    # -- latency/throughput -------------------------------------------
+    def latencies(self) -> list[float]:
+        return sorted(
+            o.latency_s for o in self.outcomes if o.status == "ok"
+        )
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of ok-request latency, seconds."""
+        lat = self.latencies()
+        if not lat:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * len(lat)))
+        return lat[rank - 1]
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        batches = [o.batch for o in self.outcomes if o.status == "ok"]
+        return sum(batches) / len(batches) if batches else 0.0
+
+    # -- reporting -----------------------------------------------------
+    def records(self) -> list[dict]:
+        """``repro-bench-v1`` records for the perf trajectory file."""
+        return [{
+            "pattern": self.pattern,
+            "mode": self.mode,
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "parity_mismatches": self.parity_mismatches,
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+            "rows_per_second": round(self.rows_per_second, 1),
+            "mean_batch": round(self.mean_batch, 2),
+            "seconds": round(self.wall_s, 4),
+            **({"policy": self.policy} if self.policy else {}),
+        }]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.pattern} ({self.mode} loop): {self.requests} requests "
+            f"in {self.wall_s:.2f}s — {self.ok} ok, "
+            f"{self.rejected} rejected, {self.errors} errors"
+            + (
+                f", {self.parity_mismatches} parity mismatches"
+                if any(o.parity_ok is not None for o in self.outcomes)
+                else ""
+            ),
+            f"  latency p50 {self.percentile(50) * 1e3:7.2f}ms   "
+            f"p95 {self.percentile(95) * 1e3:7.2f}ms   "
+            f"p99 {self.percentile(99) * 1e3:7.2f}ms",
+            f"  throughput {self.rows_per_second:,.0f} rows/s   "
+            f"mean batch {self.mean_batch:.1f}",
+        ]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# Submitters: one call surface over in-process and HTTP targets
+# ---------------------------------------------------------------------
+class ServiceSubmitter:
+    """Submit straight into an in-process service."""
+
+    def __init__(self, service: InferenceService) -> None:
+        self.service = service
+
+    async def submit(self, arrival: Arrival, row: np.ndarray) -> dict:
+        response = await self.service.submit(
+            arrival.program, row, tenant=arrival.tenant
+        )
+        return {
+            "status": response.status,
+            "outputs": response.outputs,
+            "batch": response.batch,
+            "error": response.error,
+        }
+
+    async def close(self) -> None:
+        return None
+
+
+class HttpSubmitter:
+    """Submit over the wire, one keep-alive connection per lane."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._idle: list[HttpClient] = []
+        self._all: list[HttpClient] = []
+
+    async def submit(self, arrival: Arrival, row: np.ndarray) -> dict:
+        client = (
+            self._idle.pop() if self._idle else HttpClient(self.host, self.port)
+        )
+        if client not in self._all:
+            self._all.append(client)
+        try:
+            doc = await client.infer(
+                arrival.program, [float(v) for v in row],
+                tenant=arrival.tenant,
+            )
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            return {"status": "error", "outputs": None, "batch": 0,
+                    "error": f"transport: {exc}"}
+        finally:
+            self._idle.append(client)
+        outputs = doc.get("outputs")
+        return {
+            "status": doc.get("status", "error"),
+            "outputs": (
+                None if outputs is None
+                else {int(node): value for node, value in outputs.items()}
+            ),
+            "batch": doc.get("batch", 0),
+            "error": doc.get("error"),
+        }
+
+    async def close(self) -> None:
+        for client in self._all:
+            await client.close()
+        self._idle.clear()
+        self._all.clear()
+
+
+class ParityChecker:
+    """Bitwise served-vs-direct verification, memoized per program."""
+
+    def __init__(self, resolve) -> None:
+        self._resolve = resolve  # key -> ServedProgram
+        self._programs: dict[str, ServedProgram] = {}
+
+    def program(self, key: str) -> ServedProgram:
+        if key not in self._programs:
+            self._programs[key] = self._resolve(key)
+        return self._programs[key]
+
+    def check(
+        self, arrival: Arrival, outputs: dict[int, float] | None
+    ) -> bool:
+        if outputs is None:
+            return False
+        program = self.program(arrival.program)
+        row = request_inputs(program.num_inputs, arrival.value_seed)
+        direct = program.execute_rows([row])
+        if sorted(outputs) != sorted(direct):
+            return False
+        return all(
+            _bitwise_equal(outputs[node], float(direct[node][0]))
+            for node in direct
+        )
+
+
+async def _drive_open_loop(
+    submitter,
+    schedule: TrafficSchedule,
+    num_inputs_of,
+    time_scale: float,
+    checker: ParityChecker | None,
+) -> tuple[list[RequestOutcome], float]:
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    outcomes: list[RequestOutcome | None] = [None] * len(schedule.arrivals)
+
+    async def fire(i: int, arrival: Arrival) -> None:
+        due = start + arrival.time_s * time_scale
+        delay = due - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        row = request_inputs(num_inputs_of(arrival.program), arrival.value_seed)
+        t0 = loop.time()
+        result = await submitter.submit(arrival, row)
+        latency = loop.time() - t0
+        parity = None
+        if checker is not None and result["status"] == "ok":
+            parity = checker.check(arrival, result["outputs"])
+        outcomes[i] = RequestOutcome(
+            arrival=arrival,
+            status=result["status"],
+            latency_s=latency,
+            batch=result["batch"],
+            parity_ok=parity,
+            error=result["error"],
+        )
+
+    await asyncio.gather(
+        *(fire(i, a) for i, a in enumerate(schedule.arrivals))
+    )
+    wall = loop.time() - start
+    return [o for o in outcomes if o is not None], wall
+
+
+def _service_resolver(service: InferenceService):
+    return lambda key: service.pool.get(key)
+
+
+async def run_open_loop(
+    service: InferenceService,
+    schedule: TrafficSchedule,
+    time_scale: float = 1.0,
+    check: bool = False,
+) -> LoadReport:
+    """Replay a schedule open-loop against an in-process service."""
+    checker = (
+        ParityChecker(_service_resolver(service)) if check else None
+    )
+    submitter = ServiceSubmitter(service)
+    outcomes, wall = await _drive_open_loop(
+        submitter,
+        schedule,
+        lambda key: service.pool.get(key).num_inputs,
+        time_scale,
+        checker,
+    )
+    await service.drain()
+    return LoadReport(
+        pattern=schedule.pattern,
+        mode="open",
+        outcomes=outcomes,
+        wall_s=wall,
+        policy={
+            "max_batch": service.policy.max_batch,
+            "max_wait_ms": service.policy.max_wait_s * 1e3,
+        },
+    )
+
+
+async def run_open_loop_http(
+    host: str,
+    port: int,
+    schedule: TrafficSchedule,
+    num_inputs_of,
+    time_scale: float = 1.0,
+    checker: ParityChecker | None = None,
+) -> LoadReport:
+    """Replay a schedule open-loop against a remote server.
+
+    ``num_inputs_of`` maps a program key to its input width (the
+    client builds rows locally); ``checker`` enables bitwise
+    served-vs-direct verification using locally rebuilt programs.
+    """
+    submitter = HttpSubmitter(host, port)
+    try:
+        outcomes, wall = await _drive_open_loop(
+            submitter, schedule, num_inputs_of, time_scale, checker
+        )
+    finally:
+        await submitter.close()
+    return LoadReport(
+        pattern=schedule.pattern, mode="open", outcomes=outcomes, wall_s=wall
+    )
+
+
+async def run_closed_loop(
+    service: InferenceService,
+    program: str,
+    requests: int,
+    concurrency: int = 32,
+    tenant_prefix: str = "lane",
+    check: bool = False,
+    seed: int = 0,
+) -> LoadReport:
+    """C lanes submitting back-to-back: sustainable-throughput mode."""
+    if requests < 1 or concurrency < 1:
+        raise ServeError("requests and concurrency must be >= 1")
+    served = service.pool.get(program)
+    checker = ParityChecker(_service_resolver(service)) if check else None
+    loop = asyncio.get_running_loop()
+    counter = iter(range(requests))
+    outcomes: list[RequestOutcome] = []
+    start = loop.time()
+
+    async def lane(lane_id: int) -> None:
+        tenant = f"{tenant_prefix}{lane_id}"
+        while True:
+            try:
+                i = next(counter)
+            except StopIteration:
+                return
+            arrival = Arrival(
+                time_s=0.0, tenant=tenant, program=program,
+                value_seed=seed + i,
+            )
+            row = request_inputs(served.num_inputs, arrival.value_seed)
+            t0 = loop.time()
+            response = await service.submit(program, row, tenant=tenant)
+            latency = loop.time() - t0
+            parity = None
+            if checker is not None and response.status == "ok":
+                parity = checker.check(arrival, response.outputs)
+            outcomes.append(RequestOutcome(
+                arrival=arrival,
+                status=response.status,
+                latency_s=latency,
+                batch=response.batch,
+                parity_ok=parity,
+                error=response.error,
+            ))
+
+    await asyncio.gather(
+        *(lane(i) for i in range(min(concurrency, requests)))
+    )
+    wall = loop.time() - start
+    return LoadReport(
+        pattern=program,
+        mode="closed",
+        outcomes=outcomes,
+        wall_s=wall,
+        policy={
+            "max_batch": service.policy.max_batch,
+            "max_wait_ms": service.policy.max_wait_s * 1e3,
+            "concurrency": concurrency,
+        },
+    )

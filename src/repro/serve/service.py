@@ -1,0 +1,444 @@
+"""The asyncio inference service: queues -> micro-batches -> plans.
+
+:class:`InferenceService` ties the serving layer together:
+
+* requests (program key + input row + optional relative deadline)
+  enter through :meth:`InferenceService.submit` and land in the
+  per-program :class:`~repro.serve.batcher.MicroBatcher` queue;
+* the batcher coalesces them under the max-batch/max-wait policy and
+  hands each micro-batch to the executor — inline on the event-loop
+  thread (``workers=0``, deterministic, what tests and the
+  differential hook use) or fanned across a process pool
+  (``workers=N``) for multi-program sharding, where every worker
+  resolves plans through its process-local pool backed by the shared
+  on-disk artifact cache;
+* responses scatter back to per-request futures bitwise identical to
+  a direct :class:`~repro.sim.plan.ExecutionPlan` execution of the
+  same rows (asserted continuously by the ``served-vs-direct`` oracle
+  stage and the serving test suite).
+
+Admission control is the batcher's bounded per-program depth: beyond
+``max_queue`` queued + in-flight requests a submission is *rejected*
+immediately (``status="rejected"``) rather than queued without bound.
+Requests whose deadline has already passed when their batch forms are
+answered ``status="timeout"`` without being executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError, ServeError
+from ..runner.cache import cache_env
+from ..runner.orchestrator import _init_worker
+from .batcher import BatchPolicy, MicroBatcher
+from .planpool import PlanPool, ProgramSpec, ServedProgram, worker_execute
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference call as the batcher carries it."""
+
+    id: int
+    program: str
+    inputs: np.ndarray
+    tenant: str = "default"
+    deadline_s: float | None = None  # relative to submission
+    submitted_at: float = 0.0  # loop clock
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """What a request resolves to.
+
+    ``outputs`` is ``sink node -> float`` (the program's stable output
+    vocabulary) for ``status="ok"``; ``None`` otherwise.  ``batch`` is
+    the size of the micro-batch the request rode in — 0 when it never
+    reached an executor (rejected/timeout).
+    """
+
+    id: int
+    program: str
+    tenant: str
+    status: str  # "ok" | "rejected" | "timeout" | "error"
+    outputs: dict[int, float] | None
+    batch: int
+    queue_s: float
+    total_s: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class ServiceStats:
+    """Service-lifetime totals (snapshot via :meth:`as_dict`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    errors: int = 0
+    rows_executed: int = 0
+    started_at: float = field(default_factory=time.time)
+
+    def as_dict(self, batcher_stats=None) -> dict:
+        doc = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "errors": self.errors,
+            "rows_executed": self.rows_executed,
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+        if batcher_stats is not None:
+            doc["batches"] = batcher_stats.batches
+            doc["mean_batch"] = round(batcher_stats.mean_batch, 3)
+            doc["batch_sizes"] = {
+                str(k): v
+                for k, v in sorted(batcher_stats.batch_sizes.items())
+            }
+        return doc
+
+
+class InferenceService:
+    """Dynamic micro-batching server over the vectorized engine.
+
+    Args:
+        pool: Warm plan pool (a private one is created if omitted).
+        policy: Micro-batching bounds.
+        workers: 0 executes batches inline on the event-loop thread;
+            N > 0 fans them over a process pool (multi-program
+            sharding — different programs' batches execute truly
+            concurrently, and each worker holds its own warm pool fed
+            by the shared artifact cache).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.  Programs must be registered (or
+    installed) before requests reference them.
+    """
+
+    def __init__(
+        self,
+        pool: PlanPool | None = None,
+        policy: BatchPolicy | None = None,
+        workers: int = 0,
+    ) -> None:
+        if workers < 0:
+            raise ServeError(f"workers must be >= 0, got {workers}")
+        self.pool = pool if pool is not None else PlanPool()
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.workers = workers
+        self.stats = ServiceStats()
+        self._batcher: MicroBatcher | None = None
+        self._executor: ProcessPoolExecutor | None = None
+        self._next_id = 0
+
+    # -- program management -------------------------------------------
+    def register(self, spec: ProgramSpec) -> ServedProgram:
+        """Compile/lower (or warm-hit) a program into the pool."""
+        return self.pool.register(spec)
+
+    def install(self, program: ServedProgram) -> None:
+        """Install a pre-built program (differential hook, tests)."""
+        self.pool.install(program)
+
+    def programs(self) -> list[str]:
+        return self.pool.keys()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        if self._batcher is not None:
+            raise ServeError("service already started")
+        self._batcher = MicroBatcher(self.policy, self._on_batch)
+        if self.workers:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(cache_env(),),
+            )
+        self.stats.started_at = time.time()
+
+    async def stop(self) -> None:
+        if self._batcher is not None:
+            await self._batcher.close()
+            self._batcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def drain(self) -> None:
+        """Wait for every accepted request to resolve."""
+        if self._batcher is not None:
+            await self._batcher.drain()
+
+    async def __aenter__(self) -> "InferenceService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        if self._batcher is None:
+            raise ServeError("service is not started")
+        return self._batcher
+
+    # -- request path --------------------------------------------------
+    async def submit(
+        self,
+        program: str,
+        inputs: Sequence[float] | np.ndarray,
+        tenant: str = "default",
+        deadline_s: float | None = None,
+    ) -> InferenceResponse:
+        """Submit one request and await its response.
+
+        Never raises for per-request problems — unknown programs,
+        malformed rows, backpressure and deadline misses all come back
+        as non-``ok`` responses, so one bad client cannot break the
+        batch its neighbors ride in.
+        """
+        batcher = self.batcher
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        self.stats.submitted += 1
+        self._next_id += 1
+        try:
+            row = np.asarray(inputs, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            row = np.empty(0)
+            bad_inputs = str(exc)
+        else:
+            bad_inputs = None
+        request = InferenceRequest(
+            id=self._next_id,
+            program=program,
+            inputs=row,
+            tenant=tenant,
+            deadline_s=deadline_s,
+            submitted_at=now,
+        )
+        if bad_inputs is not None:
+            self.stats.errors += 1
+            return self._finish(
+                request, "error", None, 0, now,
+                f"inputs are not numeric: {bad_inputs}",
+            )
+        try:
+            served = self.pool.get(program)
+        except ServeError as exc:
+            self.stats.errors += 1
+            return self._finish(request, "error", None, 0, now, str(exc))
+        if (
+            request.inputs.ndim != 1
+            or request.inputs.shape[0] < served.num_inputs
+        ):
+            self.stats.errors += 1
+            return self._finish(
+                request, "error", None, 0, now,
+                f"inputs must be a 1-D vector of >= {served.num_inputs} "
+                f"values",
+            )
+        future: asyncio.Future = loop.create_future()
+        if not batcher.submit_nowait(program, (request, future)):
+            self.stats.rejected += 1
+            return self._finish(request, "rejected", None, 0, now, None)
+        return await future
+
+    def _finish(
+        self,
+        request: InferenceRequest,
+        status: str,
+        outputs: dict[int, float] | None,
+        batch: int,
+        dequeued_at: float,
+        error: str | None,
+    ) -> InferenceResponse:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        return InferenceResponse(
+            id=request.id,
+            program=request.program,
+            tenant=request.tenant,
+            status=status,
+            outputs=outputs,
+            batch=batch,
+            queue_s=max(dequeued_at - request.submitted_at, 0.0),
+            total_s=max(now - request.submitted_at, 0.0),
+            error=error,
+        )
+
+    # -- batch execution ----------------------------------------------
+    async def _on_batch(self, key: str, items: list) -> None:
+        """Execute one micro-batch and scatter per-request responses."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: list[tuple[InferenceRequest, asyncio.Future]] = []
+        for request, future in items:
+            if (
+                request.deadline_s is not None
+                and now - request.submitted_at > request.deadline_s
+            ):
+                self.stats.timed_out += 1
+                self._resolve(
+                    future,
+                    self._finish(request, "timeout", None, 0, now, None),
+                )
+            else:
+                live.append((request, future))
+        if not live:
+            return
+        rows = [request.inputs for request, _ in live]
+        try:
+            program = self.pool.get(key)
+            if self._executor is not None:
+                width = program.num_inputs
+                matrix = np.stack(
+                    [np.asarray(r)[:width] for r in rows]
+                )
+                columns = await loop.run_in_executor(
+                    self._executor, worker_execute, program.spec, matrix
+                )
+            else:
+                columns = program.execute_rows(rows)
+        except Exception as exc:
+            # Not just ReproError: a worker pool dying mid-batch
+            # (BrokenProcessPool, pickling failures, ...) must still
+            # resolve every future — an accepted request never hangs.
+            self.stats.errors += len(live)
+            for request, future in live:
+                self._resolve(
+                    future,
+                    self._finish(
+                        request, "error", None, len(live), now,
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            return
+        self.stats.completed += len(live)
+        self.stats.rows_executed += len(live)
+        # Scatter inline (no per-request _finish) — this loop is the
+        # per-request serving overhead, so it stays lean.
+        done = loop.time()
+        size = len(live)
+        for j, (request, future) in enumerate(live):
+            outputs = {
+                node: float(col[j]) for node, col in columns.items()
+            }
+            self._resolve(future, InferenceResponse(
+                id=request.id,
+                program=request.program,
+                tenant=request.tenant,
+                status="ok",
+                outputs=outputs,
+                batch=size,
+                queue_s=max(now - request.submitted_at, 0.0),
+                total_s=max(done - request.submitted_at, 0.0),
+            ))
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, response: InferenceResponse) -> None:
+        if not future.done():
+            future.set_result(response)
+
+    # -- observability -------------------------------------------------
+    def stats_dict(self) -> dict:
+        batcher_stats = (
+            self._batcher.stats if self._batcher is not None else None
+        )
+        doc = self.stats.as_dict(batcher_stats)
+        doc["programs"] = self.pool.keys()
+        doc["workers"] = self.workers
+        doc["policy"] = {
+            "max_batch": self.policy.max_batch,
+            "max_wait_s": self.policy.max_wait_s,
+            "max_queue": self.policy.max_queue,
+        }
+        return doc
+
+
+def program_from_plan(key: str, plan) -> ServedProgram:
+    """Wrap a pre-lowered :class:`~repro.sim.plan.ExecutionPlan` as a
+    served program whose outputs are keyed by the plan's own output
+    *variables* (not DAG sinks) — the vocabulary the differential
+    oracle compares in."""
+    from .planpool import _plan_executor
+
+    sink_vars = tuple((var, var) for var in plan.output_vars)
+    return ServedProgram(
+        key=key,
+        spec=ProgramSpec(name=key),
+        fingerprint=f"installed:{key}",
+        num_inputs=plan.num_inputs,
+        num_nodes=0,
+        cycles_per_row=plan.cycles_per_row,
+        sink_vars=sink_vars,
+        _executor=_plan_executor(plan, sink_vars),
+    )
+
+
+def serve_rows(
+    plan,
+    matrix: np.ndarray,
+    max_batch: int,
+    max_wait_s: float = 0.0,
+    tenant: str = "oracle",
+) -> dict[int, np.ndarray]:
+    """Push a (B, num_inputs) matrix through the live micro-batcher.
+
+    The differential oracle's entry point: every row becomes one
+    request, the batcher coalesces them under ``max_batch`` (forcing
+    scatter/gather across several micro-batches when
+    ``max_batch < B``), and the per-request responses are reassembled
+    into ``output var -> (B,)`` columns in row order — which must be
+    bitwise identical to executing the matrix directly.
+
+    Runs its own event loop; call from synchronous code only.
+
+    Raises:
+        ServeError: If any request resolves non-ok.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+
+    async def _run() -> list[InferenceResponse]:
+        policy = BatchPolicy(
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            max_queue=max(len(matrix) + 1, 1),
+        )
+        service = InferenceService(policy=policy)
+        service.install(program_from_plan("scenario", plan))
+        async with service:
+            tasks = [
+                asyncio.ensure_future(
+                    service.submit("scenario", row, tenant=tenant)
+                )
+                for row in matrix
+            ]
+            return await asyncio.gather(*tasks)
+
+    responses = asyncio.run(_run())
+    for response in responses:
+        if not response.ok:
+            raise ServeError(
+                f"served request {response.id} resolved "
+                f"{response.status}: {response.error}"
+            )
+    columns: dict[int, np.ndarray] = {}
+    for var in plan.output_vars:
+        columns[var] = np.array(
+            [response.outputs[var] for response in responses],
+            dtype=np.float64,
+        )
+    return columns

@@ -22,6 +22,7 @@ workloads in the test suite).
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,6 +70,17 @@ class BatchResult:
         """Outputs of one batch row, in the scalar simulator's shape."""
         return {var: float(col[row]) for var, col in self.outputs.items()}
 
+    def scatter_rows(self) -> list[dict[int, float]]:
+        """Per-row output dicts, in batch-row order.
+
+        This is the result-scatter half of micro-batched serving: a
+        batch assembled from B independent requests comes back as B
+        per-request responses.  The column-to-scalar conversion is
+        exact (no rounding), so scattered values stay bitwise equal to
+        the batch columns.
+        """
+        return [self.row_outputs(row) for row in range(self.batch)]
+
 
 class BatchSimulator:
     """Executes a lowered plan over batches of input rows.
@@ -90,6 +102,22 @@ class BatchSimulator:
             self.plan = lower_program(
                 plan_or_program, interconnect=interconnect
             )
+        # Slot-sorted copies of the input scatter arrays, prepared
+        # once: when the sorted slots are exactly 0..k-1 (the usual
+        # case), per-row assembly in run_rows degrades to a basic
+        # slice — a straight memcpy instead of a bounds-checked
+        # gather, which matters at wide num_inputs.
+        slots = self.plan.input_slots
+        order = np.argsort(slots, kind="stable")
+        self._slots_sorted = slots[order]
+        self._cells_sorted = self.plan.input_cells[order]
+        self._dense_inputs = bool(
+            slots.size
+            and np.array_equal(
+                self._slots_sorted,
+                np.arange(slots.size, dtype=slots.dtype),
+            )
+        )
 
     def run(self, inputs: np.ndarray) -> BatchResult:
         """Execute a ``(B, num_inputs)`` input matrix in one sweep.
@@ -119,7 +147,74 @@ class BatchSimulator:
         t0 = time.perf_counter()
         state = np.zeros((plan.state_size, batch), dtype=np.float64)
         if plan.input_cells.size:
-            state[plan.input_cells] = matrix[:, plan.input_slots].T
+            # Index the transposed *view* so the gather lands directly
+            # in (slots, B) scatter order — one copy total, never a
+            # (B, slots) intermediate plus a strided assignment.
+            state[plan.input_cells] = matrix.T[plan.input_slots]
+        return self._finish(state, batch, t0)
+
+    def run_rows(self, rows: Sequence[np.ndarray]) -> BatchResult:
+        """Execute a batch assembled from B independent row vectors.
+
+        This is the serving hot path: requests arrive as separate
+        (and usually non-contiguous) row vectors, possibly of
+        *heterogeneous* widths — each row only needs at least
+        ``plan.num_inputs`` leading entries, so rows sliced out of
+        wider tenant buffers are accepted as-is.  Only the
+        ``input_slots`` cells of each row are gathered, straight into
+        the ``(slots, B)`` scatter source; the full ``(B, num_inputs)``
+        matrix is never materialized, so there is no assembly copy
+        beyond the single unavoidable gather.
+
+        Bitwise identical to ``run(np.stack([...]))`` — same gather
+        values, same sweep (asserted in the test suite).
+
+        Raises:
+            SimulationError: Empty batch, a non-1-D row, or a row
+                shorter than ``plan.num_inputs``.
+        """
+        plan = self.plan
+        batch = len(rows)
+        if batch < 1:
+            raise SimulationError("input matrix has no rows to execute")
+        t0 = time.perf_counter()
+        state = np.zeros((plan.state_size, batch), dtype=np.float64)
+        k = self._slots_sorted.size
+        if k:
+            # (B, k) with contiguous row writes; the transposed view
+            # feeds the scatter without another intermediate.
+            assembled = np.empty((batch, k), dtype=np.float64)
+            dense = self._dense_inputs
+            slots = self._slots_sorted
+            for j, row in enumerate(rows):
+                r = np.asarray(row, dtype=np.float64)
+                if r.ndim != 1:
+                    raise SimulationError(
+                        f"row {j}: expected a 1-D vector, got shape {r.shape}"
+                    )
+                if r.shape[0] < plan.num_inputs:
+                    raise SimulationError(
+                        f"row {j} too narrow: need {plan.num_inputs} "
+                        f"entries, got {r.shape[0]}"
+                    )
+                if dense:
+                    assembled[j] = r[:k]  # basic slice: plain memcpy
+                else:
+                    assembled[j] = r[slots]
+            state[self._cells_sorted] = assembled.T
+        else:
+            for j, row in enumerate(rows):
+                if np.asarray(row).ndim != 1:
+                    raise SimulationError(
+                        f"row {j}: expected a 1-D vector"
+                    )
+        return self._finish(state, batch, t0)
+
+    def _finish(
+        self, state: np.ndarray, batch: int, t0: float
+    ) -> BatchResult:
+        """The shared sweep: tape execution + output gather."""
+        plan = self.plan
         # Scalar Python floats overflow to inf silently; match that
         # instead of spraying RuntimeWarnings over deep product chains.
         with np.errstate(over="ignore", invalid="ignore"):

@@ -78,6 +78,7 @@ def write_case(case: ReproCase, out_dir: str | Path | None = None) -> Path:
             "fault": case.scenario.fault,
             "partition_threshold": case.scenario.partition_threshold,
             "partition_jobs": case.scenario.partition_jobs,
+            "serve": case.scenario.serve,
         },
         "mismatch": {
             "stage": case.mismatch.stage,
@@ -119,6 +120,7 @@ def load_case(path: str | Path) -> ReproCase:
                 None if raw_threshold is None else int(raw_threshold)
             ),
             partition_jobs=int(raw.get("partition_jobs", 1)),
+            serve=bool(raw.get("serve", False)),
         )
         mismatch = Mismatch(
             stage=payload["mismatch"]["stage"],
@@ -156,4 +158,5 @@ def replay_case(path: str | Path) -> DiffReport:
         fault=case.scenario.fault,
         partition_threshold=case.scenario.partition_threshold,
         partition_jobs=case.scenario.partition_jobs,
+        serve=case.scenario.serve,
     )

@@ -21,7 +21,13 @@ pipeline and cross-checked along every redundant path the stack offers:
   :func:`~repro.runner.cache.cached_plan` (a pickle round-trip through
   the content-addressed artifact store, exercising the digest-based
   ``node_map`` translation) must reproduce the cold path's outputs
-  bitwise.
+  bitwise;
+* **served vs direct** — with ``serve`` enabled, the batch's rows are
+  pushed one request at a time through the live micro-batcher
+  (:mod:`repro.serve`), forced to coalesce them into at least two
+  micro-batches, and the scattered per-request responses must equal
+  the direct batch execution bitwise — the fuzzer drives the serving
+  stack with every shape the generators produce.
 
 :func:`diff_check_dag` runs the oracle on a bare DAG and returns the
 first mismatch (or ``None``); :func:`check_scenario` wraps it with
@@ -60,6 +66,7 @@ FAULTS: dict[str, str] = {
     "counter_drift": "plan-vs-scalar-counters",
     "warm_output": "warm-vs-cold",
     "partition_boundary": "partitioned-vs-reference",
+    "serve_output": "served-vs-direct",
 }
 
 
@@ -101,6 +108,12 @@ class Scenario:
     #: execution bitwise against the reference.
     partition_threshold: int | None = None
     partition_jobs: int = 1
+    #: When set, the oracle additionally drives the batch's rows
+    #: through the live micro-batcher (:func:`repro.serve.service.
+    #: serve_rows`, forced to split the batch across micro-batches)
+    #: and cross-checks the scattered responses bitwise against the
+    #: direct batch execution.
+    serve: bool = False
 
     def config(self) -> ArchConfig:
         return config_from_label(self.config_label)
@@ -174,6 +187,7 @@ def diff_check_dag(
     compile_seed: int = 0,
     partition_threshold: int | None = None,
     partition_jobs: int = 1,
+    serve: bool = False,
 ) -> DiffReport:
     """Run the full three-way differential oracle on one DAG.
 
@@ -186,6 +200,12 @@ def diff_check_dag(
     checks the stitched scalar and batch executions bitwise against
     the reference interpreter.
 
+    With ``serve`` set (or the ``serve_output`` fault, which implies
+    it), the oracle also pushes the batch's rows through the live
+    micro-batcher — split across at least two micro-batches whenever
+    B > 1 — and checks the scattered per-request responses bitwise
+    against the direct batch execution.
+
     Raises:
         SpillError: When the config genuinely cannot hold the DAG's
             live set — the caller decides whether that is a *skip*
@@ -195,7 +215,7 @@ def diff_check_dag(
     stats: dict[str, int] = {}
     mismatch = _oracle(
         dag, config, value_seed, batch, fault, compile_seed, stats,
-        partition_threshold, partition_jobs,
+        partition_threshold, partition_jobs, serve,
     )
     return DiffReport(mismatch, cycles=stats.get("cycles", 0))
 
@@ -210,6 +230,7 @@ def _oracle(
     stats: dict[str, int],
     partition_threshold: int | None = None,
     partition_jobs: int = 1,
+    serve: bool = False,
 ) -> Mismatch | None:
     _validate_fault(fault)
     validate(dag)
@@ -312,6 +333,12 @@ def _oracle(
             f"batch totals are not per-row counters x {batch_result.batch}",
         )
 
+    # ---- live micro-batcher vs direct batch execution ---------------
+    if serve or fault == "serve_output":
+        mismatch = _check_served(batch_result, plan, matrix, fault)
+        if mismatch is not None:
+            return mismatch
+
     # ---- partition-parallel compile vs monolithic -------------------
     threshold = partition_threshold
     if fault == "partition_boundary" and threshold is None:
@@ -390,6 +417,50 @@ def _oracle(
             "fault 'warm_output' needs a configured artifact cache"
         )
 
+    return None
+
+
+def _check_served(
+    batch_result,
+    plan,
+    matrix: np.ndarray,
+    fault: str | None,
+) -> Mismatch | None:
+    """Served-vs-direct cross-check: rows pushed through the live
+    micro-batcher (request queue -> coalesce -> execute -> scatter)
+    must come back bitwise identical to the direct batch execution.
+
+    ``max_batch`` is chosen to split the batch across at least two
+    micro-batches whenever B > 1, so the scatter/reassembly path is
+    genuinely exercised, not just a single passthrough batch.
+    """
+    from ..serve.service import serve_rows
+
+    max_batch = max(1, (batch_result.batch + 1) // 2)
+    try:
+        served = serve_rows(plan, matrix, max_batch=max_batch)
+    except ReproError as exc:
+        return Mismatch("serve-execute", f"{type(exc).__name__}: {exc}")
+    if fault == "serve_output" and served:
+        worst = max(served)
+        col = served[worst].copy()
+        col[0] = np.nextafter(col[0], np.inf)
+        served[worst] = col
+    if sorted(served) != sorted(batch_result.outputs):
+        return Mismatch(
+            "served-vs-direct",
+            "micro-batcher returned a different output-variable set",
+        )
+    for var in sorted(served):
+        direct = batch_result.outputs[var]
+        for row in range(batch_result.batch):
+            if not _bitwise_equal(float(served[var][row]), float(direct[row])):
+                return Mismatch(
+                    "served-vs-direct",
+                    f"var {var} row {row}: served "
+                    f"{float(served[var][row])!r} != direct "
+                    f"{float(direct[row])!r} (max_batch={max_batch})",
+                )
     return None
 
 
@@ -482,6 +553,7 @@ def check_scenario(scenario: Scenario) -> ScenarioOutcome:
             fault=scenario.fault,
             partition_threshold=scenario.partition_threshold,
             partition_jobs=scenario.partition_jobs,
+            serve=scenario.serve,
         )
     except SpillError as exc:
         return ScenarioOutcome(

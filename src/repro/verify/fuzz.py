@@ -92,10 +92,12 @@ def make_scenarios(
             n = rng.randint(121, 260)
         kwargs = _family_kwargs(rng, family, n)
         # Every fourth scenario also exercises the partition-parallel
-        # compile path.  The assignment and threshold are derived
-        # WITHOUT consuming the master rng, so the (family, n, seed,
-        # config, value_seed, batch) stream — and with it the pinned
-        # verify_synth golden — is unchanged from earlier revisions.
+        # compile path, and a disjoint every-fourth slice drives the
+        # live micro-batcher (served-vs-direct).  Both assignments are
+        # derived WITHOUT consuming the master rng, so the (family, n,
+        # seed, config, value_seed, batch) stream — and with it the
+        # pinned verify_synth golden — is unchanged from earlier
+        # revisions.
         partition_threshold = None
         if i % 4 == 3 and n > 2 * MIN_NODES:
             partition_threshold = max(1, n // (2 + i % 3))
@@ -112,6 +114,7 @@ def make_scenarios(
                 batch=rng.choice((1, 2, 4)),
                 fault=fault,
                 partition_threshold=partition_threshold,
+                serve=i % 4 == 1,
             )
         )
     return scenarios
@@ -246,6 +249,7 @@ def _shrink_failure(
             fault=scenario.fault,
             partition_threshold=_shrunk_threshold(scenario, candidate),
             partition_jobs=scenario.partition_jobs,
+            serve=scenario.serve,
         )
         return report.mismatch is not None
 
@@ -262,6 +266,7 @@ def _shrink_failure(
             fault=scenario.fault,
             partition_threshold=_shrunk_threshold(scenario, shrunk.dag),
             partition_jobs=scenario.partition_jobs,
+            serve=scenario.serve,
         )
         case = ReproCase(
             scenario=scenario,

@@ -23,8 +23,18 @@ from .suite import (
     workload_names,
 )
 from .synth import MIN_NODES, SYNTH_FAMILIES, SynthParams, generate_synth
+from .traffic import (
+    TRAFFIC_PATTERNS,
+    Arrival,
+    TrafficSchedule,
+    make_traffic,
+)
 
 __all__ = [
+    "Arrival",
+    "TrafficSchedule",
+    "TRAFFIC_PATTERNS",
+    "make_traffic",
     "PCParams",
     "generate_pc",
     "evaluate_pc",

@@ -1,0 +1,296 @@
+"""Seeded traffic workloads for the inference service.
+
+The serving layer (:mod:`repro.serve`) turns the vectorized batch
+engine into online throughput; this module supplies the *demand* side:
+deterministic arrival schedules shaped like real request streams.  A
+schedule is plain data — a tuple of :class:`Arrival` records sorted by
+time — so the same ``(pattern, requests, rate, seed)`` quadruple
+replays the identical stream through the in-process load harness, the
+``repro loadgen`` client and CI, in any process.
+
+Patterns (``TRAFFIC_PATTERNS``):
+
+``poisson``
+    Open-loop Poisson arrivals: i.i.d. exponential inter-arrival
+    times at a constant rate.  The memoryless baseline.
+``bursty``
+    A two-state Markov-modulated Poisson process: quiet periods at a
+    fraction of the nominal rate punctuated by bursts at a multiple
+    of it.  Stresses the micro-batcher's max-batch bound (bursts) and
+    its max-wait bound (quiet stretches) in one stream.
+``diurnal``
+    A sinusoidal rate ramp between a trough and a peak over a
+    configurable period — the classic day/night load curve, generated
+    by thinning a Poisson stream at the peak rate.
+``multi_tenant``
+    A weighted mixture of tenants, each pinned to one program of the
+    mix, with Poisson arrivals overall.  Exercises multi-program
+    sharding and per-tenant ordering.
+
+Every generator draws from one ``random.Random(seed)`` stream and
+assigns programs/tenants by draw order, so schedules are stable across
+platforms and Python builds.  Time starts at 0; the caller scales or
+compresses it for replay (the load harness's ``time_scale``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+#: Default request rate (req/s of schedule time) when unspecified.
+DEFAULT_RATE = 200.0
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when, from whom, for which program.
+
+    ``value_seed`` determines the request's input vector (the load
+    harness derives the row from it deterministically), so a schedule
+    pins not only the timing but the exact payloads.
+    """
+
+    time_s: float
+    tenant: str
+    program: str
+    value_seed: int
+
+
+@dataclass(frozen=True)
+class TrafficSchedule:
+    """A materialized arrival schedule, sorted by time."""
+
+    pattern: str
+    seed: int
+    rate: float
+    arrivals: tuple[Arrival, ...]
+
+    @property
+    def duration_s(self) -> float:
+        return self.arrivals[-1].time_s if self.arrivals else 0.0
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrivals)
+
+    def programs(self) -> list[str]:
+        """Distinct programs in the schedule, in first-seen order."""
+        seen: dict[str, None] = {}
+        for a in self.arrivals:
+            seen.setdefault(a.program, None)
+        return list(seen)
+
+    def tenants(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for a in self.arrivals:
+            seen.setdefault(a.tenant, None)
+        return list(seen)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WorkloadError(message)
+
+
+def _validate(requests: int, rate: float, programs: Sequence[str]) -> None:
+    _require(isinstance(requests, int) and requests >= 1,
+             f"requests must be an int >= 1, got {requests!r}")
+    _require(rate > 0, f"rate must be positive, got {rate!r}")
+    _require(len(programs) >= 1, "at least one program name is required")
+
+
+def _finalize(
+    pattern: str,
+    seed: int,
+    rate: float,
+    arrivals: list[Arrival],
+) -> TrafficSchedule:
+    arrivals.sort(key=lambda a: (a.time_s, a.tenant, a.value_seed))
+    return TrafficSchedule(
+        pattern=pattern, seed=seed, rate=rate, arrivals=tuple(arrivals)
+    )
+
+
+def poisson(
+    requests: int,
+    rate: float = DEFAULT_RATE,
+    seed: int = 0,
+    programs: Sequence[str] = ("synth_layered",),
+    tenants: Sequence[str] = ("t0",),
+) -> TrafficSchedule:
+    """Constant-rate Poisson arrivals over a uniform program/tenant mix."""
+    _validate(requests, rate, programs)
+    rng = random.Random(seed)
+    t = 0.0
+    arrivals = []
+    for _ in range(requests):
+        t += rng.expovariate(rate)
+        arrivals.append(Arrival(
+            time_s=t,
+            tenant=tenants[rng.randrange(len(tenants))],
+            program=programs[rng.randrange(len(programs))],
+            value_seed=rng.randrange(2**31),
+        ))
+    return _finalize("poisson", seed, rate, arrivals)
+
+
+def bursty(
+    requests: int,
+    rate: float = DEFAULT_RATE,
+    seed: int = 0,
+    programs: Sequence[str] = ("synth_layered",),
+    tenants: Sequence[str] = ("t0",),
+    burst_factor: float = 8.0,
+    quiet_factor: float = 0.25,
+    mean_state_s: float = 0.05,
+) -> TrafficSchedule:
+    """Two-state Markov-modulated Poisson arrivals.
+
+    The stream alternates between a *quiet* state (``quiet_factor *
+    rate``) and a *burst* state (``burst_factor * rate``); state
+    residence times are exponential with mean ``mean_state_s``.
+    """
+    _validate(requests, rate, programs)
+    _require(burst_factor > 0 and quiet_factor > 0,
+             "burst/quiet factors must be positive")
+    _require(mean_state_s > 0, "mean_state_s must be positive")
+    rng = random.Random(seed)
+    t = 0.0
+    bursting = False
+    state_end = rng.expovariate(1.0 / mean_state_s)
+    arrivals = []
+    while len(arrivals) < requests:
+        current = rate * (burst_factor if bursting else quiet_factor)
+        t += rng.expovariate(current)
+        while t > state_end:
+            bursting = not bursting
+            state_end += rng.expovariate(1.0 / mean_state_s)
+        arrivals.append(Arrival(
+            time_s=t,
+            tenant=tenants[rng.randrange(len(tenants))],
+            program=programs[rng.randrange(len(programs))],
+            value_seed=rng.randrange(2**31),
+        ))
+    return _finalize("bursty", seed, rate, arrivals)
+
+
+def diurnal(
+    requests: int,
+    rate: float = DEFAULT_RATE,
+    seed: int = 0,
+    programs: Sequence[str] = ("synth_layered",),
+    tenants: Sequence[str] = ("t0",),
+    trough_fraction: float = 0.1,
+    period_s: float = 2.0,
+) -> TrafficSchedule:
+    """Sinusoidal day/night ramp between ``trough_fraction * rate``
+    and ``rate``, generated by thinning a peak-rate Poisson stream.
+
+    ``period_s`` is one full day-night cycle of *schedule* time (the
+    load harness compresses real days into seconds of replay).
+    """
+    _validate(requests, rate, programs)
+    _require(0 < trough_fraction <= 1,
+             f"trough_fraction must be in (0, 1], got {trough_fraction!r}")
+    _require(period_s > 0, "period_s must be positive")
+    rng = random.Random(seed)
+    t = 0.0
+    arrivals = []
+    while len(arrivals) < requests:
+        t += rng.expovariate(rate)  # candidate at the peak rate
+        phase = math.sin(2.0 * math.pi * t / period_s - math.pi / 2.0)
+        level = trough_fraction + (1.0 - trough_fraction) * (phase + 1) / 2
+        if rng.random() >= level:
+            continue  # thinned away: we are in the trough
+        arrivals.append(Arrival(
+            time_s=t,
+            tenant=tenants[rng.randrange(len(tenants))],
+            program=programs[rng.randrange(len(programs))],
+            value_seed=rng.randrange(2**31),
+        ))
+    return _finalize("diurnal", seed, rate, arrivals)
+
+
+def multi_tenant(
+    requests: int,
+    rate: float = DEFAULT_RATE,
+    seed: int = 0,
+    programs: Sequence[str] = ("synth_layered", "synth_wide"),
+    tenants: Sequence[str] = (),
+    weights: Sequence[float] = (),
+) -> TrafficSchedule:
+    """A weighted tenant mixture with per-tenant program affinity.
+
+    Tenant ``i`` always requests ``programs[i % len(programs)]`` —
+    the shape the per-program queues shard on — with arrival shares
+    given by ``weights`` (default: Zipf-ish ``1/(i+1)``).
+    """
+    _validate(requests, rate, programs)
+    names = tuple(tenants) or tuple(
+        f"tenant{i}" for i in range(2 * len(programs))
+    )
+    w = tuple(weights) or tuple(1.0 / (i + 1) for i in range(len(names)))
+    _require(len(w) == len(names),
+             f"need one weight per tenant ({len(names)}), got {len(w)}")
+    _require(all(x > 0 for x in w), "weights must be positive")
+    rng = random.Random(seed)
+    t = 0.0
+    arrivals = []
+    for _ in range(requests):
+        t += rng.expovariate(rate)
+        idx = rng.choices(range(len(names)), weights=w)[0]
+        arrivals.append(Arrival(
+            time_s=t,
+            tenant=names[idx],
+            program=programs[idx % len(programs)],
+            value_seed=rng.randrange(2**31),
+        ))
+    return _finalize("multi_tenant", seed, rate, arrivals)
+
+
+#: Pattern name -> generator.  All share the (requests, rate, seed,
+#: programs, tenants) leading signature; extras are keyword-only knobs.
+TRAFFIC_PATTERNS: dict[str, Callable[..., TrafficSchedule]] = {
+    "poisson": poisson,
+    "bursty": bursty,
+    "diurnal": diurnal,
+    "multi_tenant": multi_tenant,
+}
+
+
+def make_traffic(
+    pattern: str,
+    requests: int,
+    rate: float = DEFAULT_RATE,
+    seed: int = 0,
+    programs: Sequence[str] = ("synth_layered",),
+    tenants: Sequence[str] = (),
+    **kwargs,
+) -> TrafficSchedule:
+    """Dispatch by pattern name.
+
+    An empty ``tenants`` means each pattern's default: a single
+    ``"t0"`` tenant, except ``multi_tenant`` which derives a weighted
+    tenant pool from the program mix.
+
+    Raises:
+        WorkloadError: Unknown pattern or invalid parameters.
+    """
+    if pattern not in TRAFFIC_PATTERNS:
+        raise WorkloadError(
+            f"unknown traffic pattern {pattern!r}; choose from "
+            f"{sorted(TRAFFIC_PATTERNS)}"
+        )
+    gen = TRAFFIC_PATTERNS[pattern]
+    if not tenants:
+        if pattern == "multi_tenant":
+            return gen(requests, rate, seed, programs=programs, **kwargs)
+        tenants = ("t0",)
+    return gen(
+        requests, rate, seed, programs=programs, tenants=tenants, **kwargs
+    )

@@ -210,3 +210,127 @@ def test_compiler_cache_version_in_key(cache, monkeypatch):
     second = cached_compile(dag, CONFIG)
     assert first.cache_key != second.cache_key
     assert cache.misses == 2
+
+
+class TestConcurrentAccess:
+    """Serving makes cross-process cache races routine: readers,
+    writers and maintenance must be able to hammer one directory."""
+
+    def _payloads(self, cache, count=12):
+        for i in range(count):
+            cache.put(f"{i:02d}key{i}", {"i": i, "blob": b"x" * 256})
+
+    def test_threads_hammering_put_get_prune_clear(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache(tmp_path / "shared")
+        errors = []
+
+        def writer(worker):
+            try:
+                for i in range(30):
+                    cache.put(f"{worker}{i:02d}w", {"w": worker, "i": i})
+            except Exception as exc:  # pragma: no cover - the assert
+                errors.append(exc)
+
+        def reader():
+            try:
+                for i in range(60):
+                    payload = cache.get(f"{i % 4}{i % 30:02d}w")
+                    assert payload is None or "w" in payload
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def maintainer():
+            try:
+                for _ in range(10):
+                    cache.prune(max_bytes=512)
+                    cache.size_bytes()
+                cache.clear()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = (
+            [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+            + [threading.Thread(target=reader) for _ in range(2)]
+            + [threading.Thread(target=maintainer) for _ in range(2)]
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # The store is still usable afterwards.
+        cache.put("aakey", {"ok": True})
+        assert cache.get("aakey") == {"ok": True}
+
+    def test_processes_racing_writes_converge(self, tmp_path):
+        """Concurrent atomic writers on the same keys never produce a
+        torn artifact: every surviving entry loads cleanly."""
+        import multiprocessing as mp
+
+        directory = tmp_path / "mp-shared"
+        ctx = mp.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer_cache, args=(str(directory), w))
+            for w in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        cache = ArtifactCache(directory)
+        loaded = 0
+        for path in cache.entries():
+            key = path.stem
+            payload = cache.get(key)
+            assert payload is not None, key
+            loaded += 1
+        assert loaded > 0
+
+    def test_prune_tolerates_vanishing_entries(self, cache, monkeypatch):
+        self._payloads(cache)
+        entries = cache.entries()
+        assert entries
+        # Simulate a racing maintainer: a file disappears between the
+        # glob and the stat/unlink.
+        entries[0].unlink()
+        removed = cache.prune(max_bytes=0)
+        assert removed >= len(entries) - 1
+        assert cache.size_bytes() == 0
+
+    def test_size_bytes_tolerates_vanishing_entries(self, cache):
+        self._payloads(cache, count=3)
+        real_entries = ArtifactCache.entries
+
+        def racing_entries(self_):
+            paths = real_entries(self_)
+            for path in paths:
+                path.unlink()  # everything vanishes mid-scan
+            return paths
+
+        import unittest.mock as mock
+
+        with mock.patch.object(ArtifactCache, "entries", racing_entries):
+            assert cache.size_bytes() == 0
+
+    def test_clear_then_reuse(self, cache):
+        self._payloads(cache)
+        cache.clear()
+        assert cache.entries() == []
+        cache.put("zzkey", {"fresh": 1})
+        assert cache.get("zzkey") == {"fresh": 1}
+
+
+def _hammer_cache(directory: str, worker: int) -> None:
+    """Child-process body for the cross-process race test (module
+    level so it pickles under the spawn start method)."""
+    cache = ArtifactCache(directory)
+    for i in range(40):
+        key = f"{i % 8:02d}shared{i % 8}"
+        cache.put(key, {"worker": worker, "i": i, "pad": "p" * 128})
+        payload = cache.get(key)
+        assert payload is None or "worker" in payload
+        if worker == 0 and i % 10 == 9:
+            cache.prune(max_bytes=1024)

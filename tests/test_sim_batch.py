@@ -200,3 +200,77 @@ class TestMeasureBatch:
         m = measure(make_random_dag(24, num_ops=40), cfg)
         assert m.batch_result is None
         assert m.host_rows_per_second == 0.0
+
+
+class TestRunRows:
+    """The serving assembly path: batches from independent row vectors."""
+
+    def test_rows_match_stacked_matrix_bitwise(self, compiled):
+        rng = np.random.default_rng(7)
+        n = max(compiled.program.input_slots.values()) + 1
+        rows = [rng.uniform(0.9, 1.1, size=n) for _ in range(6)]
+        sim = BatchSimulator(compiled.plan())
+        by_rows = sim.run_rows(rows)
+        stacked = sim.run(np.stack(rows))
+        assert by_rows.batch == stacked.batch == 6
+        assert sorted(by_rows.outputs) == sorted(stacked.outputs)
+        for var in by_rows.outputs:
+            assert np.array_equal(
+                by_rows.outputs[var], stacked.outputs[var], equal_nan=True
+            )
+        assert by_rows.counters == stacked.counters
+
+    def test_heterogeneous_row_widths_accepted(self, compiled):
+        """Each row only needs >= num_inputs leading entries."""
+        rng = np.random.default_rng(8)
+        n = max(compiled.program.input_slots.values()) + 1
+        narrow = rng.uniform(0.9, 1.1, size=n)
+        wide = np.concatenate([narrow, rng.uniform(0.9, 1.1, size=13)])
+        sim = BatchSimulator(compiled.plan())
+        mixed = sim.run_rows([narrow, wide])
+        uniform = sim.run_rows([narrow, narrow])
+        for var in mixed.outputs:
+            assert mixed.outputs[var][0] == uniform.outputs[var][0] or (
+                np.isnan(mixed.outputs[var][0])
+                and np.isnan(uniform.outputs[var][0])
+            )
+            # The wide row's extra tail entries must not leak in.
+            assert mixed.outputs[var][1] == mixed.outputs[var][0] or (
+                np.isnan(mixed.outputs[var][1])
+            )
+
+    def test_non_contiguous_rows_accepted(self, compiled):
+        rng = np.random.default_rng(9)
+        n = max(compiled.program.input_slots.values()) + 1
+        buffer = np.asfortranarray(rng.uniform(0.9, 1.1, size=(4, n)))
+        rows = [buffer[j] for j in range(4)]
+        assert not rows[0].flags["C_CONTIGUOUS"]
+        sim = BatchSimulator(compiled.plan())
+        from_views = sim.run_rows(rows)
+        from_copy = sim.run(np.ascontiguousarray(buffer))
+        for var in from_views.outputs:
+            assert np.array_equal(
+                from_views.outputs[var],
+                from_copy.outputs[var],
+                equal_nan=True,
+            )
+
+    def test_scatter_rows_round_trips(self, compiled):
+        rng = np.random.default_rng(10)
+        n = max(compiled.program.input_slots.values()) + 1
+        result = BatchSimulator(compiled.plan()).run_rows(
+            [rng.uniform(0.9, 1.1, size=n) for _ in range(3)]
+        )
+        scattered = result.scatter_rows()
+        assert len(scattered) == 3
+        for row, outputs in enumerate(scattered):
+            assert outputs == result.row_outputs(row)
+
+    def test_empty_and_malformed_rows_rejected(self, compiled):
+        sim = BatchSimulator(compiled.plan())
+        with pytest.raises(SimulationError, match="no rows"):
+            sim.run_rows([])
+        with pytest.raises(SimulationError, match="1-D"):
+            sim.run_rows([np.ones((2, 2))])
+        with pytest.raises(SimulationError, match="too narrow"):
+            sim.run_rows([np.ones(1)])
