@@ -38,7 +38,7 @@ from pathlib import Path
 from .arch import ArchConfig, encode_program
 from .compiler import compile_dag
 from .graphs import from_edge_list, from_json, DAG
-from .sim import evaluate_dag, run_program
+from .sim import ENGINES, evaluate_dag, run_program
 from .workloads import DEFAULT_SCALE, build_workload, workload_names
 
 
@@ -208,7 +208,8 @@ def _run_batched(args, dag: DAG, config, result, ops: int) -> int:
     plan = cached_plan(result)  # phase 1: verified lowering (memoized)
     rng = np.random.default_rng(args.seed)
     matrix = rng.uniform(0.9, 1.1, size=(args.batch, dag.num_inputs))
-    batch = BatchSimulator(plan).run(matrix)  # phase 2: vector sweep
+    sim = BatchSimulator(plan, engine=args.engine)
+    batch = sim.run(matrix)  # phase 2: vector sweep
     perf = batch_perf_report(
         dag.name, config, ops, plan.cycles_per_row, batch.batch,
         host_seconds=batch.host_seconds,
@@ -235,7 +236,8 @@ def _run_batched(args, dag: DAG, config, result, ops: int) -> int:
           f"{config.frequency_hz / 1e6:.0f}MHz "
           f"({perf.rows_per_second:,.0f} rows/s on device)")
     print(f"host sweep: {batch.host_seconds * 1e3:.1f}ms "
-          f"({batch.host_rows_per_second:,.0f} rows/s simulated)")
+          f"({batch.host_rows_per_second:,.0f} rows/s simulated, "
+          f"engine {sim.engine})")
     if errors:
         print(f"FAILED: {errors} output mismatches vs golden model "
               f"across {checked} checked rows")
@@ -383,6 +385,7 @@ def _serve_specs(args: argparse.Namespace) -> list:
             seed=args.seed,
             scale=args.scale,
             partition_threshold=args.partition_threshold,
+            engine=args.engine,
         )
         for name in names
     ]
@@ -511,6 +514,7 @@ def _spawn_server(args: argparse.Namespace) -> tuple:
         "--max-queue", str(args.max_queue),
         "--workers", str(args.workers),
         "--cache-dir", args.cache_dir,
+        "--engine", args.engine,
     ]
     if args.no_cache:
         cmd.append("--no-cache")
@@ -656,10 +660,14 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
         from bench_to_json import append_run
 
-        records = [rec for report in reports for rec in report.records()]
+        records = [
+            dict(rec, engine=args.engine)
+            for report in reports
+            for rec in report.records()
+        ]
         append_run(
             args.bench_json, "serve", records,
-            label=f"loadgen-{'-'.join(patterns)}",
+            label=f"loadgen-{'-'.join(patterns)}-{args.engine}",
         )
         print(f"appended {len(records)} record(s) to {args.bench_json}")
     if failures:
@@ -705,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=0, metavar="N",
         help="execute N random input rows through the two-phase "
         "plan/execute engine instead of the scalar reference simulator",
+    )
+    p.add_argument(
+        "--engine", default="auto", choices=ENGINES,
+        help="batch execution engine (--batch N only): step interpreter, "
+        "fused super-op kernels, plan-specialized codegen, or auto "
+        "(fused when the plan fits the cell cap); all are bitwise "
+        "identical",
     )
     _add_cache_args(p)
     p.set_defaults(func=cmd_run)
@@ -818,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--partition-threshold", type=int, default=None, metavar="N",
             help="compile DAGs larger than N nodes via the "
             "partition-parallel path",
+        )
+        p.add_argument(
+            "--engine", default="auto", choices=ENGINES,
+            help="batch execution engine behind the plan pool "
+            "(default auto: fused super-op kernels when the plan "
+            "fits the cell cap); all engines are bitwise identical",
         )
 
     p = sub.add_parser(

@@ -142,6 +142,38 @@ class DagArrays:
             self.topo[bounds[i] : bounds[i + 1]] for i in range(depth + 1)
         ]
 
+    def level_opcode_groups(self) -> list[list[tuple[int, np.ndarray]]]:
+        """Per level, arithmetic node ids grouped by opcode.
+
+        The same-opcode-per-level grouping the fused execution engine
+        lowers to super-op kernels (:mod:`repro.sim.fused`): entry
+        ``[lvl]`` lists ``(opcode, node_ids)`` pairs, opcodes
+        ascending, node ids in topo order.  Level 0 (the inputs) is
+        included and always empty.  A plan's kernel count is bounded
+        below by the number of pairs returned here — the DAG is the
+        source of the dependence structure the fusion exploits.
+        """
+        grouped: list[list[tuple[int, np.ndarray]]] = []
+        for nodes in self.level_slices():
+            arith = nodes[~self.is_input[nodes]]
+            groups: list[tuple[int, np.ndarray]] = []
+            if arith.size:
+                codes = self.ops[arith]
+                order = np.argsort(codes, kind="stable")
+                sorted_nodes = arith[order]
+                sorted_codes = codes[order]
+                breaks = np.flatnonzero(np.diff(sorted_codes) != 0) + 1
+                bounds = np.concatenate(([0], breaks, [arith.size]))
+                groups = [
+                    (
+                        int(sorted_codes[bounds[i]]),
+                        sorted_nodes[bounds[i] : bounds[i + 1]],
+                    )
+                    for i in range(bounds.size - 1)
+                ]
+            grouped.append(groups)
+        return grouped
+
     def capped_heights(self, cap: int) -> np.ndarray:
         """Initial uncomputed-cone height per node, capped at ``cap + 1``.
 

@@ -119,18 +119,21 @@ class PartitionedCompileResult:
                 values[orig] = sim.values[node_map[local]]
         return values
 
-    def run_batch(self, inputs: np.ndarray) -> dict[int, np.ndarray]:
+    def run_batch(
+        self, inputs: np.ndarray, engine: str = "step"
+    ) -> dict[int, np.ndarray]:
         """Execute all pieces on the batch engine ((B, num_inputs) in).
 
         Returns ``original node -> (B,)`` arrays for the same set of
-        nodes as :meth:`run`.
+        nodes as :meth:`run`.  ``engine`` selects the per-piece batch
+        engine (see :data:`repro.sim.batch.ENGINES`); simulators are
+        memoized per (piece, engine), so repeated batches through the
+        fused engines reuse their bound sweeps.
         """
-        from ..sim import BatchSimulator
-
         inputs = np.asarray(inputs, dtype=np.float64)
         batch = inputs.shape[0]
         values: dict[int, np.ndarray] = {}
-        for piece in self.pieces:
+        for idx, piece in enumerate(self.pieces):
             k = len(piece.ext_sources)
             sub = np.empty((batch, k), dtype=np.float64)
             for slot, s in enumerate(piece.ext_sources):
@@ -138,11 +141,31 @@ class PartitionedCompileResult:
                     sub[:, slot] = inputs[:, self.dag.input_slot(s)]
                 else:
                     sub[:, slot] = values[s]
-            result = BatchSimulator(piece.result.plan()).run(sub)
+            result = self._sim(idx, engine).run(sub)
             node_map = piece.result.node_map
             for orig, local in piece.extract:
                 values[orig] = result.outputs[node_map[local]]
         return values
+
+    def _sim(self, idx: int, engine: str):
+        """Per-(piece, engine) BatchSimulator memo (not pickled —
+        simulators hold locks and bound state buffers)."""
+        from ..sim import BatchSimulator
+
+        cache = self.__dict__.get("_sim_cache")
+        if cache is None:
+            cache = self.__dict__["_sim_cache"] = {}
+        sim = cache.get((idx, engine))
+        if sim is None:
+            sim = cache[(idx, engine)] = BatchSimulator(
+                self.pieces[idx].result.plan(), engine=engine
+            )
+        return sim
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_sim_cache", None)
+        return state
 
 
 def _induced_piece(

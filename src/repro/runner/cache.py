@@ -50,7 +50,13 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 from ..arch import DEFAULT_TOPOLOGY, Interconnect, Topology
 from ..compiler import CompileResult, compile_dag
 from ..graphs import DAG, OpType
-from .fingerprint import compile_key, node_digests, plan_key
+from .fingerprint import (
+    codegen_key,
+    compile_key,
+    fused_key,
+    node_digests,
+    plan_key,
+)
 
 #: Default location used by the CLI when ``--cache-dir`` is omitted.
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-dpu-v2"
@@ -364,3 +370,54 @@ def cached_plan(
         plan = result.plan(interconnect)
         cache.put(key, plan)
     return plan
+
+
+def cached_fused_plan(
+    result: CompileResult,
+    interconnect: Interconnect | None = None,
+    cache: ArtifactCache | NullCache | None = None,
+):
+    """Memoized super-op fusion (:func:`repro.sim.fused.fuse_plan`) of
+    a compilation's lowered plan.
+
+    Layered on :func:`cached_plan`: a warm cache serves the fused form
+    directly without re-lowering or re-fusing; a cold one lowers,
+    fuses and stores both artifacts.  Falls back to a live fusion when
+    caching is off or the result has no ``cache_key``.
+    """
+    from ..sim.fused import fuse_plan  # local: sim must not be a hard dep here
+
+    cache = cache if cache is not None else get_cache()
+    base_key = getattr(result, "cache_key", None)
+    if isinstance(cache, NullCache) or base_key is None:
+        return fuse_plan(cached_plan(result, interconnect, cache))
+    topology = (
+        DEFAULT_TOPOLOGY if interconnect is None else interconnect.topology
+    )
+    key = fused_key(plan_key(base_key, topology))
+    fused = cache.get(key)
+    if fused is None:
+        fused = fuse_plan(cached_plan(result, interconnect, cache))
+        cache.put(key, fused)
+    return fused
+
+
+def cached_codegen_source(
+    fused, cache: ArtifactCache | NullCache | None = None
+) -> str:
+    """Generated-sweep source for a fused plan, memoized by content.
+
+    The source (:func:`repro.sim.fused.codegen_source`) is a pure
+    function of the fused plan, keyed by its fingerprint — so every
+    process (serving workers included) compiling the same plan shares
+    one generation, and the artifact survives restarts.
+    """
+    from ..sim.fused import codegen_source
+
+    cache = cache if cache is not None else get_cache()
+    key = codegen_key(fused.fingerprint)
+    source = cache.get(key)
+    if not isinstance(source, str):
+        source = codegen_source(fused)
+        cache.put(key, source)
+    return source

@@ -36,7 +36,7 @@ from ..graphs import DAG, OpType, topological_order
 
 #: Version tag of the cached-artifact schema.  Bump on any compiler,
 #: activity-model or payload-layout change so stale artifacts miss.
-COMPILER_CACHE_VERSION = "2"  # 2: array-form Cone layout in cached Decompositions
+COMPILER_CACHE_VERSION = "3"  # 3: MoveStep coalescing/slice metadata in cached plans
 
 _DIGEST_BYTES = 16
 
@@ -147,6 +147,19 @@ def plan_key(base_key: str, topology: Topology) -> str:
     """Cache key for an :class:`~repro.sim.plan.ExecutionPlan` lowered
     from the compilation identified by ``base_key``."""
     return _h(b"plan", base_key.encode(), topology.value.encode()).hex()
+
+
+def fused_key(plan_cache_key: str) -> str:
+    """Cache key for a :class:`~repro.sim.fused.FusedPlan` lowered from
+    the plan identified by ``plan_cache_key``."""
+    return _h(b"fused", plan_cache_key.encode()).hex()
+
+
+def codegen_key(fused_fingerprint: str) -> str:
+    """Cache key for generated sweep source, addressed by the fused
+    plan's *content* fingerprint (not the compile key): structurally
+    identical fused plans share one generated function."""
+    return _h(b"codegen", fused_fingerprint.encode()).hex()
 
 
 def metrics_key(base_key: str) -> str:

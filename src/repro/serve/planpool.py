@@ -39,13 +39,23 @@ import hashlib
 
 from ..errors import ReproError, ServeError
 from ..graphs import DAG, OpType, from_json
-from ..runner.cache import cached_compile, cached_plan, get_cache
+from ..runner.cache import (
+    cached_compile,
+    cached_fused_plan,
+    cached_plan,
+    get_cache,
+)
 from ..runner.fingerprint import (
     COMPILER_CACHE_VERSION,
     config_fingerprint,
     dag_fingerprint,
 )
-from ..sim import BatchSimulator
+from ..sim import (
+    AUTO_FUSED_CELL_CAP,
+    ENGINES,
+    BatchSimulator,
+    estimated_fused_cells,
+)
 from ..workloads import DEFAULT_SCALE, SynthParams, build_workload
 from ..workloads.suite import _BY_NAME as _SUITE_NAMES
 
@@ -80,6 +90,12 @@ class ProgramSpec:
     DAG from this spec (generators are seeded and fingerprint-stable),
     and the artifact cache keys by content — so parent and workers
     converge on the same cached plan.
+
+    ``engine`` selects the batch engine served traffic runs on (one
+    of :data:`repro.sim.batch.ENGINES`; all engines are bitwise
+    identical, so this is purely a throughput knob).  The default
+    ``"auto"`` serves fused plans whenever the fused state fits the
+    auto cap.
     """
 
     name: str
@@ -90,6 +106,7 @@ class ProgramSpec:
     dag_json: str | None = None
     partition_threshold: int | None = None
     partition_jobs: int = 1
+    engine: str = "auto"
 
     @property
     def key(self) -> str:
@@ -147,11 +164,12 @@ class ServedProgram:
         return [node for node, _ in self.sink_vars]
 
 
-def _plan_executor(plan, sink_vars):
+def _plan_executor(plan, sink_vars, engine="step", fused_plan=None):
     """Serve through one monolithic ExecutionPlan (the common path)."""
     # One simulator per served program: its slot-sort/dense-check
-    # precompute runs once here, not per dispatched micro-batch.
-    sim = BatchSimulator(plan)
+    # precompute (and, for the fused engines, the per-batch-width
+    # bound sweeps) runs once here, not per dispatched micro-batch.
+    sim = BatchSimulator(plan, engine=engine, fused_plan=fused_plan)
 
     def execute(rows: Sequence[np.ndarray]) -> dict[int, np.ndarray]:
         result = sim.run_rows(rows)
@@ -169,7 +187,7 @@ def _plan_executor(plan, sink_vars):
     return execute
 
 
-def _partitioned_executor(part, sinks):
+def _partitioned_executor(part, sinks, engine="step"):
     """Serve through the stitched partition-parallel executor."""
 
     def execute(rows: Sequence[np.ndarray]) -> dict[int, np.ndarray]:
@@ -182,7 +200,7 @@ def _partitioned_executor(part, sinks):
                     f"row {j}: need a 1-D vector of >= {width} entries"
                 )
             clipped.append(r[:width])
-        values = part.run_batch(np.stack(clipped))
+        values = part.run_batch(np.stack(clipped), engine=engine)
         return {node: values[node] for node in sinks}
 
     return execute
@@ -251,6 +269,10 @@ def build_served_program(spec: ProgramSpec) -> ServedProgram:
     skip compilation.  DAGs above ``spec.partition_threshold`` nodes
     take the partition-parallel compile path instead.
     """
+    if spec.engine not in ENGINES:
+        raise ServeError(
+            f"unknown engine {spec.engine!r}; expected one of {ENGINES}"
+        )
     dag = spec.build_dag()
     config = spec.config()
     fingerprint = dag_fingerprint(dag)
@@ -273,10 +295,23 @@ def build_served_program(spec: ProgramSpec) -> ServedProgram:
             num_nodes=dag.num_nodes,
             cycles_per_row=cycles,
             sink_vars=tuple((s, -1) for s in sinks),
-            _executor=_partitioned_executor(part, sinks),
+            _executor=_partitioned_executor(part, sinks, spec.engine),
         )
     result = cached_compile(dag, config, seed=spec.seed)
     plan = cached_plan(result)
+    # Resolve "auto" here (same rule as BatchSimulator) so the fused
+    # lowering goes through the artifact cache: a warm disk cache
+    # registers fused programs without re-fusing.
+    engine = spec.engine
+    if engine == "auto":
+        engine = (
+            "fused"
+            if estimated_fused_cells(plan) <= AUTO_FUSED_CELL_CAP
+            else "step"
+        )
+    fused = (
+        cached_fused_plan(result) if engine in ("fused", "codegen") else None
+    )
     sink_vars = tuple((s, result.node_map[s]) for s in sinks)
     return ServedProgram(
         key=spec.key,
@@ -286,7 +321,7 @@ def build_served_program(spec: ProgramSpec) -> ServedProgram:
         num_nodes=dag.num_nodes,
         cycles_per_row=plan.cycles_per_row,
         sink_vars=sink_vars,
-        _executor=_plan_executor(plan, sink_vars),
+        _executor=_plan_executor(plan, sink_vars, engine, fused),
     )
 
 
@@ -317,6 +352,7 @@ class PlanPool:
             config_fingerprint(spec.config()),
             spec.seed,
             spec.partition_threshold,
+            spec.engine,
         )
 
     def register(self, spec: ProgramSpec) -> ServedProgram:

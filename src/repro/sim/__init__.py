@@ -9,7 +9,23 @@ fully-checked reference path.
 """
 
 from .activity import batch_counters, count_activity
-from .batch import BatchResult, BatchSimulator, run_batch
+from .batch import (
+    AUTO_FUSED_CELL_CAP,
+    ENGINES,
+    BatchResult,
+    BatchSimulator,
+    run_batch,
+)
+from .fused import (
+    FusedKernel,
+    FusedPlan,
+    bind_sweep,
+    codegen_source,
+    compiled_sweep,
+    estimated_fused_cells,
+    execute_fused,
+    fuse_plan,
+)
 from .area import AreaBreakdown, area_of, paper_area_breakdown_mm2
 from .energy import (
     EnergyBreakdown,
@@ -38,6 +54,16 @@ __all__ = [
     "BatchSimulator",
     "BatchResult",
     "run_batch",
+    "ENGINES",
+    "AUTO_FUSED_CELL_CAP",
+    "FusedPlan",
+    "FusedKernel",
+    "bind_sweep",
+    "fuse_plan",
+    "execute_fused",
+    "estimated_fused_cells",
+    "codegen_source",
+    "compiled_sweep",
     "BatchPerfReport",
     "batch_perf_report",
     "energy_of_batch",

@@ -17,12 +17,31 @@ so the per-row cost is pure arithmetic.  Outputs are bitwise identical
 to the scalar simulator's — both paths perform the same IEEE-double
 operations in the same tree order (asserted across the golden
 workloads in the test suite).
+
+Engine selection
+----------------
+The simulator executes the sweep with one of four engines:
+
+* ``"step"`` (default) — the per-tape-step interpreter above;
+* ``"fused"`` — the plan is further lowered into level-grouped
+  super-op kernels (:mod:`repro.sim.fused`) and run ~2 kernels per
+  dependence level instead of one dispatch per tape step;
+* ``"codegen"`` — the fused kernels are additionally ``exec``-compiled
+  into a plan-specialized straight-line numpy function (source cached
+  by plan fingerprint in the artifact cache);
+* ``"auto"`` — ``"fused"`` unless the fused single-assignment state
+  would exceed :data:`AUTO_FUSED_CELL_CAP` cells, else ``"step"``.
+
+All engines are bitwise identical (same IEEE-double operations, only
+independent lanes regrouped); the differential fuzzer cross-checks
+them continuously.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +49,34 @@ import numpy as np
 from ..arch import Interconnect, Program
 from ..errors import SimulationError
 from .functional import ActivityCounters
-from .plan import ComputeStep, ExecutionPlan, MoveStep, lower_program
+from .fused import (
+    FusedPlan,
+    bind_sweep,
+    compiled_sweep,
+    estimated_fused_cells,
+    execute_fused,
+    fuse_plan,
+)
+from .plan import (
+    ComputeStep,
+    ExecutionPlan,
+    MoveStep,
+    contiguous_slice,
+    lower_program,
+)
+
+#: Supported execution engines, in documentation order.
+ENGINES = ("step", "fused", "codegen", "auto")
+
+#: ``engine="auto"`` falls back to the step interpreter when the fused
+#: single-assignment state would exceed this many cells per batch row
+#: (64k cells ~= 128 MB of f64 state at batch 256).
+AUTO_FUSED_CELL_CAP = 1 << 16
+
+#: Bound (state, sweep) pairs retained per simulator: one per distinct
+#: batch width, oldest evicted beyond this many (bounds the buffer
+#: memory a simulator serving many batch shapes can pin).
+BOUND_SWEEP_CAP = 8
 
 
 @dataclass(frozen=True)
@@ -89,12 +135,22 @@ class BatchSimulator:
     verified lowering) or directly from a
     :class:`~repro.arch.Program` (lowered — and therefore verified —
     on construction).
+
+    Args:
+        plan_or_program: The plan (or program to lower) to execute.
+        interconnect: Interconnect model for a program lowering.
+        engine: One of :data:`ENGINES`; see the module docstring.
+        fused_plan: Optional pre-fused plan (e.g. from
+            :func:`repro.runner.cache.cached_fused_plan`) to reuse for
+            the ``fused``/``codegen`` engines instead of fusing here.
     """
 
     def __init__(
         self,
         plan_or_program: ExecutionPlan | Program,
         interconnect: Interconnect | None = None,
+        engine: str = "step",
+        fused_plan: FusedPlan | None = None,
     ) -> None:
         if isinstance(plan_or_program, ExecutionPlan):
             self.plan = plan_or_program
@@ -102,6 +158,61 @@ class BatchSimulator:
             self.plan = lower_program(
                 plan_or_program, interconnect=interconnect
             )
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == "auto":
+            engine = (
+                "fused"
+                if estimated_fused_cells(self.plan) <= AUTO_FUSED_CELL_CAP
+                else "step"
+            )
+        self.engine = engine
+        self._fused: FusedPlan | None = None
+        self._bind_factory: Callable | None = None
+        # Bound (state, sweep) pairs keyed by batch width, guarded by
+        # a non-blocking lock: concurrent runs of one simulator fall
+        # back to a fresh throwaway state instead of serializing.
+        self._bound: dict[int, tuple[np.ndarray, Callable[[], None]]] = {}
+        self._bound_lock = threading.Lock()
+        if engine in ("fused", "codegen"):
+            if fused_plan is None:
+                fused_plan = fuse_plan(self.plan)
+            elif (
+                fused_plan.num_inputs != self.plan.num_inputs
+                or fused_plan.output_vars != self.plan.output_vars
+            ):
+                raise SimulationError(
+                    "fused_plan does not match the execution plan"
+                )
+            self._fused = fused_plan
+            if engine == "codegen":
+                # Local import: runner.cache depends on the compiler
+                # package, which this low-level module must not pull in
+                # at import time.
+                from ..runner.cache import cached_codegen_source
+
+                self._bind_factory = compiled_sweep(
+                    fused_plan, cached_codegen_source(fused_plan)
+                )
+        active = self._fused if self._fused is not None else self.plan
+        self._output_cells = active.output_cells
+        # The fused engines scatter inputs into the compact fused
+        # value space; the step engine into the machine-state image.
+        self._input_cells = (
+            self._fused.input_pos
+            if self._fused is not None
+            else self.plan.input_cells
+        )
+        # The compact fused layout keeps base cells ascending, so the
+        # input region is almost always one basic slice — the scatter
+        # then writes straight into the state without a fancy index.
+        self._input_seg = (
+            contiguous_slice(self._input_cells)
+            if self._fused is not None
+            else None
+        )
         # Slot-sorted copies of the input scatter arrays, prepared
         # once: when the sorted slots are exactly 0..k-1 (the usual
         # case), per-row assembly in run_rows degrades to a basic
@@ -110,7 +221,7 @@ class BatchSimulator:
         slots = self.plan.input_slots
         order = np.argsort(slots, kind="stable")
         self._slots_sorted = slots[order]
-        self._cells_sorted = self.plan.input_cells[order]
+        self._cells_sorted = self._input_cells[order]
         self._dense_inputs = bool(
             slots.size
             and np.array_equal(
@@ -145,13 +256,30 @@ class BatchSimulator:
         if batch < 1:
             raise SimulationError("input matrix has no rows to execute")
         t0 = time.perf_counter()
-        state = np.zeros((plan.state_size, batch), dtype=np.float64)
-        if plan.input_cells.size:
-            # Index the transposed *view* so the gather lands directly
-            # in (slots, B) scatter order — one copy total, never a
-            # (B, slots) intermediate plus a strided assignment.
-            state[plan.input_cells] = matrix.T[plan.input_slots]
-        return self._finish(state, batch, t0)
+        state, sweep, lock = self._acquire_state(batch)
+        try:
+            if self._input_cells.size:
+                if self._input_seg is not None:
+                    # Contiguous fused input region: gather the slot
+                    # columns straight into the state slice, no
+                    # intermediate and no fancy write.
+                    np.take(
+                        matrix.T,
+                        plan.input_slots,
+                        0,
+                        state[self._input_seg[0] : self._input_seg[1]],
+                        "clip",
+                    )
+                else:
+                    # Index the transposed *view* so the gather lands
+                    # directly in (slots, B) scatter order — one copy
+                    # total, never a (B, slots) intermediate plus a
+                    # strided assignment.
+                    state[self._input_cells] = matrix.T[plan.input_slots]
+            return self._finish(state, batch, t0, sweep)
+        finally:
+            if lock is not None:
+                lock.release()
 
     def run_rows(self, rows: Sequence[np.ndarray]) -> BatchResult:
         """Execute a batch assembled from B independent row vectors.
@@ -178,54 +306,106 @@ class BatchSimulator:
         if batch < 1:
             raise SimulationError("input matrix has no rows to execute")
         t0 = time.perf_counter()
-        state = np.zeros((plan.state_size, batch), dtype=np.float64)
-        k = self._slots_sorted.size
-        if k:
-            # (B, k) with contiguous row writes; the transposed view
-            # feeds the scatter without another intermediate.
-            assembled = np.empty((batch, k), dtype=np.float64)
-            dense = self._dense_inputs
-            slots = self._slots_sorted
-            for j, row in enumerate(rows):
-                r = np.asarray(row, dtype=np.float64)
-                if r.ndim != 1:
-                    raise SimulationError(
-                        f"row {j}: expected a 1-D vector, got shape {r.shape}"
-                    )
-                if r.shape[0] < plan.num_inputs:
-                    raise SimulationError(
-                        f"row {j} too narrow: need {plan.num_inputs} "
-                        f"entries, got {r.shape[0]}"
-                    )
-                if dense:
-                    assembled[j] = r[:k]  # basic slice: plain memcpy
-                else:
-                    assembled[j] = r[slots]
-            state[self._cells_sorted] = assembled.T
-        else:
-            for j, row in enumerate(rows):
-                if np.asarray(row).ndim != 1:
-                    raise SimulationError(
-                        f"row {j}: expected a 1-D vector"
-                    )
-        return self._finish(state, batch, t0)
+        state, sweep, lock = self._acquire_state(batch)
+        try:
+            k = self._slots_sorted.size
+            if k:
+                # (B, k) with contiguous row writes; the transposed
+                # view feeds the scatter without another intermediate.
+                assembled = np.empty((batch, k), dtype=np.float64)
+                dense = self._dense_inputs
+                slots = self._slots_sorted
+                for j, row in enumerate(rows):
+                    r = np.asarray(row, dtype=np.float64)
+                    if r.ndim != 1:
+                        raise SimulationError(
+                            f"row {j}: expected a 1-D vector, got "
+                            f"shape {r.shape}"
+                        )
+                    if r.shape[0] < plan.num_inputs:
+                        raise SimulationError(
+                            f"row {j} too narrow: need {plan.num_inputs} "
+                            f"entries, got {r.shape[0]}"
+                        )
+                    if dense:
+                        assembled[j] = r[:k]  # basic slice: plain memcpy
+                    else:
+                        assembled[j] = r[slots]
+                state[self._cells_sorted] = assembled.T
+            else:
+                for j, row in enumerate(rows):
+                    if np.asarray(row).ndim != 1:
+                        raise SimulationError(
+                            f"row {j}: expected a 1-D vector"
+                        )
+            return self._finish(state, batch, t0, sweep)
+        finally:
+            if lock is not None:
+                lock.release()
+
+    def _acquire_state(
+        self, batch: int
+    ) -> tuple[np.ndarray, Callable[[], None] | None, threading.Lock | None]:
+        """State image (+ bound sweep) for one run.
+
+        The step engine gets a fresh zero-initialized machine state.
+        The fused engines reuse a per-batch-width bound
+        ``(state, sweep)`` pair — state buffer, gather blocks and all
+        operand views constructed exactly once (see
+        :func:`~repro.sim.fused.bind_sweep`) — holding the returned
+        lock for the duration of the run.  If another thread holds the
+        pair, the run falls back to a throwaway state swept by the
+        generic interpreter, preserving full concurrency.
+        """
+        if self._fused is None:
+            return (
+                np.zeros((self.plan.state_size, batch), dtype=np.float64),
+                None,
+                None,
+            )
+        if self._bound_lock.acquire(blocking=False):
+            try:
+                entry = self._bound.get(batch)
+                if entry is None:
+                    if self._bind_factory is not None:
+                        state = self._fused.make_state(batch)
+                        entry = (state, self._bind_factory(state))
+                    else:
+                        entry = bind_sweep(self._fused, batch)
+                    while len(self._bound) >= BOUND_SWEEP_CAP:
+                        self._bound.pop(next(iter(self._bound)))
+                    self._bound[batch] = entry
+            except BaseException:
+                self._bound_lock.release()
+                raise
+            return entry[0], entry[1], self._bound_lock
+        return self._fused.make_state(batch), None, None
 
     def _finish(
-        self, state: np.ndarray, batch: int, t0: float
+        self,
+        state: np.ndarray,
+        batch: int,
+        t0: float,
+        sweep: Callable[[], None] | None = None,
     ) -> BatchResult:
         """The shared sweep: tape execution + output gather."""
         plan = self.plan
         # Scalar Python floats overflow to inf silently; match that
         # instead of spraying RuntimeWarnings over deep product chains.
         with np.errstate(over="ignore", invalid="ignore"):
-            for step in plan.steps:
-                if type(step) is MoveStep:
-                    state[step.dst] = state[step.src]
-                else:
-                    self._compute(state, step)
+            if sweep is not None:
+                sweep()
+            elif self._fused is not None:
+                execute_fused(self._fused, state)
+            else:
+                for step in plan.steps:
+                    if type(step) is MoveStep:
+                        self._move(state, step)
+                    else:
+                        self._compute(state, step)
         outputs = {
             var: state[cell].copy()
-            for var, cell in zip(plan.output_vars, plan.output_cells)
+            for var, cell in zip(plan.output_vars, self._output_cells)
         }
         host_seconds = time.perf_counter() - t0
         return BatchResult(
@@ -235,6 +415,23 @@ class BatchSimulator:
             peak_occupancy=list(plan.peak_occupancy),
             host_seconds=host_seconds,
         )
+
+    @staticmethod
+    def _move(state: np.ndarray, step: MoveStep) -> None:
+        """``state[dst] = state[src]`` with the slice fast paths the
+        lowering proved safe (see :class:`~repro.sim.plan.MoveStep`)."""
+        ds, ss = step.dst_slice, step.src_slice
+        if ds is not None:
+            if ss is not None and step.disjoint:
+                state[ds[0] : ds[1]] = state[ss[0] : ss[1]]
+            else:
+                # Fancy src gathers into a fresh array first, so a
+                # slice write is safe even when src and dst overlap.
+                state[ds[0] : ds[1]] = state[step.src]
+        elif ss is not None and step.disjoint:
+            state[step.dst] = state[ss[0] : ss[1]]
+        else:
+            state[step.dst] = state[step.src]
 
     @staticmethod
     def _compute(state: np.ndarray, step: ComputeStep) -> None:
@@ -250,8 +447,9 @@ def run_batch(
     plan_or_program: ExecutionPlan | Program,
     inputs: np.ndarray,
     interconnect: Interconnect | None = None,
+    engine: str = "step",
 ) -> BatchResult:
     """Convenience wrapper: build a BatchSimulator and run once."""
-    return BatchSimulator(plan_or_program, interconnect=interconnect).run(
-        inputs
-    )
+    return BatchSimulator(
+        plan_or_program, interconnect=interconnect, engine=engine
+    ).run(inputs)

@@ -1,0 +1,633 @@
+"""Phase 3 of the execution engine: fused super-op plans.
+
+The step tape of an :class:`~repro.sim.plan.ExecutionPlan` is faithful
+to the machine — one :class:`~repro.sim.plan.MoveStep` or
+:class:`~repro.sim.plan.ComputeStep` per lowered event — but that
+fidelity costs one Python-dispatched numpy gather/compute/scatter per
+step, plus a full register-file/data-memory/scratch state image per
+batch row.  At batch 256 the interpreter overhead, the fancy-index
+intermediates and the state traffic dominate the sweep.  This module
+lowers the tape one step further into a :class:`FusedPlan`, built on
+three observations:
+
+1. **Moves are renames.**  The tape's data movement (copies, loads,
+   stores, exec write-backs, PASS_A/PASS_B bypasses) never computes
+   anything, so under a single-assignment renaming every moved value
+   is just a new name for an existing value.  Fusion replays the tape
+   symbolically, tracking the *value id* currently held by every state
+   cell; moves update the tracking table and vanish from execution.
+
+2. **Same-opcode ops of one dependence level fuse.**  With moves gone,
+   only true RAW dependences remain (every op defines a fresh id, so
+   WAW/WAR hazards cannot exist).  Each arithmetic op's level is
+   ``1 + max(level of operands)``; all adds of one level become a
+   single vectorized ``np.add``, all muls one ``np.multiply`` — a
+   *super-op kernel*.  A plan with thousands of tape steps collapses
+   to roughly ``2 x depth`` kernels.
+
+3. **The machine state can be left behind.**  The fused engine never
+   writes an original state cell: results land in fresh value cells
+   and the only original cells ever *read* are the externally
+   scattered inputs (anything else reads the zero initialization,
+   which gets one pinned zero cell).  The fused state vector is
+   therefore just ``[used original cells | one value per op]`` — for
+   real workloads a fraction of the register-file + data-memory +
+   scratch image the step engine carries per batch row — and value
+   ids are permuted level-major so every kernel *writes a basic
+   slice* and operands frequently *read* one.
+
+Execution runs level by level: the level's non-contiguous operands are
+collected by **one** fancy gather into a scratch block, then each
+kernel is one ufunc call over *flat 1-D contiguous views* (the state
+is C-contiguous, so cell range ``[lo, hi)`` is flat range
+``[lo*B, hi*B)`` — the cheapest code path numpy has).
+
+Because every slice endpoint is a pure function of (plan, batch
+width), the whole sweep can additionally be **bound** once per batch
+width (:func:`bind_sweep`): the state buffer, the per-level gather
+blocks and every operand/result view are constructed up front and
+reused across runs, so the per-run hot path degenerates to raw ufunc
+dispatches — no allocation, no slice construction, no index
+arithmetic.  Rebinding is safe because the fused state is
+single-assignment: every cell is written before it is read on each
+run (inputs by the caller's scatter, op cells by their kernel), so
+stale values from the previous batch are never observed.
+
+The optional **codegen backend** (:func:`codegen_source` /
+:func:`compiled_sweep`) emits that bound sweep as straight-line Python
+source: a generated ``_bind(state)`` factory hoists all views into
+closure cells and returns a ``_sweep()`` of pure pre-bound ufunc
+calls, ``exec``-compiled once per plan and memoized process-wide by
+the plan's content :attr:`~FusedPlan.fingerprint` (the artifact cache
+persists the source across processes; see
+:func:`repro.runner.cache.cached_codegen_source`).
+
+Everything here is bitwise-exact: kernels perform the same IEEE-double
+adds and muls, only regrouping *independent* lanes, so fused outputs
+are asserted bit-identical to the step engine's by the differential
+fuzzer and the property-based suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from .functional import ActivityCounters
+from .plan import ComputeStep, ExecutionPlan, MoveStep, contiguous_slice
+
+#: Kernel opcodes, aligned with :data:`repro.compiler.arrays.OP_CODES`.
+FUSED_ADD = 1
+FUSED_MUL = 2
+
+#: Operand source tags: the fused state vector / the level's gather block.
+SRC_STATE = 0
+SRC_GATHER = 1
+
+_UFUNCS = {FUSED_ADD: np.add, FUSED_MUL: np.multiply}
+_OP_NAMES = {FUSED_ADD: "add", FUSED_MUL: "mul"}
+
+_ID = np.int64
+
+
+@dataclass(frozen=True)
+class FusedKernel:
+    """One super-op: every same-opcode op of one dependence level.
+
+    Attributes:
+        opcode: :data:`FUSED_ADD` or :data:`FUSED_MUL`.
+        level: Dependence level (1-based).
+        out_start / out_stop: The kernel writes fused state cells
+            ``[out_start, out_stop)`` — always a basic slice.
+        a_src / a_start / a_stop: First operand: cells ``[start, stop)``
+            of the fused state (:data:`SRC_STATE`, a contiguous run of
+            value ids) or rows ``[start, stop)`` of the level's gather
+            block (:data:`SRC_GATHER`).
+        b_src / b_start / b_stop: Second operand, same encoding.
+    """
+
+    opcode: int
+    level: int
+    out_start: int
+    out_stop: int
+    a_src: int
+    a_start: int
+    a_stop: int
+    b_src: int
+    b_start: int
+    b_stop: int
+
+    @property
+    def width(self) -> int:
+        return self.out_stop - self.out_start
+
+
+@dataclass(frozen=True)
+class FusedLevel:
+    """One dependence level: an optional merged operand gather plus
+    the level's kernels (at most one per opcode)."""
+
+    gather: np.ndarray | None
+    kernels: tuple[FusedKernel, ...]
+
+
+@dataclass(frozen=True)
+class FusedPlan:
+    """An :class:`~repro.sim.plan.ExecutionPlan` fused into super-ops.
+
+    Attributes:
+        config / source_name / num_instructions / num_inputs: Carried
+            over from the source plan (same program identity).
+        state_size: Cells of the fused per-row state: the used
+            original cells followed by one cell per arithmetic op
+            (single-assignment value space, level-major).
+        num_ops: Fused arithmetic ops (= value cells appended).
+        base_cells: Original plan cell ids backing fused cells
+            ``[0, len(base_cells))``, ascending — kept for tests and
+            debugging; execution never consults it.
+        input_pos / input_slots: Parallel arrays scattering column
+            ``input_slots[i]`` of the input matrix into fused cell
+            ``input_pos[i]`` (same slot order as the source plan).
+        zero_pos: Fused cells that must read as ``0.0`` (original
+            zero-initialized cells that are read but never written and
+            never scattered; empty for verified programs).
+        levels: Execution schedule, ascending by level.
+        output_vars / output_cells: Parallel output arrays; cells are
+            fused value ids.
+        counters / peak_occupancy: The source plan's analytic activity
+            model — fusion changes host execution, not the machine
+            being modeled, so they are carried over unchanged.
+        fingerprint: Content digest of the fused form; keys the
+            codegen artifact cache.
+    """
+
+    config: object
+    source_name: str
+    num_instructions: int
+    num_inputs: int
+    state_size: int
+    num_ops: int
+    base_cells: np.ndarray
+    input_pos: np.ndarray
+    input_slots: np.ndarray
+    zero_pos: np.ndarray
+    levels: tuple[FusedLevel, ...]
+    output_vars: tuple[int, ...]
+    output_cells: np.ndarray
+    counters: ActivityCounters
+    peak_occupancy: list[int]
+    fingerprint: str
+
+    @property
+    def cycles_per_row(self) -> int:
+        """Device cycles one batch row costs (identical to the source
+        plan — fusion is a host-side transformation)."""
+        return self.counters.cycles
+
+    def scaled_counters(self, batch: int) -> ActivityCounters:
+        """Activity totals for a batch of ``batch`` rows."""
+        return self.counters.scaled(batch)
+
+    @property
+    def kernels(self) -> tuple[FusedKernel, ...]:
+        """All kernels in execution order (level-major)."""
+        return tuple(k for lv in self.levels for k in lv.kernels)
+
+    @property
+    def num_levels(self) -> int:
+        """Dependence depth of the fused op graph."""
+        return len(self.levels)
+
+    def make_state(self, batch: int) -> np.ndarray:
+        """Fresh ``(state_size, batch)`` state, zero cells pinned.
+
+        Deliberately *not* zero-filled: every other cell is written
+        before it is read (inputs by the caller's scatter, op cells by
+        their defining kernel — the level order guarantees it).
+        """
+        state = np.empty((self.state_size, batch), dtype=np.float64)
+        if self.zero_pos.size:
+            state[self.zero_pos] = 0.0
+        return state
+
+
+def estimated_fused_cells(plan: ExecutionPlan) -> int:
+    """Fused state size ``fuse_plan(plan)`` would produce (within the
+    handful of zero/passthrough cells), without fusing — cheap enough
+    to drive the ``auto`` engine choice."""
+    ops = sum(
+        step.add_out.size + step.mul_out.size
+        for step in plan.steps
+        if type(step) is ComputeStep
+    )
+    return int(plan.input_cells.size) + ops
+
+
+def fuse_plan(plan: ExecutionPlan) -> FusedPlan:
+    """Fuse a verified plan into level-grouped super-op kernels.
+
+    Pure lowering: no hazard or interconnect checks happen here (the
+    source plan already carries them), and no data is touched — the
+    tape is replayed over value *ids* only.
+    """
+    base = plan.state_size
+    n_ops = 0
+    for step in plan.steps:
+        if type(step) is ComputeStep:
+            n_ops += step.add_out.size + step.mul_out.size
+
+    # Pass 1 — single-assignment renaming.  version[cell] is the value
+    # id the cell currently holds; ids < base are the original cells'
+    # initial values (inputs scatter into some of them, the rest read
+    # the zero initialization), ids >= base are arithmetic results in
+    # emission order.  Moves and PASS bypasses only permute the table;
+    # each add/mul mints a fresh id at level 1 + max(operand levels).
+    version = np.arange(base, dtype=_ID)
+    def_level = np.zeros(base + n_ops, dtype=np.int32)
+    kind = np.empty(n_ops, dtype=np.int8)
+    lvl = np.empty(n_ops, dtype=np.int32)
+    a_ids = np.empty(n_ops, dtype=_ID)
+    b_ids = np.empty(n_ops, dtype=_ID)
+    cursor = 0
+    for step in plan.steps:
+        if type(step) is MoveStep:
+            version[step.dst] = version[step.src]
+            continue
+        # All groups of one ComputeStep read pre-step state (a layer
+        # never feeds itself), so snapshot operand ids before writing.
+        mov_src_v = version[step.mov_src]
+        groups = []
+        for code, out, op_a, op_b in (
+            (FUSED_ADD, step.add_out, step.add_a, step.add_b),
+            (FUSED_MUL, step.mul_out, step.mul_a, step.mul_b),
+        ):
+            if out.size:
+                groups.append((code, out, version[op_a], version[op_b]))
+        if step.mov_out.size:
+            version[step.mov_out] = mov_src_v
+        for code, out, av, bv in groups:
+            k = out.size
+            ids = np.arange(base + cursor, base + cursor + k, dtype=_ID)
+            levels = np.maximum(def_level[av], def_level[bv]) + 1
+            def_level[ids] = levels
+            kind[cursor : cursor + k] = code
+            lvl[cursor : cursor + k] = levels
+            a_ids[cursor : cursor + k] = av
+            b_ids[cursor : cursor + k] = bv
+            version[out] = ids
+            cursor += k
+    if cursor != n_ops:  # pragma: no cover - internal invariant
+        raise SimulationError(
+            f"fusion op count drifted: emitted {cursor}, counted {n_ops}"
+        )
+
+    out_ids = version[plan.output_cells]
+
+    # Pass 2 — compact the value space.  Original cells survive only
+    # if an op or an output actually reads their *initial* value
+    # (input cells are always kept so the input scatter stays total);
+    # they occupy the fused prefix in ascending original order.  Op
+    # ids follow, permuted level-major (opcode-minor, emission-order
+    # stable) so every kernel's results form one contiguous range.
+    used_mask = np.zeros(base, dtype=bool)
+    used_mask[plan.input_cells] = True
+    for ids in (a_ids, b_ids, out_ids):
+        below = ids[ids < base]
+        used_mask[below.astype(np.intp)] = True
+    base_cells = np.flatnonzero(used_mask).astype(_ID)
+    n_base = int(base_cells.size)
+    base_pos = np.full(base, -1, dtype=_ID)
+    base_pos[base_cells] = np.arange(n_base, dtype=_ID)
+
+    order = np.lexsort((kind, lvl))
+    rank = np.empty(n_ops, dtype=_ID)
+    rank[order] = np.arange(n_ops, dtype=_ID)
+    id_map = np.concatenate([base_pos, n_base + rank])
+    a_new = id_map[a_ids[order]]
+    b_new = id_map[b_ids[order]]
+    kind_s = kind[order]
+    lvl_s = lvl[order]
+
+    input_pos = base_pos[plan.input_cells]
+    scattered = np.zeros(n_base, dtype=bool)
+    scattered[input_pos.astype(np.intp)] = True
+    zero_pos = np.flatnonzero(~scattered).astype(_ID)
+
+    levels_out: list[FusedLevel] = []
+    if n_ops:
+        level_breaks = np.flatnonzero(np.diff(lvl_s) != 0) + 1
+        level_bounds = np.concatenate(([0], level_breaks, [n_ops]))
+        for li in range(level_bounds.size - 1):
+            ls, le = int(level_bounds[li]), int(level_bounds[li + 1])
+            kernels: list[FusedKernel] = []
+            gather_parts: list[np.ndarray] = []
+            gathered = 0
+
+            def operand(ids: np.ndarray) -> tuple[int, int, int]:
+                nonlocal gathered
+                sl = contiguous_slice(ids)
+                if sl is not None:
+                    return (SRC_STATE, sl[0], sl[1])
+                gather_parts.append(ids)
+                start = gathered
+                gathered += int(ids.size)
+                return (SRC_GATHER, start, gathered)
+
+            seg_breaks = (
+                np.flatnonzero(np.diff(kind_s[ls:le]) != 0) + 1 + ls
+            )
+            seg_bounds = np.concatenate(([ls], seg_breaks, [le]))
+            for si in range(seg_bounds.size - 1):
+                s, e = int(seg_bounds[si]), int(seg_bounds[si + 1])
+                a_ref = operand(np.ascontiguousarray(a_new[s:e]))
+                b_ref = operand(np.ascontiguousarray(b_new[s:e]))
+                kernels.append(
+                    FusedKernel(
+                        opcode=int(kind_s[s]),
+                        level=int(lvl_s[s]),
+                        out_start=n_base + s,
+                        out_stop=n_base + e,
+                        a_src=a_ref[0],
+                        a_start=a_ref[1],
+                        a_stop=a_ref[2],
+                        b_src=b_ref[0],
+                        b_start=b_ref[1],
+                        b_stop=b_ref[2],
+                    )
+                )
+            gather = (
+                np.ascontiguousarray(np.concatenate(gather_parts))
+                if gather_parts
+                else None
+            )
+            levels_out.append(FusedLevel(gather, tuple(kernels)))
+
+    output_cells = id_map[out_ids]
+    fingerprint = _fused_fingerprint(
+        n_base + n_ops,
+        input_pos,
+        plan.input_slots,
+        zero_pos,
+        output_cells,
+        levels_out,
+    )
+    return FusedPlan(
+        config=plan.config,
+        source_name=plan.source_name,
+        num_instructions=plan.num_instructions,
+        num_inputs=plan.num_inputs,
+        state_size=n_base + n_ops,
+        num_ops=n_ops,
+        base_cells=base_cells,
+        input_pos=input_pos,
+        input_slots=plan.input_slots,
+        zero_pos=zero_pos,
+        levels=tuple(levels_out),
+        output_vars=plan.output_vars,
+        output_cells=output_cells,
+        counters=plan.counters,
+        peak_occupancy=list(plan.peak_occupancy),
+        fingerprint=fingerprint,
+    )
+
+
+def _fused_fingerprint(
+    state_size: int,
+    input_pos: np.ndarray,
+    input_slots: np.ndarray,
+    zero_pos: np.ndarray,
+    output_cells: np.ndarray,
+    levels: list[FusedLevel],
+) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"fused-v2")
+    h.update(int(state_size).to_bytes(8, "little"))
+    for arr in (input_pos, input_slots, zero_pos, output_cells):
+        h.update(np.ascontiguousarray(arr, dtype=_ID).tobytes())
+    for lv in levels:
+        h.update(b"L")
+        if lv.gather is not None:
+            h.update(lv.gather.tobytes())
+        for k in lv.kernels:
+            h.update(
+                b"%d,%d,%d,%d,%d,%d,%d,%d,%d;"
+                % (
+                    k.opcode,
+                    k.out_start,
+                    k.out_stop,
+                    k.a_src,
+                    k.a_start,
+                    k.a_stop,
+                    k.b_src,
+                    k.b_start,
+                    k.b_stop,
+                )
+            )
+    return h.hexdigest()
+
+
+def execute_fused(fused: FusedPlan, state: np.ndarray) -> None:
+    """Run every level over a ``(state_size, B)`` C-contiguous state.
+
+    All kernel reads and writes go through flat 1-D contiguous views
+    — cell range ``[lo, hi)`` is flat range ``[lo*B, hi*B)`` — with
+    one merged fancy gather per level for the non-contiguous operands.
+    """
+    batch = state.shape[1]
+    flat = state.reshape(-1)
+    for lv in fused.levels:
+        gf = state[lv.gather].reshape(-1) if lv.gather is not None else None
+        for k in lv.kernels:
+            a_buf = flat if k.a_src == SRC_STATE else gf
+            b_buf = flat if k.b_src == SRC_STATE else gf
+            _UFUNCS[k.opcode](
+                a_buf[k.a_start * batch : k.a_stop * batch],
+                b_buf[k.b_start * batch : k.b_stop * batch],
+                out=flat[k.out_start * batch : k.out_stop * batch],
+            )
+
+
+def bind_sweep(
+    fused: FusedPlan, batch: int
+) -> tuple[np.ndarray, Callable[[], None]]:
+    """Bind a reusable ``(state, sweep)`` pair for one batch width.
+
+    Allocates the state buffer and one shared gather scratch block
+    once, precomputes all operand/result views, and returns a
+    zero-argument sweep whose hot path is nothing but pre-bound ufunc
+    dispatches (gathers run through ``np.take`` into the scratch —
+    ``mode="clip"`` skips the bounds check the lowering already
+    proved).  Every level gathers into the *same* scratch prefix: the
+    serial reuse keeps the block cache-hot across the sweep, where
+    per-level persistent blocks would all be cold by the time their
+    level comes around again.  The pair is safe to reuse across runs:
+    single-assignment guarantees every cell is rewritten before it is
+    read, and the pinned zero cells are never written at all.
+    """
+    state = fused.make_state(batch)
+    flat = state.reshape(-1)
+    max_gather = max(
+        (lv.gather.shape[0] for lv in fused.levels if lv.gather is not None),
+        default=0,
+    )
+    scratch = np.empty((max_gather, batch), dtype=np.float64)
+    sflat = scratch.reshape(-1)
+    prog: list[tuple[Callable, tuple]] = []
+    for lv in fused.levels:
+        if lv.gather is not None:
+            prog.append(
+                (
+                    np.take,
+                    (
+                        state,
+                        lv.gather,
+                        0,
+                        scratch[: lv.gather.shape[0]],
+                        "clip",
+                    ),
+                )
+            )
+        for k in lv.kernels:
+            a_buf = flat if k.a_src == SRC_STATE else sflat
+            b_buf = flat if k.b_src == SRC_STATE else sflat
+            prog.append(
+                (
+                    _UFUNCS[k.opcode],
+                    (
+                        a_buf[k.a_start * batch : k.a_stop * batch],
+                        b_buf[k.b_start * batch : k.b_stop * batch],
+                        flat[k.out_start * batch : k.out_stop * batch],
+                    ),
+                )
+            )
+
+    def sweep(_prog: list = prog) -> None:
+        for f, args in _prog:
+            f(*args)
+
+    return state, sweep
+
+
+# ---------------------------------------------------------------------
+# Plan-specialized codegen
+# ---------------------------------------------------------------------
+def codegen_source(fused: FusedPlan) -> str:
+    """Straight-line Python source for one plan's kernel sweep.
+
+    The emitted module defines ``_bind(state)``: a factory that hoists
+    the shared gather scratch and every operand/result view into
+    closure cells (one prologue statement each, deduplicated) and
+    returns a ``_sweep()`` whose body is one pre-bound call per
+    gather/kernel — the generated equivalent of :func:`bind_sweep`,
+    minus the dispatch loop.  Gather index arrays are referenced by
+    per-level names (``_g<level>``) that :func:`compile_sweep` binds
+    from the plan.  The source is a pure function of the fused plan,
+    so it is safe to cache by :attr:`FusedPlan.fingerprint` and
+    recompile anywhere.
+    """
+    prologue: list[str] = []
+    body: list[str] = []
+    views: dict[tuple, str] = {}
+
+    def view(buf: str, start: int, stop: int, key: tuple) -> str:
+        name = views.get(key)
+        if name is None:
+            name = f"_v{len(views)}"
+            views[key] = name
+            prologue.append(f"    {name} = {buf}[{start}*_B:{stop}*_B]")
+        return name
+
+    def operand(src: int, start: int, stop: int, li: int) -> str:
+        if src == SRC_STATE:
+            return view("_f", start, stop, ("s", start, stop))
+        # All levels share one scratch block (kept cache-hot by serial
+        # reuse), so gather views dedupe on the range alone.
+        return view("_sf", start, stop, ("g", start, stop))
+
+    max_gather = max(
+        (lv.gather.shape[0] for lv in fused.levels if lv.gather is not None),
+        default=0,
+    )
+    if max_gather:
+        prologue.append(f"    _scr = _empty(({max_gather}, _B))")
+        prologue.append("    _sf = _scr.reshape(-1)")
+    takes: dict[int, str] = {}
+    for li, lv in enumerate(fused.levels):
+        if lv.gather is not None:
+            n = lv.gather.shape[0]
+            tgt = takes.get(n)
+            if tgt is None:
+                tgt = f"_t{n}"
+                takes[n] = tgt
+                prologue.append(f"    {tgt} = _scr[:{n}]")
+            body.append(f"        _take(state, _g{li}, 0, {tgt}, 'clip')")
+        for k in lv.kernels:
+            out = view(
+                "_f", k.out_start, k.out_stop, ("s", k.out_start, k.out_stop)
+            )
+            body.append(
+                f"        _{_OP_NAMES[k.opcode]}("
+                f"{operand(k.a_src, k.a_start, k.a_stop, li)}, "
+                f"{operand(k.b_src, k.b_start, k.b_stop, li)}, "
+                f"{out})"
+            )
+    lines = [
+        f"# fused sweep: {len(fused.levels)} levels, "
+        f"{fused.num_ops} ops, fingerprint {fused.fingerprint}",
+        "def _bind(state):",
+        "    _B = state.shape[1]",
+        "    _f = state.reshape(-1)",
+        *prologue,
+        "    def _sweep():",
+        *(body if body else ["        pass"]),
+        "    return _sweep",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def compile_sweep(
+    fused: FusedPlan, source: str | None = None
+) -> Callable[[np.ndarray], Callable[[], None]]:
+    """``exec``-compile a plan's sweep source into its bind factory.
+
+    The returned factory takes a ``(state_size, B)`` state buffer (as
+    produced by :meth:`FusedPlan.make_state`) and returns the buffer's
+    zero-argument sweep; call it once per batch width and reuse both.
+
+    Args:
+        fused: The plan providing the gather index arrays.
+        source: Pre-generated source (e.g. from the artifact cache);
+            regenerated from ``fused`` when omitted.
+    """
+    if source is None:
+        source = codegen_source(fused)
+    namespace: dict[str, object] = {
+        "_add": np.add,
+        "_mul": np.multiply,
+        "_take": np.take,
+        "_empty": np.empty,
+    }
+    for li, lv in enumerate(fused.levels):
+        if lv.gather is not None:
+            namespace[f"_g{li}"] = lv.gather
+    exec(compile(source, "<fused-codegen>", "exec"), namespace)
+    return namespace["_bind"]  # type: ignore[return-value]
+
+
+#: Process-wide compiled bind-factory memo, keyed by plan fingerprint.
+_SWEEP_MEMO: dict[str, Callable[[np.ndarray], Callable[[], None]]] = {}
+
+
+def compiled_sweep(
+    fused: FusedPlan, source: str | None = None
+) -> Callable[[np.ndarray], Callable[[], None]]:
+    """Memoized :func:`compile_sweep` (one compile per plan content)."""
+    fn = _SWEEP_MEMO.get(fused.fingerprint)
+    if fn is None:
+        fn = compile_sweep(fused, source)
+        _SWEEP_MEMO[fused.fingerprint] = fn
+    return fn

@@ -70,16 +70,56 @@ def _arr(values: list[int]) -> np.ndarray:
     return np.asarray(values, dtype=_IDX)
 
 
+def contiguous_slice(idx: np.ndarray) -> tuple[int, int] | None:
+    """``(start, stop)`` when ``idx`` is an ascending run of
+    consecutive cells, else ``None``.
+
+    A contiguous index vector lets the executor replace a fancy
+    gather/scatter with a basic slice — a view on the read side, a
+    straight memcpy on the write side.
+    """
+    n = int(idx.size)
+    if n == 0:
+        return None
+    start = int(idx[0])
+    if n == 1:
+        return (start, start + 1)
+    if int(idx[-1]) - start == n - 1 and bool(np.all(np.diff(idx) == 1)):
+        return (start, start + n)
+    return None
+
+
 @dataclass(frozen=True)
 class MoveStep:
     """Bulk data movement: ``state[dst] = state[src]`` (vectorized).
 
     Lowered from copies, loads, stores and exec write-backs — after
-    address resolution they are all the same gather/scatter.
+    address resolution they are all the same gather/scatter.  The
+    semantics are gather-then-scatter: all of ``src`` is read before
+    any of ``dst`` is written, so ``src``/``dst`` overlap is legal.
+
+    ``src_slice`` / ``dst_slice`` / ``disjoint`` are derived once at
+    construction so the batch engine can pick a slice fast path
+    without per-run analysis: a contiguous ``dst`` is always safe to
+    write as a slice (the fancy-``src`` gather copies first), while a
+    contiguous ``src`` may be used as a *view* only when ``disjoint``
+    proves no write lands in the read range.
     """
 
     src: np.ndarray
     dst: np.ndarray
+    src_slice: tuple[int, int] | None = field(default=None, init=False)
+    dst_slice: tuple[int, int] | None = field(default=None, init=False)
+    disjoint: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src_slice", contiguous_slice(self.src))
+        object.__setattr__(self, "dst_slice", contiguous_slice(self.dst))
+        object.__setattr__(
+            self,
+            "disjoint",
+            not bool(np.isin(self.src, self.dst).any()),
+        )
 
 
 @dataclass(frozen=True)
@@ -102,6 +142,35 @@ class ComputeStep:
 
 
 Step = MoveStep | ComputeStep
+
+
+def coalesce_moves(steps: list[Step]) -> list[Step]:
+    """Merge adjacent :class:`MoveStep` pairs into single bulk moves.
+
+    Two back-to-back moves are equivalent to one combined
+    gather-then-scatter iff the second reads nothing the first wrote
+    (the gather would see pre-move data) and writes no cell the first
+    wrote (the merged scatter would have duplicate destinations).
+    Merging chains transitively, so a run of loads or stores collapses
+    into one step — and the concatenated index vectors frequently form
+    a contiguous run, unlocking the :class:`MoveStep` slice fast path
+    even on the unfused engine.
+    """
+    out: list[Step] = []
+    for step in steps:
+        if out and type(step) is MoveStep and type(out[-1]) is MoveStep:
+            prev = out[-1]
+            if (
+                not np.isin(step.src, prev.dst).any()
+                and not np.isin(step.dst, prev.dst).any()
+            ):
+                out[-1] = MoveStep(
+                    np.concatenate([prev.src, step.src]),
+                    np.concatenate([prev.dst, step.dst]),
+                )
+                continue
+        out.append(step)
+    return out
 
 
 @dataclass(frozen=True)
@@ -224,7 +293,7 @@ class _Lowerer:
         self.pending = still
 
     # -- per-instruction lowering -------------------------------------
-    def lower(self) -> ExecutionPlan:
+    def lower(self, coalesce: bool = True) -> ExecutionPlan:
         program = self.program
         input_cells, input_slots = self._populate_inputs()
         for cycle, instr in enumerate(program.instructions):
@@ -268,7 +337,9 @@ class _Lowerer:
             state_size=self.scratch_base + self.cfg.num_pes,
             input_cells=_arr(input_cells),
             input_slots=_arr(input_slots),
-            steps=tuple(self.steps),
+            steps=tuple(
+                coalesce_moves(self.steps) if coalesce else self.steps
+            ),
             output_vars=tuple(output_vars),
             output_cells=_arr(output_cells),
             counters=count_activity(program, self.inter),
@@ -424,6 +495,7 @@ def lower_program(
     program: Program,
     interconnect: Interconnect | None = None,
     check_addresses: list[dict[int, int]] | None = None,
+    coalesce: bool = True,
 ) -> ExecutionPlan:
     """Lower a compiled program into an :class:`ExecutionPlan`.
 
@@ -437,9 +509,14 @@ def lower_program(
         check_addresses: Optional per-instruction ``bank -> addr``
             read-address predictions from the compiler; verified
             against the replayed priority encoder.
+        coalesce: Merge adjacent compatible :class:`MoveStep`s into
+            slice copies (on by default; benchmarks disable it to
+            reconstruct the uncoalesced historical tape shape).
 
     Raises:
         HazardError: Read of in-flight data.
         SimulationError: Any architectural misuse.
     """
-    return _Lowerer(program, interconnect, check_addresses).lower()
+    return _Lowerer(program, interconnect, check_addresses).lower(
+        coalesce=coalesce
+    )

@@ -79,6 +79,7 @@ def write_case(case: ReproCase, out_dir: str | Path | None = None) -> Path:
             "partition_threshold": case.scenario.partition_threshold,
             "partition_jobs": case.scenario.partition_jobs,
             "serve": case.scenario.serve,
+            "fused": case.scenario.fused,
         },
         "mismatch": {
             "stage": case.mismatch.stage,
@@ -121,6 +122,7 @@ def load_case(path: str | Path) -> ReproCase:
             ),
             partition_jobs=int(raw.get("partition_jobs", 1)),
             serve=bool(raw.get("serve", False)),
+            fused=bool(raw.get("fused", False)),
         )
         mismatch = Mismatch(
             stage=payload["mismatch"]["stage"],
@@ -159,4 +161,5 @@ def replay_case(path: str | Path) -> DiffReport:
         partition_threshold=case.scenario.partition_threshold,
         partition_jobs=case.scenario.partition_jobs,
         serve=case.scenario.serve,
+        fused=case.scenario.fused,
     )

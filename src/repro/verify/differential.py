@@ -27,7 +27,13 @@ pipeline and cross-checked along every redundant path the stack offers:
   (:mod:`repro.serve`), forced to coalesce them into at least two
   micro-batches, and the scattered per-request responses must equal
   the direct batch execution bitwise — the fuzzer drives the serving
-  stack with every shape the generators produce.
+  stack with every shape the generators produce;
+* **fused vs batch** — with ``fused`` enabled, the same batch is
+  re-executed through the fused super-op engine *and* the
+  plan-specialized codegen engine (:mod:`repro.sim.fused`), whose
+  outputs and activity counters must equal the step interpreter's
+  bitwise — the fused lowering only regroups independent lanes, so
+  any drift at all is a lowering bug.
 
 :func:`diff_check_dag` runs the oracle on a bare DAG and returns the
 first mismatch (or ``None``); :func:`check_scenario` wraps it with
@@ -67,6 +73,7 @@ FAULTS: dict[str, str] = {
     "warm_output": "warm-vs-cold",
     "partition_boundary": "partitioned-vs-reference",
     "serve_output": "served-vs-direct",
+    "fused_output": "fused-vs-batch",
 }
 
 
@@ -114,6 +121,11 @@ class Scenario:
     #: and cross-checks the scattered responses bitwise against the
     #: direct batch execution.
     serve: bool = False
+    #: When set, the oracle additionally re-executes the batch through
+    #: the fused super-op engine and the plan-specialized codegen
+    #: engine and cross-checks outputs and counters bitwise against
+    #: the step interpreter.
+    fused: bool = False
 
     def config(self) -> ArchConfig:
         return config_from_label(self.config_label)
@@ -188,6 +200,7 @@ def diff_check_dag(
     partition_threshold: int | None = None,
     partition_jobs: int = 1,
     serve: bool = False,
+    fused: bool = False,
 ) -> DiffReport:
     """Run the full three-way differential oracle on one DAG.
 
@@ -206,6 +219,12 @@ def diff_check_dag(
     B > 1 — and checks the scattered per-request responses bitwise
     against the direct batch execution.
 
+    With ``fused`` set (or the ``fused_output`` fault, which implies
+    it), the oracle also re-executes the batch through the fused
+    super-op engine and the plan-specialized codegen engine and
+    checks their outputs and counters bitwise against the step
+    interpreter's.
+
     Raises:
         SpillError: When the config genuinely cannot hold the DAG's
             live set — the caller decides whether that is a *skip*
@@ -215,7 +234,7 @@ def diff_check_dag(
     stats: dict[str, int] = {}
     mismatch = _oracle(
         dag, config, value_seed, batch, fault, compile_seed, stats,
-        partition_threshold, partition_jobs, serve,
+        partition_threshold, partition_jobs, serve, fused,
     )
     return DiffReport(mismatch, cycles=stats.get("cycles", 0))
 
@@ -231,6 +250,7 @@ def _oracle(
     partition_threshold: int | None = None,
     partition_jobs: int = 1,
     serve: bool = False,
+    fused: bool = False,
 ) -> Mismatch | None:
     _validate_fault(fault)
     validate(dag)
@@ -333,6 +353,12 @@ def _oracle(
             f"batch totals are not per-row counters x {batch_result.batch}",
         )
 
+    # ---- fused engines vs step interpreter --------------------------
+    if fused or fault == "fused_output":
+        mismatch = _check_fused(batch_result, plan, matrix, fault)
+        if mismatch is not None:
+            return mismatch
+
     # ---- live micro-batcher vs direct batch execution ---------------
     if serve or fault == "serve_output":
         mismatch = _check_served(batch_result, plan, matrix, fault)
@@ -417,6 +443,57 @@ def _oracle(
             "fault 'warm_output' needs a configured artifact cache"
         )
 
+    return None
+
+
+def _check_fused(
+    batch_result,
+    plan,
+    matrix: np.ndarray,
+    fault: str | None,
+) -> Mismatch | None:
+    """Fused-engine cross-check: the fused super-op engine and the
+    plan-specialized codegen engine re-execute the same batch and must
+    match the step interpreter bitwise — outputs *and* activity
+    counters (fusion regroups independent lanes; it must not change a
+    single IEEE operation or the analytic activity model)."""
+    for engine in ("fused", "codegen"):
+        try:
+            fused_result = BatchSimulator(plan, engine=engine).run(matrix)
+        except ReproError as exc:
+            return Mismatch(
+                "fused-execute",
+                f"{engine}: {type(exc).__name__}: {exc}",
+            )
+        outputs = dict(fused_result.outputs)
+        if fault == "fused_output" and outputs:
+            worst = max(outputs)
+            col = outputs[worst].copy()
+            col[0] = np.nextafter(col[0], np.inf)
+            outputs[worst] = col
+        if sorted(outputs) != sorted(batch_result.outputs):
+            return Mismatch(
+                "fused-vs-batch",
+                f"{engine} engine stored a different output-variable set",
+            )
+        for var in sorted(outputs):
+            direct = batch_result.outputs[var]
+            for row in range(batch_result.batch):
+                if not _bitwise_equal(
+                    float(outputs[var][row]), float(direct[row])
+                ):
+                    return Mismatch(
+                        "fused-vs-batch",
+                        f"var {var} row {row}: {engine} "
+                        f"{float(outputs[var][row])!r} != step "
+                        f"{float(direct[row])!r}",
+                    )
+        if fused_result.counters != batch_result.counters:
+            return Mismatch(
+                "fused-vs-batch",
+                f"{engine} engine counters diverged from the step "
+                "interpreter's",
+            )
     return None
 
 
@@ -554,6 +631,7 @@ def check_scenario(scenario: Scenario) -> ScenarioOutcome:
             partition_threshold=scenario.partition_threshold,
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
+            fused=scenario.fused,
         )
     except SpillError as exc:
         return ScenarioOutcome(

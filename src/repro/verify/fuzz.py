@@ -92,12 +92,13 @@ def make_scenarios(
             n = rng.randint(121, 260)
         kwargs = _family_kwargs(rng, family, n)
         # Every fourth scenario also exercises the partition-parallel
-        # compile path, and a disjoint every-fourth slice drives the
-        # live micro-batcher (served-vs-direct).  Both assignments are
-        # derived WITHOUT consuming the master rng, so the (family, n,
-        # seed, config, value_seed, batch) stream — and with it the
-        # pinned verify_synth golden — is unchanged from earlier
-        # revisions.
+        # compile path, a disjoint every-fourth slice drives the live
+        # micro-batcher (served-vs-direct), and a third disjoint slice
+        # re-executes through the fused/codegen engines
+        # (fused-vs-batch).  All assignments are derived WITHOUT
+        # consuming the master rng, so the (family, n, seed, config,
+        # value_seed, batch) stream — and with it the pinned
+        # verify_synth golden — is unchanged from earlier revisions.
         partition_threshold = None
         if i % 4 == 3 and n > 2 * MIN_NODES:
             partition_threshold = max(1, n // (2 + i % 3))
@@ -115,6 +116,7 @@ def make_scenarios(
                 fault=fault,
                 partition_threshold=partition_threshold,
                 serve=i % 4 == 1,
+                fused=i % 4 == 2,
             )
         )
     return scenarios
@@ -250,6 +252,7 @@ def _shrink_failure(
             partition_threshold=_shrunk_threshold(scenario, candidate),
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
+            fused=scenario.fused,
         )
         return report.mismatch is not None
 
@@ -267,6 +270,7 @@ def _shrink_failure(
             partition_threshold=_shrunk_threshold(scenario, shrunk.dag),
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
+            fused=scenario.fused,
         )
         case = ReproCase(
             scenario=scenario,
