@@ -1,0 +1,320 @@
+"""Bench: sharded serving throughput through the consistent-hash router.
+
+Two campaigns at the *same* offered load, both parity-checked bitwise
+against direct plan execution:
+
+1. **1 shard** — the router fronting a single ``repro serve``
+   process: the aggregate-throughput baseline;
+2. **N shards** (default 2) — the same schedule fanned out by content
+   fingerprint across N shard processes over one shared artifact
+   cache, with the shard owning the hottest program drained and
+   restarted **mid-campaign** (the graceful-bounce path the router
+   exists for).
+
+The bar: ``N``-shard rows/s ``>= --min-speedup`` (default 1.7x) the
+1-shard baseline, with **zero** parity mismatches or errors through
+the drain+restart.  Multi-process speedup needs real cores: the gate
+is enforced only when the machine has more cores than shards (the
+load-generating client needs one too); on smaller hosts the measured
+speedup is reported and recorded but not gated — pass
+``--min-speedup 0`` to silence the gate entirely, or a higher bar to
+force it.
+
+Writes ``results/bench_router.txt`` and appends the machine-readable
+run to ``BENCH_serve.json`` (schema repro-bench-v1).
+
+Usage::
+
+    python benchmarks/bench_router.py                  # full run
+    python benchmarks/bench_router.py --profile smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tools"))
+
+
+def _shard_argv(args, cache_dir: str) -> list[str]:
+    """One shard's ``repro serve`` command (host/port added by
+    :class:`~repro.serve.router.ProcessShard` per start)."""
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--programs", args.programs,
+        "--config", args.config,
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--max-batch", str(args.max_batch),
+        "--max-wait-ms", str(args.max_wait_ms),
+        "--max-queue", str(args.max_queue),
+        "--cache-dir", cache_dir,
+    ]
+
+
+async def _campaign(args, local, schedule, cache_dir, num_shards, chaos):
+    """Drive one open-loop campaign through a router over
+    ``num_shards`` spawned shard processes; returns (report, stats)."""
+    from repro.serve import (
+        LoadReport,
+        ParityChecker,
+        ProcessShard,
+        RouterSubmitter,
+        ShardRouter,
+        TenantSLO,
+        slos_from_schedule,
+    )
+    from repro.serve.loadtest import _drive_open_loop
+
+    shards = [
+        ProcessShard(f"shard{i}", _shard_argv(args, cache_dir))
+        for i in range(num_shards)
+    ]
+    router = ShardRouter(
+        shards,
+        slos=slos_from_schedule(schedule, max_inflight=args.max_queue),
+        fingerprints={k: p.fingerprint for k, p in local.items()},
+        default_slo=TenantSLO(max_inflight=args.max_queue),
+    )
+    checker = ParityChecker(lambda key: local[key])
+
+    async def bounce() -> None:
+        # Graceful drain+restart of the busiest shard once half the
+        # campaign has resolved — mid-stream by construction even
+        # when the offered load saturates the shards.
+        half = schedule.num_requests // 2
+        while router.stats.routed < half:
+            await asyncio.sleep(0.01)
+        busiest = max(
+            router.stats.per_shard, key=router.stats.per_shard.get
+        )
+        await router.restart(busiest)
+
+    async with router:
+        owners = {
+            name: router.shard_for(name) for name in sorted(local)
+        }
+        chaos_task = asyncio.ensure_future(bounce()) if chaos else None
+        outcomes, wall = await _drive_open_loop(
+            RouterSubmitter(router), schedule,
+            lambda key: local[key].num_inputs,
+            args.time_scale, checker,
+            rows_per_request=args.rows_per_request,
+        )
+        if chaos_task is not None:
+            await chaos_task
+        stats = dict(router.stats.as_dict(), owners=owners)
+    report = LoadReport(
+        pattern=schedule.pattern, mode="open",
+        outcomes=outcomes, wall_s=wall,
+        policy={
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "shards": num_shards,
+            "chaos": "restart" if chaos else "none",
+        },
+    )
+    return report, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--programs", default="synth_layered,synth_reuse",
+        help="comma-separated workload names every shard serves (the "
+        "default pair's content fingerprints land on different shards "
+        "of a 2-shard ring, so the fan-out is real; the report prints "
+        "the actual ownership)",
+    )
+    parser.add_argument("--config", default="D2-B8-R16")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=1200)
+    parser.add_argument("--rate", type=float, default=3000.0)
+    parser.add_argument(
+        "--rows-per-request", type=int, default=8,
+        help="rows per request matrix (amortizes the HTTP hop so the "
+        "shards, not the client, are the bottleneck)",
+    )
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--max-queue", type=int, default=100_000)
+    parser.add_argument("--time-scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.7,
+        help="N-shard vs 1-shard rows/s bar (enforced only with more "
+        "cores than shards; 0 disables)",
+    )
+    parser.add_argument(
+        "--profile", choices=("full", "smoke"), default="full",
+        help="smoke shrinks request counts for CI",
+    )
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="shared artifact cache for every shard (default: "
+        "REPRO_CACHE_DIR or a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--json", default=str(ROOT / "BENCH_serve.json"),
+        help="trajectory file to append to ('' disables)",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "results" / "bench_router.txt"),
+        help="text report destination ('' disables)",
+    )
+    parser.add_argument("--label", default=None)
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        raise SystemExit(f"--shards must be >= 2, got {args.shards}")
+    if args.profile == "smoke":
+        args.requests = min(args.requests, 400)
+        args.rows_per_request = min(args.rows_per_request, 4)
+    if args.cache_dir is None:
+        args.cache_dir = tempfile.mkdtemp(prefix="repro-bench-router-")
+
+    # The shard subprocesses import repro by module path; make sure
+    # they resolve the same tree this script runs from.
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")]
+        + [p for p in os.environ.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+
+    from repro.runner.cache import configure_cache
+    from repro.serve import ProgramSpec, build_served_program
+    from repro.workloads.traffic import make_traffic
+
+    configure_cache(args.cache_dir)
+    names = [n.strip() for n in args.programs.split(",") if n.strip()]
+    # Build client-side: warms the shared cache (every shard start
+    # becomes a load, not a compile) and supplies the routing
+    # fingerprints + the parity baseline.
+    local = {
+        name: build_served_program(ProgramSpec(
+            name=name, config_label=args.config,
+            scale=args.scale, seed=args.seed,
+        ))
+        for name in names
+    }
+    schedule = make_traffic(
+        "multi_tenant", args.requests, rate=args.rate,
+        seed=args.seed, programs=tuple(names),
+    )
+
+    # Untimed warm-up at 1/8 size: first-ever process spawn, page
+    # cache, and client-side ufunc warm-up otherwise land entirely on
+    # the baseline leg and fake a sharding speedup.
+    warmup = make_traffic(
+        "multi_tenant", max(args.requests // 8, 8), rate=args.rate,
+        seed=args.seed + 1, programs=tuple(names),
+    )
+    asyncio.run(_campaign(
+        args, local, warmup, args.cache_dir, num_shards=1, chaos=False
+    ))
+
+    single, single_stats = asyncio.run(_campaign(
+        args, local, schedule, args.cache_dir, num_shards=1, chaos=False
+    ))
+    multi, multi_stats = asyncio.run(_campaign(
+        args, local, schedule, args.cache_dir,
+        num_shards=args.shards, chaos=True,
+    ))
+
+    speedup = (
+        multi.rows_per_second / single.rows_per_second
+        if single.rows_per_second
+        else float("inf")
+    )
+    cores = os.cpu_count() or 1
+    gate_enforced = args.min_speedup > 0 and cores > args.shards
+    lines = [
+        f"router bench: {args.programs} @ {args.config}, scale "
+        f"{args.scale}, {args.requests} requests x "
+        f"{args.rows_per_request} rows, rate {args.rate:g}/s",
+        "",
+        "1 shard (baseline):",
+        "  " + single.render().replace("\n", "\n  "),
+        f"  router: {single_stats}",
+        "",
+        f"{args.shards} shards (drain+restart mid-campaign):",
+        "  " + multi.render().replace("\n", "\n  "),
+        f"  router: {multi_stats}",
+        "",
+        f"sharding speedup: {speedup:.2f}x rows/s "
+        f"(bar: >= {args.min_speedup:g}x, "
+        + (
+            "enforced"
+            if gate_enforced
+            else f"informational — {cores} core(s) for "
+            f"{args.shards} shards + client"
+        )
+        + ")",
+    ]
+    text = "\n".join(lines)
+    print(text)
+
+    failures = []
+    for label, report in (("1-shard", single), (f"{args.shards}-shard", multi)):
+        if not report.clean:
+            failures.append(
+                f"{label} campaign not clean: "
+                f"{report.parity_mismatches} parity mismatches, "
+                f"{report.errors} errors, {report.rejected} rejected"
+            )
+    if multi_stats["restarts"] != 1:
+        failures.append(
+            f"expected exactly 1 mid-campaign restart, saw "
+            f"{multi_stats['restarts']}"
+        )
+    if gate_enforced and speedup < args.min_speedup:
+        failures.append(
+            f"speedup {speedup:.2f}x below the {args.min_speedup:g}x bar"
+        )
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    if args.json:
+        from bench_to_json import append_run
+
+        records = []
+        for label, report, stats in (
+            ("router_1shard", single, single_stats),
+            (f"router_{args.shards}shard_chaos", multi, multi_stats),
+        ):
+            (record,) = report.records()
+            record["measurement"] = label
+            record["router"] = stats
+            records.append(record)
+        records.append({
+            "measurement": "router_speedup",
+            "shards": args.shards,
+            "rows_per_request": args.rows_per_request,
+            "speedup_rows_per_second": round(speedup, 2),
+            "min_speedup": args.min_speedup,
+            "gate_enforced": gate_enforced,
+            "cores": cores,
+        })
+        append_run(
+            args.json, "serve", records,
+            label=args.label or f"bench-router-{args.profile}",
+        )
+        print(f"\nappended {len(records)} records to {args.json}")
+
+    if failures:
+        print("\nFAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,14 +5,19 @@ Registers two programs in a warm plan pool, starts the asyncio
 micro-batching service plus its HTTP front end, sends a few requests
 both in-process and over the wire, then replays a bursty seeded
 traffic schedule through the load harness with bitwise verification
-of every response against direct plan execution.
+of every response against direct plan execution.  A second act runs
+the same programs through a 2-shard consistent-hash router — tenant
+SLO classes, a graceful drain+restart mid-stream, and the same
+bitwise bar.
 
 Run:  python examples/serve_demo.py
 
 For the real daemon + client, see:
 
     python -m repro serve   --programs synth_layered,tretail --port 8321
+    python -m repro serve   --shards 2 --programs synth_layered,tretail
     python -m repro loadgen --url 127.0.0.1:8321 --patterns bursty --check
+    python -m repro loadgen --router 2 --chaos restart --check
 
 or, without a server, `curl` once `repro serve` is up:
 
@@ -26,11 +31,17 @@ import asyncio
 from repro.serve import (
     BatchPolicy,
     InferenceService,
+    LocalShard,
     ProgramSpec,
+    RouterSubmitter,
+    ShardRouter,
+    build_served_program,
     request_inputs,
     run_open_loop,
+    slos_from_schedule,
 )
 from repro.serve.http import HttpClient, start_http_server
+from repro.serve.loadtest import LoadReport, ParityChecker, _drive_open_loop
 from repro.workloads.traffic import make_traffic
 
 PROGRAMS = (
@@ -81,6 +92,72 @@ async def main() -> None:
         report = await run_open_loop(service, schedule, check=True)
         print(f"\n{report.render()}")
         print(f"\nservice stats: {service.stats_dict()}")
+
+    await sharded()
+
+
+async def sharded() -> None:
+    """Act two: the same programs behind a 2-shard router, with a
+    graceful drain+restart mid-campaign and every response still
+    bitwise-checked against direct execution."""
+    print("\n--- 2-shard router ---")
+    policy = BatchPolicy(max_batch=32, max_wait_s=0.001, max_queue=512)
+    # Both shards serve both programs (the shared plan pool / artifact
+    # cache makes the second registration a warm load): any shard can
+    # take over any key, so drain/restart is a pure routing change.
+    local = {spec.name: build_served_program(spec) for spec in PROGRAMS}
+    shards = []
+    for i in range(2):
+        shard = LocalShard(f"shard{i}", policy=policy)
+        for program in local.values():
+            shard.install(program)
+        shards.append(shard)
+
+    schedule = make_traffic(
+        "multi_tenant", 200, rate=1500, seed=42,
+        programs=tuple(spec.name for spec in PROGRAMS),
+    )
+    router = ShardRouter(
+        shards,
+        # Heavy tenants batch at the policy default; tail tenants get
+        # a tight per-request max_wait (the latency class).
+        slos=slos_from_schedule(schedule),
+        fingerprints={k: p.fingerprint for k, p in local.items()},
+    )
+
+    async def bounce() -> None:
+        # Drain + restart the busier shard once half the campaign has
+        # resolved: its keys re-route to the ring successor, in-flight
+        # requests finish where they are, and after a health check
+        # the keys come home.
+        while router.stats.routed < schedule.num_requests // 2:
+            await asyncio.sleep(0.005)
+        owner = max(
+            router.stats.per_shard, key=router.stats.per_shard.get
+        )
+        await router.restart(owner)
+        print(f"bounced {owner} mid-campaign "
+              f"(drains={router.stats.drains}, "
+              f"restarts={router.stats.restarts})")
+
+    async with router:
+        for name in local:
+            print(f"{name} -> {router.shard_for(name)}")
+        chaos = asyncio.ensure_future(bounce())
+        checker = ParityChecker(lambda key: local[key])
+        outcomes, wall = await _drive_open_loop(
+            RouterSubmitter(router), schedule,
+            lambda key: local[key].num_inputs,
+            1.0, checker,
+        )
+        await chaos
+        report = LoadReport(
+            pattern=schedule.pattern, mode="open",
+            outcomes=outcomes, wall_s=wall,
+            policy={"max_batch": 32, "max_wait_ms": 1.0, "shards": 2},
+        )
+        print(f"\n{report.render()}")
+        print(f"\nrouter stats: {router.stats_dict()}")
 
 
 if __name__ == "__main__":

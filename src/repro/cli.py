@@ -455,6 +455,74 @@ async def serve_forever(
     return 0
 
 
+async def serve_router_forever(
+    args: argparse.Namespace,
+    stop=None,
+    on_ready=None,
+) -> int:
+    """``repro serve --shards N``: spawn N shard processes over the
+    shared artifact cache and front them with the consistent-hash
+    router's HTTP dispatch (``/infer`` + ``/admin`` routes).
+
+    The front process builds the served programs first — warming the
+    shared cache (so every shard registration is a load, not a
+    compile) and learning each program's content fingerprint, the
+    routing identity.
+    """
+    import asyncio
+
+    from .errors import ReproError
+    from .serve import (
+        ProcessShard,
+        ShardRouter,
+        TenantSLO,
+        build_served_program,
+        router_dispatch,
+    )
+    from .serve.http import start_http_server
+
+    try:
+        specs = _serve_specs(args)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    try:
+        local = {spec.name: build_served_program(spec) for spec in specs}
+    except ReproError as exc:
+        print(f"cannot build programs: {exc}", file=sys.stderr)
+        return 1
+    shards = [
+        ProcessShard(f"shard{i}", _shard_argv(args))
+        for i in range(args.shards)
+    ]
+    router = ShardRouter(
+        shards,
+        fingerprints={k: p.fingerprint for k, p in local.items()},
+        default_slo=TenantSLO(max_inflight=args.max_queue),
+    )
+    stop = stop if stop is not None else asyncio.Event()
+    async with router:
+        server = await start_http_server(
+            router_dispatch(router), host=args.host, port=args.port
+        )
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        print(
+            f"routing {len(specs)} program(s) across {args.shards} "
+            f"shard(s) on http://{bound_host}:{bound_port} "
+            f"(max_batch={args.max_batch}, "
+            f"max_wait={args.max_wait_ms:g}ms)",
+            flush=True,
+        )
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        try:
+            await stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the inference server until interrupted."""
     import asyncio
@@ -467,6 +535,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         policy = _serve_policy(args)
     except ReproError as exc:
         raise SystemExit(str(exc))
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
 
     async def main() -> int:
         stop = asyncio.Event()
@@ -478,6 +548,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(getattr(signal, signame), stop.set)
         except (NotImplementedError, OSError):  # pragma: no cover
             pass
+        if args.shards > 1:
+            return await serve_router_forever(args, stop=stop)
         return await serve_forever(
             specs,
             policy,
@@ -493,22 +565,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
-def _spawn_server(args: argparse.Namespace) -> tuple:
-    """Start ``repro serve`` as a subprocess; returns (proc, host, port)."""
-    import socket
-    import subprocess
-
-    with socket.socket() as probe:
-        probe.bind(("127.0.0.1", 0))
-        port = probe.getsockname()[1]
+def _shard_argv(args: argparse.Namespace) -> list[str]:
+    """The ``repro serve`` command for one shard, host/port omitted
+    (each :class:`~repro.serve.router.ProcessShard` probes its own
+    port).  All shards share ``--cache-dir``, so one compiles and the
+    rest warm-load."""
     cmd = [
         sys.executable, "-m", "repro", "serve",
         "--programs", args.programs,
         "--config", args.config,
         "--scale", str(args.scale),
         "--seed", str(args.seed),
-        "--host", "127.0.0.1",
-        "--port", str(port),
         "--max-batch", str(args.max_batch),
         "--max-wait-ms", str(args.max_wait_ms),
         "--max-queue", str(args.max_queue),
@@ -520,6 +587,18 @@ def _spawn_server(args: argparse.Namespace) -> tuple:
         cmd.append("--no-cache")
     if args.partition_threshold is not None:
         cmd += ["--partition-threshold", str(args.partition_threshold)]
+    return cmd
+
+
+def _spawn_server(args: argparse.Namespace) -> tuple:
+    """Start ``repro serve`` as a subprocess; returns (proc, host, port)."""
+    import socket
+    import subprocess
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    cmd = _shard_argv(args) + ["--host", "127.0.0.1", "--port", str(port)]
     proc = subprocess.Popen(cmd)
     return proc, "127.0.0.1", port
 
@@ -566,6 +645,16 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
     if not patterns:
         raise SystemExit("--patterns must name at least one pattern")
+    if args.rows_per_request < 1:
+        raise SystemExit(
+            f"--rows-per-request must be >= 1, got {args.rows_per_request}"
+        )
+    if args.router < 0:
+        raise SystemExit(f"--router must be >= 0, got {args.router}")
+    if args.router and (args.spawn or args.url):
+        raise SystemExit("--router is exclusive with --spawn/--url")
+    if args.chaos != "none" and args.router < 2:
+        raise SystemExit("--chaos needs --router >= 2")
     try:
         specs = _serve_specs(args)
     except ReproError as exc:
@@ -609,6 +698,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 lambda key: local[key].num_inputs,
                 time_scale=args.time_scale,
                 checker=checker,
+                rows_per_request=args.rows_per_request,
             ))
         return reports
 
@@ -625,12 +715,84 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                     service, schedule,
                     time_scale=args.time_scale,
                     check=args.check,
+                    rows_per_request=args.rows_per_request,
                 ))
+        return reports
+
+    async def drive_router() -> list:
+        from .serve import (
+            LoadReport,
+            ProcessShard,
+            RouterSubmitter,
+            ShardRouter,
+            TenantSLO,
+            slos_from_schedule,
+        )
+        from .serve.loadtest import _drive_open_loop
+
+        shards = [
+            ProcessShard(f"shard{i}", _shard_argv(args))
+            for i in range(args.router)
+        ]
+        slos: dict = {}
+        for schedule in schedules:
+            slos.update(slos_from_schedule(
+                schedule, max_inflight=args.max_queue
+            ))
+        router = ShardRouter(
+            shards,
+            slos=slos,
+            fingerprints={k: p.fingerprint for k, p in local.items()},
+            default_slo=TenantSLO(max_inflight=args.max_queue),
+        )
+
+        async def chaos(schedule) -> None:
+            # Bounce the shard owning the schedule's first program at
+            # the campaign's midpoint: graceful drain+restart, or a
+            # hard kill that the failover path must absorb first.
+            await asyncio.sleep(
+                schedule.duration_s * args.time_scale * 0.5
+            )
+            program = schedule.programs()[0]
+            owner = router.shard_for(program)
+            if args.chaos == "kill":
+                router.shards[owner].kill()
+                await asyncio.sleep(0.05)
+            await router.restart(owner)
+
+        reports = []
+        async with router:
+            for schedule in schedules:
+                chaos_task = (
+                    asyncio.ensure_future(chaos(schedule))
+                    if args.chaos != "none" else None
+                )
+                outcomes, wall = await _drive_open_loop(
+                    RouterSubmitter(router), schedule,
+                    lambda key: local[key].num_inputs,
+                    args.time_scale, checker,
+                    rows_per_request=args.rows_per_request,
+                )
+                if chaos_task is not None:
+                    await chaos_task
+                reports.append(LoadReport(
+                    pattern=schedule.pattern, mode="open",
+                    outcomes=outcomes, wall_s=wall,
+                    policy={
+                        "max_batch": args.max_batch,
+                        "max_wait_ms": args.max_wait_ms,
+                        "shards": args.router,
+                        "chaos": args.chaos,
+                    },
+                ))
+            print(f"router: {router.stats.as_dict()}")
         return reports
 
     proc = None
     try:
-        if args.spawn:
+        if args.router:
+            reports = asyncio.run(drive_router())
+        elif args.spawn:
             proc, host, port = _spawn_server(args)
             reports = asyncio.run(drive_http(host, port))
         elif args.url:
@@ -661,14 +823,21 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         from bench_to_json import append_run
 
         records = [
-            dict(rec, engine=args.engine)
+            dict(
+                rec,
+                engine=args.engine,
+                shards=args.router or 1,
+                rows_per_request=args.rows_per_request,
+            )
             for report in reports
             for rec in report.records()
         ]
-        append_run(
-            args.bench_json, "serve", records,
-            label=f"loadgen-{'-'.join(patterns)}-{args.engine}",
-        )
+        label = f"loadgen-{'-'.join(patterns)}-{args.engine}"
+        if args.router:
+            label += f"-router{args.router}"
+            if args.chaos != "none":
+                label += f"-{args.chaos}"
+        append_run(args.bench_json, "serve", records, label=label)
         print(f"appended {len(records)} record(s) to {args.bench_json}")
     if failures:
         print(f"FAILED: {failures} traffic pattern(s) saw errors, "
@@ -851,6 +1020,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8321,
         help="listen port (0 picks a free one)",
     )
+    p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="fan requests across N shard processes (sharing the "
+        "artifact cache) behind a consistent-hash router; 1 serves "
+        "directly from this process",
+    )
     _add_cache_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -888,6 +1063,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--spawn", action="store_true",
         help="start `repro serve` as a subprocess, drive it over HTTP, "
         "then shut it down (what the CI smoke job uses)",
+    )
+    p.add_argument(
+        "--router", type=int, default=0, metavar="N",
+        help="spawn N shard processes and drive them through the "
+        "in-process consistent-hash router (client-side routing, "
+        "no proxy hop); 0 disables",
+    )
+    p.add_argument(
+        "--chaos", default="none", choices=("none", "restart", "kill"),
+        help="with --router: bounce the owning shard mid-campaign — "
+        "'restart' drains gracefully, 'kill' hard-kills it so the "
+        "failover path must absorb the loss first",
+    )
+    p.add_argument(
+        "--rows-per-request", type=int, default=1, metavar="R",
+        help="rows carried per request (multi-row requests ride one "
+        "micro-batch; throughput counts rows, not requests)",
     )
     p.add_argument(
         "--bench-json", default="", metavar="FILE",

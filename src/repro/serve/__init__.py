@@ -23,9 +23,16 @@ requests:
   keep-alive client the load generator uses;
 * :mod:`repro.serve.loadtest` — open/closed-loop load harness over
   :mod:`repro.workloads.traffic` schedules: p50/p95/p99 latency,
-  rows/s, and bitwise served-vs-direct verification.
+  rows/s, and bitwise served-vs-direct verification;
+* :mod:`repro.serve.router` — the sharding tier: a consistent-hash
+  :class:`~repro.serve.router.ShardRouter` fanning requests by
+  program content fingerprint across N service shards over one
+  shared artifact cache, with per-tenant admission/SLO overrides,
+  graceful drain/restart, and health-checked failover.
 
-CLI entry points: ``repro serve`` and ``repro loadgen``.
+CLI entry points: ``repro serve`` (``--shards N`` for the routed
+topology) and ``repro loadgen`` (``--router N`` for client-side
+routing over spawned shards).
 """
 
 from .batcher import BatcherStats, BatchPolicy, MicroBatcher, plan_batches
@@ -44,6 +51,18 @@ from .planpool import (
     ProgramSpec,
     ServedProgram,
     build_served_program,
+)
+from .router import (
+    HashRing,
+    LocalShard,
+    ProcessShard,
+    RouterStats,
+    RouterSubmitter,
+    ShardRouter,
+    TenantSLO,
+    route_rows,
+    router_dispatch,
+    slos_from_schedule,
 )
 from .service import (
     InferenceRequest,
@@ -77,4 +96,14 @@ __all__ = [
     "run_open_loop",
     "run_open_loop_http",
     "run_closed_loop",
+    "HashRing",
+    "LocalShard",
+    "ProcessShard",
+    "RouterStats",
+    "RouterSubmitter",
+    "ShardRouter",
+    "TenantSLO",
+    "route_rows",
+    "router_dispatch",
+    "slos_from_schedule",
 ]

@@ -71,7 +71,9 @@ class BatchPolicy:
 
 
 def plan_batches(
-    arrival_times: Sequence[float], policy: BatchPolicy
+    arrival_times: Sequence[float],
+    policy: BatchPolicy,
+    wait_hints: Sequence[float | None] | None = None,
 ) -> list[list[int]]:
     """The coalescing law as a pure function.
 
@@ -81,14 +83,34 @@ def plan_batches(
     member's arrival, admits arrivals until ``max_wait_s`` later, and
     closes early at ``max_batch`` members.
 
+    ``wait_hints`` optionally carries a per-request max-wait override
+    (``None`` = the policy default) — the SLO mechanism the shard
+    router uses for latency-class tenants.  A batch's closing time is
+    the *minimum* over its members of ``arrival + wait``: no request
+    ever waits longer than its own bound, and with no hints the
+    minimum sits at the first member's arrival — the policy law.
+
     This is exactly what :class:`MicroBatcher` converges to when the
-    executor is never the bottleneck, and the reference model the
-    property tests check invariants against (no index lost, none
-    duplicated, order preserved, both bounds respected).
+    executor is never the bottleneck (both anchor every batch's
+    ``max_wait`` clock to its first member's *arrival*, not to when a
+    collector got around to it), and the reference model the property
+    tests check invariants against (no index lost, none duplicated,
+    order preserved, both bounds respected).
 
     Raises:
-        ServeError: If ``arrival_times`` is not sorted.
+        ServeError: If ``arrival_times`` is not sorted, or
+            ``wait_hints`` has a different length.
     """
+    if wait_hints is not None and len(wait_hints) != len(arrival_times):
+        raise ServeError(
+            f"wait_hints must match arrival_times: "
+            f"{len(wait_hints)} != {len(arrival_times)}"
+        )
+
+    def wait_of(i: int) -> float:
+        hint = wait_hints[i] if wait_hints is not None else None
+        return policy.max_wait_s if hint is None else max(hint, 0.0)
+
     batches: list[list[int]] = []
     current: list[int] = []
     close_at = 0.0
@@ -103,7 +125,9 @@ def plan_batches(
             batches.append(current)
             current = []
         if not current:
-            close_at = t + policy.max_wait_s
+            close_at = t + wait_of(i)
+        else:
+            close_at = min(close_at, t + wait_of(i))
         current.append(i)
         if len(current) >= policy.max_batch:
             batches.append(current)
@@ -158,11 +182,14 @@ class MicroBatcher:
         self.last_error: Exception | None = None
 
     # -- submission ----------------------------------------------------
-    def submit_nowait(self, key: str, item) -> bool:
+    def submit_nowait(self, key: str, item, wait_s: float | None = None) -> bool:
         """Enqueue one item; returns False when backpressure rejects it.
 
-        Rejection is immediate and leaves no trace in the queue — the
-        caller owns telling the requester.
+        ``wait_s`` optionally overrides the policy's ``max_wait_s``
+        for this item (the router's per-tenant SLO hook): the batch it
+        lands in dispatches no later than this item's arrival plus
+        ``wait_s``.  Rejection is immediate and leaves no trace in the
+        queue — the caller owns telling the requester.
         """
         if self._closed:
             raise ServeError("batcher is closed")
@@ -178,7 +205,13 @@ class MicroBatcher:
             )
         self._depth[key] = self._depth.get(key, 0) + 1
         self._idle.clear()
-        queue.put_nowait(item)
+        # The enqueue timestamp rides along so the collector can
+        # anchor the batch's max_wait clock to the first member's
+        # *arrival* — matching plan_batches — even when it dequeues
+        # late because the previous batch was still executing.
+        queue.put_nowait(
+            (item, asyncio.get_running_loop().time(), wait_s)
+        )
         return True
 
     @property
@@ -193,33 +226,46 @@ class MicroBatcher:
     async def _collect(self, key: str, queue: asyncio.Queue) -> None:
         loop = asyncio.get_running_loop()
         policy = self.policy
+
+        def deadline(entry) -> float:
+            _, enqueued_at, wait_s = entry
+            wait = policy.max_wait_s if wait_s is None else max(wait_s, 0.0)
+            return enqueued_at + wait
+
         while True:
             first = await queue.get()
             batch = [first]
-            close_at = loop.time() + policy.max_wait_s
+            # Anchored at the first member's enqueue time (the same
+            # event plan_batches anchors to), tightened by any
+            # member's own wait hint — never at collector wake-up.
+            close_at = deadline(first)
             while len(batch) < policy.max_batch:
                 # Greedy drain first: anything already queued joins
                 # without touching the clock.
                 try:
-                    batch.append(queue.get_nowait())
-                    continue
+                    entry = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     pass
+                else:
+                    batch.append(entry)
+                    close_at = min(close_at, deadline(entry))
+                    continue
                 timeout = close_at - loop.time()
                 if timeout <= 0:
                     break
                 try:
-                    batch.append(
-                        await asyncio.wait_for(queue.get(), timeout)
-                    )
+                    entry = await asyncio.wait_for(queue.get(), timeout)
                 except asyncio.TimeoutError:
                     break
+                batch.append(entry)
+                close_at = min(close_at, deadline(entry))
             self.stats.batches += 1
             self.stats.dispatched += len(batch)
             sizes = self.stats.batch_sizes
             sizes[len(batch)] = sizes.get(len(batch), 0) + 1
+            items = [item for item, _, _ in batch]
             try:
-                await self.on_batch(key, batch)
+                await self.on_batch(key, items)
             except Exception as exc:  # keep the collector alive: one
                 # failed dispatch must not wedge every later request
                 # for the key.  The service's callback resolves its

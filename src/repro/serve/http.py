@@ -45,9 +45,25 @@ def response_to_json(response: InferenceResponse) -> dict:
             else {str(node): value for node, value in response.outputs.items()}
         ),
         "batch": response.batch,
+        "rows": response.rows,
         "queue_ms": round(response.queue_s * 1e3, 6),
         "total_ms": round(response.total_s * 1e3, 6),
         "error": response.error,
+    }
+
+
+def connection_closes(value: str | None, default: str = "keep-alive") -> bool:
+    """Whether a ``Connection`` header value asks to close.
+
+    Per RFC 9110 the value is a case-insensitive, comma-separated
+    token list — ``Close``, ``close``, and ``keep-alive, Close`` all
+    mean close.  ``None`` falls back to ``default`` (HTTP/1.1
+    connections persist unless told otherwise).
+    """
+    if value is None:
+        value = default
+    return "close" in {
+        token.strip().lower() for token in value.split(",")
     }
 
 
@@ -110,7 +126,17 @@ def _encode_response(
     return head + body
 
 
-async def _handle_infer(service: InferenceService, body: bytes) -> dict:
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def parse_infer_body(body: bytes) -> dict:
+    """Validate and decode a ``POST /infer`` body.
+
+    ``inputs`` is a flat list of numbers (one row) or a list of such
+    lists (a multi-row request).  Returns the submission kwargs;
+    raises :class:`_BadRequest` on anything malformed.
+    """
     try:
         doc = json.loads(body.decode())
         if not isinstance(doc, dict):
@@ -119,39 +145,79 @@ async def _handle_infer(service: InferenceService, body: bytes) -> dict:
         inputs = doc["inputs"]
         tenant = doc.get("tenant", "default")
         deadline_ms = doc.get("deadline_ms")
+        max_wait_ms = doc.get("max_wait_ms")
         if not isinstance(program, str):
             raise _BadRequest("program must be a string")
         if not isinstance(tenant, str):
             raise _BadRequest("tenant must be a string")
-        if not (
+        flat_row = isinstance(inputs, list) and all(
+            _is_number(v) for v in inputs
+        )
+        multi_row = (
             isinstance(inputs, list)
+            and len(inputs) >= 1
             and all(
-                isinstance(v, (int, float)) and not isinstance(v, bool)
-                for v in inputs
+                isinstance(row, list) and all(_is_number(v) for v in row)
+                for row in inputs
             )
-        ):
-            raise _BadRequest("inputs must be a list of numbers")
-        if deadline_ms is not None and not (
-            isinstance(deadline_ms, (int, float))
-            and not isinstance(deadline_ms, bool)
-        ):
-            raise _BadRequest("deadline_ms must be a number")
+        )
+        if not (flat_row or multi_row):
+            raise _BadRequest(
+                "inputs must be a list of numbers or a list of rows"
+            )
+        for knob, name in ((deadline_ms, "deadline_ms"),
+                           (max_wait_ms, "max_wait_ms")):
+            if knob is not None and not _is_number(knob):
+                raise _BadRequest(f"{name} must be a number")
     except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
         raise _BadRequest(f"malformed /infer body: {exc}")
-    response = await service.submit(
-        program,
-        inputs,
-        tenant=tenant,
-        deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
-    )
+    return {
+        "program": program,
+        "inputs": inputs,
+        "tenant": tenant,
+        "deadline_s": None if deadline_ms is None else deadline_ms / 1e3,
+        "max_wait_s": None if max_wait_ms is None else max_wait_ms / 1e3,
+    }
+
+
+async def _handle_infer(service: InferenceService, body: bytes) -> dict:
+    response = await service.submit(**parse_infer_body(body))
     return response_to_json(response)
 
 
+def service_dispatch(service: InferenceService):
+    """The inference service's route table as a dispatch callable.
+
+    ``dispatch(method, target, body) -> (status, payload)`` — the
+    shape :func:`handle_connection` drives, and what lets the shard
+    router expose the *same* wire protocol (plus admin routes) from a
+    different implementation.
+    """
+
+    async def dispatch(method: str, target: str, body: bytes):
+        if method == "POST" and target == "/infer":
+            return 200, await _handle_infer(service, body)
+        if method == "GET" and target == "/stats":
+            return 200, service.stats_dict()
+        if method == "GET" and target == "/healthz":
+            return 200, {"ok": True, "programs": service.programs()}
+        if target in ("/infer", "/stats", "/healthz"):
+            return 405, {"error": "method not allowed"}
+        return 404, {"error": f"no route {target}"}
+
+    return dispatch
+
+
 async def handle_connection(
-    service: InferenceService,
+    service_or_dispatch,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
+    dispatch = (
+        service_dispatch(service_or_dispatch)
+        if isinstance(service_or_dispatch, InferenceService)
+        else service_or_dispatch
+    )
     try:
         while True:
             try:
@@ -164,22 +230,9 @@ async def handle_connection(
             if parsed is None:
                 break
             method, target, headers, body = parsed
-            keep_alive = headers.get("connection", "keep-alive") != "close"
+            keep_alive = not connection_closes(headers.get("connection"))
             try:
-                if method == "POST" and target == "/infer":
-                    payload = await _handle_infer(service, body)
-                    status = 200
-                elif method == "GET" and target == "/stats":
-                    payload, status = service.stats_dict(), 200
-                elif method == "GET" and target == "/healthz":
-                    payload, status = (
-                        {"ok": True, "programs": service.programs()},
-                        200,
-                    )
-                elif target in ("/infer", "/stats", "/healthz"):
-                    payload, status = {"error": "method not allowed"}, 405
-                else:
-                    payload, status = {"error": f"no route {target}"}, 404
+                status, payload = await dispatch(method, target, body)
             except _BadRequest as exc:
                 payload, status, keep_alive = {"error": str(exc)}, 400, False
             except ServeError as exc:
@@ -202,13 +255,14 @@ async def handle_connection(
 
 
 async def start_http_server(
-    service: InferenceService, host: str = "127.0.0.1", port: int = 8321
+    service_or_dispatch, host: str = "127.0.0.1", port: int = 8321
 ) -> asyncio.base_events.Server:
-    """Bind the service to a listening socket; returns the server
-    (close via ``server.close()`` + ``await server.wait_closed()``)."""
+    """Bind a service (or a bare dispatch callable) to a listening
+    socket; returns the server (close via ``server.close()`` +
+    ``await server.wait_closed()``)."""
 
     async def handler(reader, writer):
-        await handle_connection(service, reader, writer)
+        await handle_connection(service_or_dispatch, reader, writer)
 
     return await asyncio.start_server(handler, host=host, port=port)
 
@@ -275,20 +329,23 @@ class HttpClient:
         length = int(headers.get("content-length", "0"))
         raw_body = await self._reader.readexactly(length)
         doc = json.loads(raw_body.decode()) if raw_body else {}
-        if headers.get("connection") == "close":
+        if connection_closes(headers.get("connection")):
             await self.close()
         return status, doc
 
     async def infer(
         self,
         program: str,
-        inputs: list[float],
+        inputs: list[float] | list[list[float]],
         tenant: str = "default",
         deadline_ms: float | None = None,
+        max_wait_ms: float | None = None,
     ) -> dict:
         payload = {"program": program, "inputs": inputs, "tenant": tenant}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if max_wait_ms is not None:
+            payload["max_wait_ms"] = max_wait_ms
         _status, doc = await self.request("POST", "/infer", payload)
         return doc
 

@@ -38,15 +38,22 @@ from .planpool import ServedProgram
 from .service import InferenceService
 
 
-def request_inputs(num_inputs: int, value_seed: int) -> np.ndarray:
-    """The canonical request row for a value seed.
+def request_inputs(
+    num_inputs: int, value_seed: int, rows: int | None = None
+) -> np.ndarray:
+    """The canonical request payload for a value seed.
 
     Near-1.0 uniforms (the differential oracle's convention) so deep
     product chains stay finite.  Client and parity checker both call
-    this, so expected and served inputs are the same bits.
+    this, so expected and served inputs are the same bits.  With
+    ``rows=None`` returns the classic 1-D row; ``rows=R`` returns the
+    deterministic ``(R, num_inputs)`` matrix for a multi-row request.
     """
     rng = np.random.default_rng(value_seed)
-    return rng.uniform(0.9, 1.1, size=max(num_inputs, 1))
+    width = max(num_inputs, 1)
+    if rows is None:
+        return rng.uniform(0.9, 1.1, size=width)
+    return rng.uniform(0.9, 1.1, size=(rows, width))
 
 
 def _bitwise_equal(a: float, b: float) -> bool:
@@ -63,6 +70,7 @@ class RequestOutcome:
     batch: int
     parity_ok: bool | None  # None = not checked
     error: str | None = None
+    rows: int = 1  # rows this one request carried
 
 
 @dataclass
@@ -121,7 +129,22 @@ class LoadReport:
         return lat[rank - 1]
 
     @property
+    def ok_rows(self) -> int:
+        """Total rows carried by ok requests."""
+        return sum(o.rows for o in self.outcomes if o.status == "ok")
+
+    @property
     def rows_per_second(self) -> float:
+        """Row throughput: rows carried by ok requests over wall time.
+
+        Summed over ``o.rows`` — dividing the ok *request count* by
+        wall time undercounts whenever requests carry more than one
+        row.  Request rate lives in :attr:`requests_per_second`.
+        """
+        return self.ok_rows / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
         return self.ok / self.wall_s if self.wall_s > 0 else 0.0
 
     @property
@@ -140,10 +163,12 @@ class LoadReport:
             "rejected": self.rejected,
             "errors": self.errors,
             "parity_mismatches": self.parity_mismatches,
+            "rows": self.ok_rows,
             "p50_ms": round(self.percentile(50) * 1e3, 3),
             "p95_ms": round(self.percentile(95) * 1e3, 3),
             "p99_ms": round(self.percentile(99) * 1e3, 3),
             "rows_per_second": round(self.rows_per_second, 1),
+            "requests_per_second": round(self.requests_per_second, 1),
             "mean_batch": round(self.mean_batch, 2),
             "seconds": round(self.wall_s, 4),
             **({"policy": self.policy} if self.policy else {}),
@@ -162,7 +187,8 @@ class LoadReport:
             f"  latency p50 {self.percentile(50) * 1e3:7.2f}ms   "
             f"p95 {self.percentile(95) * 1e3:7.2f}ms   "
             f"p99 {self.percentile(99) * 1e3:7.2f}ms",
-            f"  throughput {self.rows_per_second:,.0f} rows/s   "
+            f"  throughput {self.rows_per_second:,.0f} rows/s "
+            f"({self.requests_per_second:,.0f} req/s)   "
             f"mean batch {self.mean_batch:.1f}",
         ]
         return "\n".join(lines)
@@ -185,6 +211,7 @@ class ServiceSubmitter:
             "status": response.status,
             "outputs": response.outputs,
             "batch": response.batch,
+            "rows": response.rows,
             "error": response.error,
         }
 
@@ -207,14 +234,18 @@ class HttpSubmitter:
         )
         if client not in self._all:
             self._all.append(client)
+        wire = (
+            [[float(v) for v in r] for r in row]
+            if row.ndim == 2
+            else [float(v) for v in row]
+        )
         try:
             doc = await client.infer(
-                arrival.program, [float(v) for v in row],
-                tenant=arrival.tenant,
+                arrival.program, wire, tenant=arrival.tenant,
             )
         except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
             return {"status": "error", "outputs": None, "batch": 0,
-                    "error": f"transport: {exc}"}
+                    "rows": 0, "error": f"transport: {exc}"}
         finally:
             self._idle.append(client)
         outputs = doc.get("outputs")
@@ -225,6 +256,7 @@ class HttpSubmitter:
                 else {int(node): value for node, value in outputs.items()}
             ),
             "batch": doc.get("batch", 0),
+            "rows": doc.get("rows", 1),
             "error": doc.get("error"),
         }
 
@@ -248,19 +280,32 @@ class ParityChecker:
         return self._programs[key]
 
     def check(
-        self, arrival: Arrival, outputs: dict[int, float] | None
+        self,
+        arrival: Arrival,
+        outputs: dict[int, float] | dict[int, list[float]] | None,
+        rows: int | None = None,
     ) -> bool:
         if outputs is None:
             return False
         program = self.program(arrival.program)
-        row = request_inputs(program.num_inputs, arrival.value_seed)
-        direct = program.execute_rows([row])
+        payload = request_inputs(
+            program.num_inputs, arrival.value_seed, rows
+        )
+        matrix = [payload] if payload.ndim == 1 else list(payload)
+        direct = program.execute_rows(matrix)
         if sorted(outputs) != sorted(direct):
             return False
-        return all(
-            _bitwise_equal(outputs[node], float(direct[node][0]))
-            for node in direct
-        )
+        for node, col in direct.items():
+            served = outputs[node]
+            got = served if isinstance(served, list) else [served]
+            if len(got) != len(matrix):
+                return False
+            if not all(
+                _bitwise_equal(float(g), float(col[r]))
+                for r, g in enumerate(got)
+            ):
+                return False
+        return True
 
 
 async def _drive_open_loop(
@@ -269,23 +314,27 @@ async def _drive_open_loop(
     num_inputs_of,
     time_scale: float,
     checker: ParityChecker | None,
+    rows_per_request: int = 1,
 ) -> tuple[list[RequestOutcome], float]:
     loop = asyncio.get_running_loop()
     start = loop.time()
     outcomes: list[RequestOutcome | None] = [None] * len(schedule.arrivals)
+    rows_arg = None if rows_per_request <= 1 else rows_per_request
 
     async def fire(i: int, arrival: Arrival) -> None:
         due = start + arrival.time_s * time_scale
         delay = due - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        row = request_inputs(num_inputs_of(arrival.program), arrival.value_seed)
+        row = request_inputs(
+            num_inputs_of(arrival.program), arrival.value_seed, rows_arg
+        )
         t0 = loop.time()
         result = await submitter.submit(arrival, row)
         latency = loop.time() - t0
         parity = None
         if checker is not None and result["status"] == "ok":
-            parity = checker.check(arrival, result["outputs"])
+            parity = checker.check(arrival, result["outputs"], rows_arg)
         outcomes[i] = RequestOutcome(
             arrival=arrival,
             status=result["status"],
@@ -293,6 +342,7 @@ async def _drive_open_loop(
             batch=result["batch"],
             parity_ok=parity,
             error=result["error"],
+            rows=result.get("rows", 1),
         )
 
     await asyncio.gather(
@@ -311,6 +361,7 @@ async def run_open_loop(
     schedule: TrafficSchedule,
     time_scale: float = 1.0,
     check: bool = False,
+    rows_per_request: int = 1,
 ) -> LoadReport:
     """Replay a schedule open-loop against an in-process service."""
     checker = (
@@ -323,6 +374,7 @@ async def run_open_loop(
         lambda key: service.pool.get(key).num_inputs,
         time_scale,
         checker,
+        rows_per_request=rows_per_request,
     )
     await service.drain()
     return LoadReport(
@@ -344,6 +396,7 @@ async def run_open_loop_http(
     num_inputs_of,
     time_scale: float = 1.0,
     checker: ParityChecker | None = None,
+    rows_per_request: int = 1,
 ) -> LoadReport:
     """Replay a schedule open-loop against a remote server.
 
@@ -354,7 +407,8 @@ async def run_open_loop_http(
     submitter = HttpSubmitter(host, port)
     try:
         outcomes, wall = await _drive_open_loop(
-            submitter, schedule, num_inputs_of, time_scale, checker
+            submitter, schedule, num_inputs_of, time_scale, checker,
+            rows_per_request=rows_per_request,
         )
     finally:
         await submitter.close()
@@ -407,6 +461,7 @@ async def run_closed_loop(
                 batch=response.batch,
                 parity_ok=parity,
                 error=response.error,
+                rows=response.rows,
             ))
 
     await asyncio.gather(

@@ -43,7 +43,12 @@ from .planpool import PlanPool, ProgramSpec, ServedProgram, worker_execute
 
 @dataclass(frozen=True)
 class InferenceRequest:
-    """One inference call as the batcher carries it."""
+    """One inference call as the batcher carries it.
+
+    ``inputs`` is a 1-D row (the common case) or a 2-D ``(R, W)``
+    matrix: a *multi-row* request whose R rows all ride the same
+    micro-batch and come back together in one response.
+    """
 
     id: int
     program: str
@@ -52,25 +57,33 @@ class InferenceRequest:
     deadline_s: float | None = None  # relative to submission
     submitted_at: float = 0.0  # loop clock
 
+    @property
+    def rows(self) -> int:
+        return self.inputs.shape[0] if self.inputs.ndim == 2 else 1
+
 
 @dataclass(frozen=True)
 class InferenceResponse:
     """What a request resolves to.
 
     ``outputs`` is ``sink node -> float`` (the program's stable output
-    vocabulary) for ``status="ok"``; ``None`` otherwise.  ``batch`` is
-    the size of the micro-batch the request rode in — 0 when it never
-    reached an executor (rejected/timeout).
+    vocabulary) for an ``"ok"`` single-row request, ``sink node ->
+    [R floats]`` for a multi-row one; ``None`` otherwise.  ``batch``
+    is the total *row* count of the micro-batch the request rode in —
+    0 when it never reached an executor (rejected/timeout) — and
+    ``rows`` is how many of those rows were this request's own (1 for
+    plain requests): the quantity throughput accounting must sum.
     """
 
     id: int
     program: str
     tenant: str
     status: str  # "ok" | "rejected" | "timeout" | "error"
-    outputs: dict[int, float] | None
+    outputs: dict[int, float] | dict[int, list[float]] | None
     batch: int
     queue_s: float
     total_s: float
+    rows: int = 1
     error: str | None = None
 
     @property
@@ -201,8 +214,15 @@ class InferenceService:
         inputs: Sequence[float] | np.ndarray,
         tenant: str = "default",
         deadline_s: float | None = None,
+        max_wait_s: float | None = None,
     ) -> InferenceResponse:
         """Submit one request and await its response.
+
+        ``inputs`` is one row, or an ``(R, num_inputs)`` matrix for a
+        multi-row request (all R rows execute in the same micro-batch
+        and resolve together).  ``max_wait_s`` tightens the batcher's
+        ``max_wait`` bound for this request only — the per-tenant SLO
+        override the shard router applies for latency-class tenants.
 
         Never raises for per-request problems — unknown programs,
         malformed rows, backpressure and deadline misses all come back
@@ -241,17 +261,20 @@ class InferenceService:
             self.stats.errors += 1
             return self._finish(request, "error", None, 0, now, str(exc))
         if (
-            request.inputs.ndim != 1
-            or request.inputs.shape[0] < served.num_inputs
+            request.inputs.ndim not in (1, 2)
+            or request.inputs.shape[-1] < served.num_inputs
+            or (request.inputs.ndim == 2 and request.inputs.shape[0] < 1)
         ):
             self.stats.errors += 1
             return self._finish(
                 request, "error", None, 0, now,
-                f"inputs must be a 1-D vector of >= {served.num_inputs} "
-                f"values",
+                f"inputs must be a vector (or non-empty matrix of rows) "
+                f"of >= {served.num_inputs} values",
             )
         future: asyncio.Future = loop.create_future()
-        if not batcher.submit_nowait(program, (request, future)):
+        if not batcher.submit_nowait(
+            program, (request, future), wait_s=max_wait_s
+        ):
             self.stats.rejected += 1
             return self._finish(request, "rejected", None, 0, now, None)
         return await future
@@ -276,6 +299,7 @@ class InferenceService:
             batch=batch,
             queue_s=max(dequeued_at - request.submitted_at, 0.0),
             total_s=max(now - request.submitted_at, 0.0),
+            rows=request.rows,
             error=error,
         )
 
@@ -299,7 +323,19 @@ class InferenceService:
                 live.append((request, future))
         if not live:
             return
-        rows = [request.inputs for request, _ in live]
+        # Flatten every request's row(s) into one sweep; multi-row
+        # requests contribute a contiguous slice they scatter back
+        # from.  ``spans`` records each request's (start, rows).
+        rows: list[np.ndarray] = []
+        spans: list[tuple[int, int]] = []
+        for request, _ in live:
+            start = len(rows)
+            if request.inputs.ndim == 2:
+                rows.extend(request.inputs)
+            else:
+                rows.append(request.inputs)
+            spans.append((start, len(rows) - start))
+        size = len(rows)
         try:
             program = self.pool.get(key)
             if self._executor is not None:
@@ -321,21 +357,26 @@ class InferenceService:
                 self._resolve(
                     future,
                     self._finish(
-                        request, "error", None, len(live), now,
+                        request, "error", None, size, now,
                         f"{type(exc).__name__}: {exc}",
                     ),
                 )
             return
         self.stats.completed += len(live)
-        self.stats.rows_executed += len(live)
+        self.stats.rows_executed += size
         # Scatter inline (no per-request _finish) — this loop is the
         # per-request serving overhead, so it stays lean.
         done = loop.time()
-        size = len(live)
-        for j, (request, future) in enumerate(live):
-            outputs = {
-                node: float(col[j]) for node, col in columns.items()
-            }
+        for (request, future), (start, count) in zip(live, spans):
+            if request.inputs.ndim == 2:
+                outputs = {
+                    node: [float(v) for v in col[start:start + count]]
+                    for node, col in columns.items()
+                }
+            else:
+                outputs = {
+                    node: float(col[start]) for node, col in columns.items()
+                }
             self._resolve(future, InferenceResponse(
                 id=request.id,
                 program=request.program,
@@ -345,6 +386,7 @@ class InferenceService:
                 batch=size,
                 queue_s=max(now - request.submitted_at, 0.0),
                 total_s=max(done - request.submitted_at, 0.0),
+                rows=count,
             ))
 
     @staticmethod

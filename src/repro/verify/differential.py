@@ -73,6 +73,7 @@ FAULTS: dict[str, str] = {
     "warm_output": "warm-vs-cold",
     "partition_boundary": "partitioned-vs-reference",
     "serve_output": "served-vs-direct",
+    "router_output": "routed-vs-direct",
     "fused_output": "fused-vs-batch",
 }
 
@@ -360,7 +361,7 @@ def _oracle(
             return mismatch
 
     # ---- live micro-batcher vs direct batch execution ---------------
-    if serve or fault == "serve_output":
+    if serve or fault in ("serve_output", "router_output"):
         mismatch = _check_served(batch_result, plan, matrix, fault)
         if mismatch is not None:
             return mismatch
@@ -510,7 +511,14 @@ def _check_served(
     ``max_batch`` is chosen to split the batch across at least two
     micro-batches whenever B > 1, so the scatter/reassembly path is
     genuinely exercised, not just a single passthrough batch.
+
+    The same rows are then pushed through a live two-shard
+    :class:`~repro.serve.router.ShardRouter` whose owning shard is
+    drained and restarted mid-stream (:func:`repro.serve.router.
+    route_rows`): bitwise parity must survive routing, draining and
+    shard restarts too (stage ``routed-vs-direct``).
     """
+    from ..serve.router import route_rows
     from ..serve.service import serve_rows
 
     max_batch = max(1, (batch_result.batch + 1) // 2)
@@ -537,6 +545,32 @@ def _check_served(
                     f"var {var} row {row}: served "
                     f"{float(served[var][row])!r} != direct "
                     f"{float(direct[row])!r} (max_batch={max_batch})",
+                )
+
+    try:
+        routed = route_rows(plan, matrix, max_batch=max_batch)
+    except ReproError as exc:
+        return Mismatch("route-execute", f"{type(exc).__name__}: {exc}")
+    if fault == "router_output" and routed:
+        worst = max(routed)
+        col = routed[worst].copy()
+        col[0] = np.nextafter(col[0], np.inf)
+        routed[worst] = col
+    if sorted(routed) != sorted(batch_result.outputs):
+        return Mismatch(
+            "routed-vs-direct",
+            "shard router returned a different output-variable set",
+        )
+    for var in sorted(routed):
+        direct = batch_result.outputs[var]
+        for row in range(batch_result.batch):
+            if not _bitwise_equal(float(routed[var][row]), float(direct[row])):
+                return Mismatch(
+                    "routed-vs-direct",
+                    f"var {var} row {row}: routed "
+                    f"{float(routed[var][row])!r} != direct "
+                    f"{float(direct[row])!r} (through drain+restart, "
+                    f"max_batch={max_batch})",
                 )
     return None
 

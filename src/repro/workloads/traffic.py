@@ -91,6 +91,17 @@ class TrafficSchedule:
             seen.setdefault(a.tenant, None)
         return list(seen)
 
+    def tenant_shares(self) -> dict[str, float]:
+        """Each tenant's fraction of the schedule's arrivals — what
+        the shard router's SLO derivation classifies tenants by."""
+        if not self.arrivals:
+            return {}
+        counts: dict[str, int] = {}
+        for a in self.arrivals:
+            counts[a.tenant] = counts.get(a.tenant, 0) + 1
+        total = len(self.arrivals)
+        return {t: c / total for t, c in counts.items()}
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:

@@ -143,6 +143,27 @@ def test_clear_empties_the_store(cache):
     assert not cache.entries()
 
 
+def test_maintenance_never_unlinks_the_live_lock_file(cache):
+    """Pin the structural guarantee that prune/clear only ever touch
+    ``*/*.pkl`` entries: the top-level ``.maintenance.lock`` another
+    process may be flock-ing RIGHT NOW must survive both — unlinking
+    it would silently split the advisory lock into two files and
+    reopen the double-eviction race it exists to close."""
+    cached_compile(make_random_dag(seed=13, num_ops=10), CONFIG)
+    lock = cache.directory / ".maintenance.lock"
+    # A stray pickle at the top level must not be treated as an entry
+    # either (entries are sharded one level down).
+    stray = cache.directory / "stray.pkl"
+    stray.write_bytes(b"not an artifact")
+    assert lock not in cache.entries()
+    assert stray not in cache.entries()
+    cache.prune(max_bytes=0)
+    assert lock.exists()  # created by prune's own lock acquisition
+    cache.clear()
+    assert lock.exists()
+    assert stray.exists()
+
+
 def test_cached_plan_round_trips_and_executes(cache):
     import numpy as np
 

@@ -86,6 +86,48 @@ class TestPlanBatches:
         assert sum(len(b) for b in batches) == 50
 
 
+class TestWaitHints:
+    @given(times=schedules, policy=policies, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_wait_hint_invariants(self, times, policy, data):
+        """Per-item wait hints (the router's SLO override) tighten but
+        never loosen the law: a batch closes at the *minimum* over its
+        members of ``arrival + wait``."""
+        hints = data.draw(st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=0.05,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=len(times), max_size=len(times),
+        ))
+        batches = plan_batches(times, policy, wait_hints=hints)
+        flat = [i for batch in batches for i in batch]
+        assert flat == list(range(len(times)))
+
+        def wait(i):
+            return policy.max_wait_s if hints[i] is None else hints[i]
+
+        for batch in batches:
+            assert 1 <= len(batch) <= policy.max_batch
+            # Every member arrived no later than every other member's
+            # own close bound: no request waits past its own hint.
+            close = min(times[i] + wait(i) for i in batch)
+            assert times[batch[-1]] <= close
+
+    @given(times=schedules, policy=policies)
+    @settings(max_examples=100, deadline=None)
+    def test_default_hints_equal_no_hints(self, times, policy):
+        """All-None hints are exactly the unhinted law."""
+        assert plan_batches(
+            times, policy, wait_hints=[None] * len(times)
+        ) == plan_batches(times, policy)
+
+    def test_hint_length_mismatch_rejected(self):
+        with pytest.raises(ServeError, match="wait_hints"):
+            plan_batches([0.0, 1.0], BatchPolicy(), wait_hints=[None])
+
+
 class TestPolicyValidation:
     @pytest.mark.parametrize(
         "kwargs",
@@ -238,5 +280,43 @@ class TestMicroBatcherLive:
             await batcher.close()
             assert calls == [[1], [2]]
             assert isinstance(batcher.last_error, RuntimeError)
+
+    def test_max_wait_anchored_to_arrival_not_collector_wakeup(self):
+        """The anchor law, live: an item that queued up while the
+        previous batch executed has its max_wait clock running from
+        *enqueue* (what plan_batches anchors to).  If the clock
+        (wrongly) started at collector wake-up, the tail item below
+        would wait a full fresh window after the hold — ~0.5s from
+        enqueue instead of ~0.3s."""
+
+        async def main():
+            dispatched = []
+            release = asyncio.Event()
+
+            async def on_batch(key, batch):
+                dispatched.append(list(batch))
+                if batch == ["head"]:
+                    await release.wait()  # hold the collector busy
+
+            batcher = MicroBatcher(
+                BatchPolicy(max_batch=100, max_wait_s=0.3), on_batch
+            )
+            loop = asyncio.get_running_loop()
+            batcher.submit_nowait("a", "head", wait_s=0.0)
+            await asyncio.sleep(0.01)
+            enqueued_at = loop.time()
+            batcher.submit_nowait("a", "tail")
+            await asyncio.sleep(0.2)  # 0.2s of tail's window burns
+            release.set()             # ...while it sits queued
+            await batcher.drain()
+            waited = loop.time() - enqueued_at
+            await batcher.close()
+            return dispatched, waited
+
+        dispatched, waited = run(main())
+        assert dispatched == [["head"], ["tail"]]
+        # Dispatched ~max_wait after ENQUEUE (0.3s), not ~max_wait
+        # after the collector woke up (0.2 + 0.3 = 0.5s).
+        assert 0.2 <= waited < 0.45
 
         run(main())

@@ -1,0 +1,93 @@
+"""HTTP front-end protocol units: header semantics + body validation.
+
+The socket-level end-to-end paths (keep-alive reuse, served parity
+over the wire) live in ``test_serve_service.py``; this file pins the
+pure protocol helpers, in particular the RFC 9110 ``Connection``
+header rule — a case-insensitive, comma-separated token *list*, not a
+string equality — that both the server and the pooled client apply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.http import (
+    _BadRequest,
+    connection_closes,
+    parse_infer_body,
+)
+
+
+class TestConnectionHeader:
+    @pytest.mark.parametrize("value", [
+        "close",
+        "Close",
+        "CLOSE",
+        " close ",
+        "keep-alive, close",
+        "Keep-Alive, Close",
+        "KEEP-ALIVE,CLOSE",
+        "close, TE",
+    ])
+    def test_close_tokens_close(self, value):
+        assert connection_closes(value) is True
+
+    @pytest.mark.parametrize("value", [
+        "keep-alive",
+        "Keep-Alive",
+        "KEEP-ALIVE",
+        "keep-alive, TE",
+        "upgrade",
+        "",
+        # A token merely *containing* "close" is not the close token.
+        "not-close",
+        "closed",
+    ])
+    def test_other_tokens_persist(self, value):
+        assert connection_closes(value) is False
+
+    def test_absent_header_uses_the_default(self):
+        # HTTP/1.1: persistent unless told otherwise.
+        assert connection_closes(None) is False
+        assert connection_closes(None, default="close") is True
+
+
+class TestParseInferBody:
+    def test_flat_row(self):
+        got = parse_infer_body(
+            b'{"program": "p", "inputs": [1.0, 2, 3.5]}'
+        )
+        assert got == {
+            "program": "p",
+            "inputs": [1.0, 2, 3.5],
+            "tenant": "default",
+            "deadline_s": None,
+            "max_wait_s": None,
+        }
+
+    def test_multi_row_with_knobs(self):
+        got = parse_infer_body(
+            b'{"program": "p", "inputs": [[1, 2], [3, 4]],'
+            b' "tenant": "t9", "deadline_ms": 250, "max_wait_ms": 1.5}'
+        )
+        assert got["inputs"] == [[1, 2], [3, 4]]
+        assert got["tenant"] == "t9"
+        assert got["deadline_s"] == 0.25
+        assert got["max_wait_s"] == 0.0015
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"[]",
+        b'{"inputs": [1]}',
+        b'{"program": "p"}',
+        b'{"program": 3, "inputs": [1]}',
+        b'{"program": "p", "inputs": [1], "tenant": 7}',
+        b'{"program": "p", "inputs": "nope"}',
+        b'{"program": "p", "inputs": [true]}',
+        b'{"program": "p", "inputs": [[1], "x"]}',
+        b'{"program": "p", "inputs": [1], "deadline_ms": "soon"}',
+        b'{"program": "p", "inputs": [1], "max_wait_ms": true}',
+    ])
+    def test_malformed_bodies_rejected(self, body):
+        with pytest.raises(_BadRequest):
+            parse_infer_body(body)
