@@ -1,9 +1,18 @@
-"""Bit-level instruction encoding (fig. 7).
+"""Bit-level instruction encoding (fig. 7), driven by synthesized layouts.
 
 Instructions have different lengths depending on what they must encode;
 the encoder packs them densely into a bitstream with no padding, and a
 decoder recovers the hardware-visible fields (a shifter plus decoder in
 hardware).  ``IL``, the fetch width, equals the longest format (exec).
+
+The bit layouts are no longer hand-written: they are synthesized from
+the declarative ISA spec (:data:`repro.arch.isaspec.DPU_V2_SPEC`) by
+:func:`repro.arch.synthesis.synthesize_isa` — a two-pass opcode/
+bitfield allocation resolved against the design point.  This module
+only maps instruction objects to field *values* and streams them
+through the layouts; widths, field order and opcode assignment all
+live in the spec.  The synthesized layouts are asserted bitwise
+identical to the historical hand-written arithmetic in the tests.
 
 Field layout (all widths derived from the configuration):
 
@@ -46,7 +55,11 @@ from .isa import (
     Program,
     StoreInstr,
 )
+from .synthesis import SynthesizedISA, synthesize_isa
 
+#: Historical constants, now implied by the spec (kept for reference:
+#: the synthesized opcode width equals OPCODE_BITS because the spec
+#: declares a 4-bit floor, and pe_op/count are literal 3-bit fields).
 OPCODE_BITS = 4
 PE_OP_BITS = 3
 COUNT_BITS = 3
@@ -102,39 +115,24 @@ class InstrWidths:
         }[mnemonic]
 
 
+def widths_from_isa(isa: SynthesizedISA) -> InstrWidths:
+    """Fold synthesized layouts into the classic format table."""
+    return InstrWidths(
+        exec=isa.width_of("exec"),
+        copy=isa.width_of("copy"),
+        copy4=isa.width_of("copy_4"),
+        load=isa.width_of("load"),
+        store=isa.width_of("store"),
+        store4=isa.width_of("store_4"),
+        nop=isa.width_of("nop"),
+    )
+
+
 def instruction_widths(
     config: ArchConfig, interconnect: Interconnect
 ) -> InstrWidths:
-    """Compute the format table for a configuration."""
-    b = config.banks
-    addr = _clog2(config.regs_per_bank)
-    bank_sel = _clog2(b)
-    row = _clog2(config.data_mem_rows)
-    write_sel = sum(
-        _clog2(len(interconnect.pes_writing_to(bank)) + 1)
-        for bank in range(b)
-    )
-    exec_bits = (
-        OPCODE_BITS
-        + b * (1 + addr + 1)  # reads
-        + b * bank_sel  # input crossbar selects
-        + config.num_pes * PE_OP_BITS
-        + write_sel
-    )
-    copy_bits = OPCODE_BITS + b * (1 + addr + 1) + b * (1 + bank_sel)
-    copy4_bits = OPCODE_BITS + COUNT_BITS + 4 * (2 * bank_sel + addr + 1)
-    load_bits = OPCODE_BITS + row + b
-    store_bits = OPCODE_BITS + row + b * (1 + addr + 1)
-    store4_bits = OPCODE_BITS + row + COUNT_BITS + 4 * (bank_sel + addr + 1)
-    return InstrWidths(
-        exec=exec_bits,
-        copy=copy_bits,
-        copy4=copy4_bits,
-        load=load_bits,
-        store=store_bits,
-        store4=store4_bits,
-        nop=OPCODE_BITS,
-    )
+    """Compute the format table for a configuration (via synthesis)."""
+    return widths_from_isa(synthesize_isa(config, interconnect))
 
 
 class BitWriter:
@@ -197,6 +195,11 @@ class DecodedInstr:
 class ProgramEncoder:
     """Encodes resolved instructions into the dense bitstream.
 
+    The encoder walks each instruction's synthesized layout, writing
+    either the range's constant (the opcode) or the field value looked
+    up by the range's expanded name; fields for disabled lanes default
+    to zero, exactly as the hardware leaves unused bits.
+
     Args:
         config: Architecture point.
         interconnect: Needed for output write-mux select widths.
@@ -205,12 +208,9 @@ class ProgramEncoder:
     def __init__(self, config: ArchConfig, interconnect: Interconnect) -> None:
         self.config = config
         self.interconnect = interconnect
-        self.widths = instruction_widths(config, interconnect)
-        self._addr_bits = _clog2(config.regs_per_bank)
-        self._bank_bits = _clog2(config.banks)
-        self._row_bits = _clog2(config.data_mem_rows)
+        self.isa = synthesize_isa(config, interconnect)
+        self.widths = widths_from_isa(self.isa)
 
-    # -- per-instruction encoders ------------------------------------
     def encode_instruction(
         self,
         writer: BitWriter,
@@ -225,28 +225,12 @@ class ProgramEncoder:
         """
         start = writer.bit_length
         mnemonic = instr.mnemonic
-        writer.write(_OPCODES[mnemonic], OPCODE_BITS)
-        if isinstance(instr, NopInstr):
-            pass
-        elif isinstance(instr, ExecInstr):
-            self._encode_exec(writer, instr, read_addr)
-        elif isinstance(instr, CopyInstr):
-            if mnemonic == "copy_4":
-                self._encode_copy4(writer, instr, read_addr)
+        values = self._field_values(instr, read_addr)
+        for rng in self.isa.layout(mnemonic).ranges:
+            if rng.constant is not None:
+                writer.write(rng.constant, rng.length)
             else:
-                self._encode_copy(writer, instr, read_addr)
-        elif isinstance(instr, LoadInstr):
-            writer.write(instr.row, self._row_bits)
-            enabled = {bank for bank, _ in instr.dests}
-            for bank in range(self.config.banks):
-                writer.write(1 if bank in enabled else 0, 1)
-        elif isinstance(instr, StoreInstr):
-            if mnemonic == "store_4":
-                self._encode_store4(writer, instr, read_addr)
-            else:
-                self._encode_store(writer, instr, read_addr)
-        else:  # pragma: no cover - exhaustive
-            raise EncodingError(f"unknown instruction {instr!r}")
+                writer.write(values.get(rng.name, 0), rng.length)
         length = writer.bit_length - start
         expected = self.widths.of(mnemonic)
         if length != expected:
@@ -255,103 +239,108 @@ class ProgramEncoder:
             )
         return length
 
-    def _encode_reads(
+    # -- per-instruction field-value extraction ------------------------
+    def _field_values(
+        self, instr: Instruction, read_addr: dict[int, int]
+    ) -> dict[str, int]:
+        if isinstance(instr, NopInstr):
+            return {}
+        if isinstance(instr, ExecInstr):
+            return self._exec_values(instr, read_addr)
+        if isinstance(instr, CopyInstr):
+            if instr.mnemonic == "copy_4":
+                return self._copy4_values(instr, read_addr)
+            return self._copy_values(instr, read_addr)
+        if isinstance(instr, LoadInstr):
+            values = {"row": instr.row}
+            for bank, _ in instr.dests:
+                values[f"enable[{bank}]"] = 1
+            return values
+        if isinstance(instr, StoreInstr):
+            if instr.mnemonic == "store_4":
+                return self._store4_values(instr, read_addr)
+            return self._store_values(instr, read_addr)
+        raise EncodingError(f"unknown instruction {instr!r}")
+
+    def _read_values(
         self,
-        writer: BitWriter,
         reads: dict[int, int],
         rst: frozenset[int],
         read_addr: dict[int, int],
-    ) -> None:
-        for bank in range(self.config.banks):
-            if bank in reads:
-                writer.write(1, 1)
-                writer.write(read_addr[bank], self._addr_bits)
-                writer.write(1 if bank in rst else 0, 1)
-            else:
-                writer.write(0, 1)
-                writer.write(0, self._addr_bits)
-                writer.write(0, 1)
+    ) -> dict[str, int]:
+        values: dict[str, int] = {}
+        for bank in reads:
+            values[f"read_en[{bank}]"] = 1
+            values[f"read_addr[{bank}]"] = read_addr[bank]
+            if bank in rst:
+                values[f"valid_rst[{bank}]"] = 1
+        return values
 
-    def _encode_exec(
-        self, writer: BitWriter, instr: ExecInstr, read_addr: dict[int, int]
-    ) -> None:
-        reads = dict(instr.bank_reads)
-        self._encode_reads(writer, reads, instr.valid_rst, read_addr)
+    def _exec_values(
+        self, instr: ExecInstr, read_addr: dict[int, int]
+    ) -> dict[str, int]:
+        values = self._read_values(
+            dict(instr.bank_reads), instr.valid_rst, read_addr
+        )
         for port in range(self.config.banks):
             src = instr.port_source[port]
-            writer.write(src if src is not None else 0, self._bank_bits)
+            if src is not None:
+                values[f"src_bank[{port}]"] = src
         for pe in range(self.config.num_pes):
-            writer.write(instr.pe_ops[pe].value, PE_OP_BITS)
+            values[f"pe_op[{pe}]"] = instr.pe_ops[pe].value
         write_of_bank = {w.bank: w.pe for w in instr.writes}
-        for bank in range(self.config.banks):
+        for bank, pe in write_of_bank.items():
             options = self.interconnect.pes_writing_to(bank)
-            sel_bits = _clog2(len(options) + 1)
-            if bank in write_of_bank:
-                sel = options.index(write_of_bank[bank]) + 1
-            else:
-                sel = 0
-            writer.write(sel, sel_bits)
+            values[f"write_sel[{bank}]"] = options.index(pe) + 1
+        return values
 
-    def _encode_copy(
-        self, writer: BitWriter, instr: CopyInstr, read_addr: dict[int, int]
-    ) -> None:
+    def _copy_values(
+        self, instr: CopyInstr, read_addr: dict[int, int]
+    ) -> dict[str, int]:
         reads = {m.src_bank: m.var for m in instr.moves}
-        self._encode_reads(writer, reads, instr.valid_rst, read_addr)
-        dst_to_src = {m.dst_bank: m.src_bank for m in instr.moves}
-        for bank in range(self.config.banks):
-            if bank in dst_to_src:
-                writer.write(1, 1)
-                writer.write(dst_to_src[bank], self._bank_bits)
-            else:
-                writer.write(0, 1)
-                writer.write(0, self._bank_bits)
+        values = self._read_values(reads, instr.valid_rst, read_addr)
+        for m in instr.moves:
+            values[f"write_en[{m.dst_bank}]"] = 1
+            values[f"src_bank[{m.dst_bank}]"] = m.src_bank
+        return values
 
-    def _encode_copy4(
-        self, writer: BitWriter, instr: CopyInstr, read_addr: dict[int, int]
-    ) -> None:
+    def _copy4_values(
+        self, instr: CopyInstr, read_addr: dict[int, int]
+    ) -> dict[str, int]:
         moves = instr.moves
         if len(moves) > 4:
             raise EncodingError("copy_4 with more than 4 moves")
-        writer.write(len(moves), COUNT_BITS)
-        for i in range(4):
-            if i < len(moves):
-                m = moves[i]
-                writer.write(m.src_bank, self._bank_bits)
-                writer.write(m.dst_bank, self._bank_bits)
-                writer.write(read_addr[m.src_bank], self._addr_bits)
-                writer.write(1 if m.free_source else 0, 1)
-            else:
-                writer.write(0, 2 * self._bank_bits + self._addr_bits + 1)
+        values = {"count": len(moves)}
+        for i, m in enumerate(moves):
+            values[f"src_bank[{i}]"] = m.src_bank
+            values[f"dst_bank[{i}]"] = m.dst_bank
+            values[f"read_addr[{i}]"] = read_addr[m.src_bank]
+            values[f"valid_rst[{i}]"] = 1 if m.free_source else 0
+        return values
 
-    def _encode_store(
-        self, writer: BitWriter, instr: StoreInstr, read_addr: dict[int, int]
-    ) -> None:
-        writer.write(instr.row, self._row_bits)
-        slot_of = {s.bank: s for s in instr.slots}
-        for bank in range(self.config.banks):
-            if bank in slot_of:
-                writer.write(1, 1)
-                writer.write(read_addr[bank], self._addr_bits)
-                writer.write(1 if slot_of[bank].free_source else 0, 1)
-            else:
-                writer.write(0, 1 + self._addr_bits + 1)
+    def _store_values(
+        self, instr: StoreInstr, read_addr: dict[int, int]
+    ) -> dict[str, int]:
+        values = {"row": instr.row}
+        for s in instr.slots:
+            values[f"read_en[{s.bank}]"] = 1
+            values[f"read_addr[{s.bank}]"] = read_addr[s.bank]
+            if s.free_source:
+                values[f"valid_rst[{s.bank}]"] = 1
+        return values
 
-    def _encode_store4(
-        self, writer: BitWriter, instr: StoreInstr, read_addr: dict[int, int]
-    ) -> None:
-        writer.write(instr.row, self._row_bits)
+    def _store4_values(
+        self, instr: StoreInstr, read_addr: dict[int, int]
+    ) -> dict[str, int]:
         slots = instr.slots
         if len(slots) > 4:
             raise EncodingError("store_4 with more than 4 slots")
-        writer.write(len(slots), COUNT_BITS)
-        for i in range(4):
-            if i < len(slots):
-                s = slots[i]
-                writer.write(s.bank, self._bank_bits)
-                writer.write(read_addr[s.bank], self._addr_bits)
-                writer.write(1 if s.free_source else 0, 1)
-            else:
-                writer.write(0, self._bank_bits + self._addr_bits + 1)
+        values = {"row": instr.row, "count": len(slots)}
+        for i, s in enumerate(slots):
+            values[f"bank[{i}]"] = s.bank
+            values[f"read_addr[{i}]"] = read_addr[s.bank]
+            values[f"valid_rst[{i}]"] = 1 if s.free_source else 0
+        return values
 
 
 @dataclass(frozen=True)
@@ -402,83 +391,101 @@ def decode_program(
     config: ArchConfig,
     interconnect: Interconnect | None = None,
 ) -> list[DecodedInstr]:
-    """Decode the bitstream back into hardware-level records."""
+    """Decode the bitstream back into hardware-level records.
+
+    The decoder walks the synthesized layout of each opcode, reading
+    every range into a raw ``name -> value`` table, then assembles the
+    per-mnemonic field records from the table.
+    """
     inter = interconnect or Interconnect(config)
+    isa = synthesize_isa(config, inter)
+    by_opcode = isa.by_opcode()
     reader = BitReader(encoded.data, encoded.total_bits)
-    addr_bits = _clog2(config.regs_per_bank)
-    bank_bits = _clog2(config.banks)
-    row_bits = _clog2(config.data_mem_rows)
     out: list[DecodedInstr] = []
-    while reader.remaining >= OPCODE_BITS:
-        opcode = reader.read(OPCODE_BITS)
-        mnemonic = _MNEMONIC_OF.get(opcode)
-        if mnemonic is None:
+    while reader.remaining >= isa.opcode_bits:
+        opcode = reader.read(isa.opcode_bits)
+        layout = by_opcode.get(opcode)
+        if layout is None:
             raise EncodingError(f"invalid opcode {opcode}")
-        fields: dict[str, object] = {}
-        if mnemonic == "exec":
-            fields["reads"] = _decode_reads(reader, config, addr_bits)
-            fields["port_source"] = tuple(
-                reader.read(bank_bits) for _ in range(config.banks)
+        raw: dict[str, int] = {}
+        for rng in layout.ranges[1:]:
+            raw[rng.name] = reader.read(rng.length)
+        out.append(
+            DecodedInstr(
+                mnemonic=layout.mnemonic,
+                fields=_assemble_fields(layout.mnemonic, raw, config, inter),
             )
-            fields["pe_ops"] = tuple(
-                PEOp(reader.read(PE_OP_BITS)) for _ in range(config.num_pes)
-            )
-            sels = []
-            for bank in range(config.banks):
-                options = inter.pes_writing_to(bank)
-                sel = reader.read(_clog2(len(options) + 1))
-                sels.append(None if sel == 0 else options[sel - 1])
-            fields["write_pe"] = tuple(sels)
-        elif mnemonic == "copy":
-            fields["reads"] = _decode_reads(reader, config, addr_bits)
-            dsts = []
-            for bank in range(config.banks):
-                wen = reader.read(1)
-                src = reader.read(bank_bits)
-                dsts.append(src if wen else None)
-            fields["dst_source"] = tuple(dsts)
-        elif mnemonic == "copy_4":
-            count = reader.read(COUNT_BITS)
-            moves = []
-            for i in range(4):
-                src = reader.read(bank_bits)
-                dst = reader.read(bank_bits)
-                addr = reader.read(addr_bits)
-                rst = reader.read(1)
-                if i < count:
-                    moves.append((src, dst, addr, bool(rst)))
-            fields["moves"] = tuple(moves)
-        elif mnemonic == "load":
-            fields["row"] = reader.read(row_bits)
-            fields["enable"] = tuple(
-                bool(reader.read(1)) for _ in range(config.banks)
-            )
-        elif mnemonic == "store":
-            fields["row"] = reader.read(row_bits)
-            fields["reads"] = _decode_reads(reader, config, addr_bits)
-        elif mnemonic == "store_4":
-            fields["row"] = reader.read(row_bits)
-            count = reader.read(COUNT_BITS)
-            slots = []
-            for i in range(4):
-                bank = reader.read(bank_bits)
-                addr = reader.read(addr_bits)
-                rst = reader.read(1)
-                if i < count:
-                    slots.append((bank, addr, bool(rst)))
-            fields["slots"] = tuple(slots)
-        out.append(DecodedInstr(mnemonic=mnemonic, fields=fields))
+        )
     return out
 
 
-def _decode_reads(
-    reader: BitReader, config: ArchConfig, addr_bits: int
+def _raw_reads(
+    raw: dict[str, int], config: ArchConfig
 ) -> tuple[tuple[int, bool] | None, ...]:
     """Per-bank (addr, valid_rst) or None when the bank isn't read."""
-    reads: list[tuple[int, bool] | None] = []
-    for _ in range(config.banks):
-        en = reader.read(1)
-        addr = reader.read(addr_bits)
-        rst = reader.read(1)
-        reads.append((addr, bool(rst)) if en else None)
-    return tuple(reads)
+    return tuple(
+        (raw[f"read_addr[{b}]"], bool(raw[f"valid_rst[{b}]"]))
+        if raw[f"read_en[{b}]"]
+        else None
+        for b in range(config.banks)
+    )
+
+
+def _assemble_fields(
+    mnemonic: str,
+    raw: dict[str, int],
+    config: ArchConfig,
+    inter: Interconnect,
+) -> dict[str, object]:
+    fields: dict[str, object] = {}
+    if mnemonic == "exec":
+        fields["reads"] = _raw_reads(raw, config)
+        fields["port_source"] = tuple(
+            raw[f"src_bank[{p}]"] for p in range(config.banks)
+        )
+        fields["pe_ops"] = tuple(
+            PEOp(raw[f"pe_op[{pe}]"]) for pe in range(config.num_pes)
+        )
+        sels = []
+        for bank in range(config.banks):
+            options = inter.pes_writing_to(bank)
+            sel = raw[f"write_sel[{bank}]"]
+            sels.append(None if sel == 0 else options[sel - 1])
+        fields["write_pe"] = tuple(sels)
+    elif mnemonic == "copy":
+        fields["reads"] = _raw_reads(raw, config)
+        fields["dst_source"] = tuple(
+            raw[f"src_bank[{b}]"] if raw[f"write_en[{b}]"] else None
+            for b in range(config.banks)
+        )
+    elif mnemonic == "copy_4":
+        count = raw["count"]
+        fields["moves"] = tuple(
+            (
+                raw[f"src_bank[{i}]"],
+                raw[f"dst_bank[{i}]"],
+                raw[f"read_addr[{i}]"],
+                bool(raw[f"valid_rst[{i}]"]),
+            )
+            for i in range(count)
+        )
+    elif mnemonic == "load":
+        fields["row"] = raw["row"]
+        fields["enable"] = tuple(
+            bool(raw[f"enable[{b}]"]) for b in range(config.banks)
+        )
+    elif mnemonic == "store":
+        fields["row"] = raw["row"]
+        fields["reads"] = _raw_reads(raw, config)
+    elif mnemonic == "store_4":
+        fields["row"] = raw["row"]
+        count = raw["count"]
+        fields["slots"] = tuple(
+            (
+                raw[f"bank[{i}]"],
+                raw[f"read_addr[{i}]"],
+                bool(raw[f"valid_rst[{i}]"]),
+            )
+            for i in range(count)
+        )
+    return fields

@@ -1,0 +1,302 @@
+"""Two-pass bit-layout synthesis from the declarative ISA spec.
+
+Pass 1 sizes the opcode field: ``max(clog2(#instructions),
+spec.min_opcode_bits)`` — the spec's floor models the decoder headroom
+the paper's example table reserves (4 bits for 7 formats).  Opcode
+*values* are assigned by declaration order.
+
+Pass 2 walks each instruction's field groups, resolves every symbolic
+width against the concrete design point (config + interconnect),
+expands repeated groups lane by lane (``read_addr[3]``) and assigns
+bit positions sequentially from the most-significant end — exactly
+the order a :class:`~repro.arch.encoding.BitWriter` appends fields.
+
+The result is a :class:`SynthesizedISA`: per-instruction
+:class:`InstrLayout` objects whose :class:`BitRange` entries carry
+``(type, start, length, name, constant)``.  ``start`` follows the
+LSB-0 convention of the gpidl descriptor format (``start = width -
+msb_offset - length``), so ``to_json`` emits a descriptor other
+toolchains can consume, while encoder/decoder simply iterate ranges
+in declaration (MSB-first) order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+from .config import ArchConfig
+from .interconnect import Interconnect
+from .isaspec import DPU_V2_SPEC, FieldGroup, IsaSpec
+
+#: Bump when the synthesized layout semantics change incompatibly.
+ENCODING_VERSION = 1
+
+
+def _clog2(n: int) -> int:
+    """Bits needed to represent values 0..n-1 (at least 1)."""
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class BitRange:
+    """One contiguous bitfield in a synthesized instruction layout.
+
+    Attributes:
+        type: ``constant`` | ``operand`` | ``oprnd_flag`` |
+            ``modifier`` | ``reserved``.
+        start: LSB-0 offset of the field's least-significant bit.
+        length: Field width in bits.
+        name: Expanded field name (lanes carry ``[i]`` suffixes).
+        constant: Fixed value for ``constant`` ranges (the opcode),
+            else ``None``.
+    """
+
+    type: str
+    start: int
+    length: int
+    name: str
+    constant: int | None = None
+
+
+@dataclass(frozen=True)
+class InstrLayout:
+    """Concrete bit layout of one instruction at one design point."""
+
+    mnemonic: str
+    opcode: int
+    width: int
+    ranges: tuple[BitRange, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "instruction": self.mnemonic,
+            "opcode": self.opcode,
+            "width": self.width,
+            "ranges": [
+                {
+                    "type": r.type,
+                    "start": r.start,
+                    "length": r.length,
+                    "name": r.name,
+                    "constant": r.constant,
+                }
+                for r in self.ranges
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class SynthesizedISA:
+    """All instruction layouts for one (config, topology) point."""
+
+    spec_name: str
+    opcode_bits: int
+    config: ArchConfig
+    layouts: tuple[InstrLayout, ...]
+
+    def layout(self, mnemonic: str) -> InstrLayout:
+        for lay in self.layouts:
+            if lay.mnemonic == mnemonic:
+                return lay
+        raise EncodingError(f"no layout for mnemonic {mnemonic!r}")
+
+    def width_of(self, mnemonic: str) -> int:
+        return self.layout(mnemonic).width
+
+    @property
+    def il(self) -> int:
+        """Fetch width = longest format."""
+        return max(lay.width for lay in self.layouts)
+
+    def by_opcode(self) -> dict[int, InstrLayout]:
+        return {lay.opcode: lay for lay in self.layouts}
+
+
+class _WidthResolver:
+    """Resolves symbolic widths/repeats against a design point."""
+
+    def __init__(self, config: ArchConfig, interconnect: Interconnect):
+        self.config = config
+        self.interconnect = interconnect
+        self._symbols = {
+            "addr": _clog2(config.regs_per_bank),
+            "bank": _clog2(config.banks),
+            "row": _clog2(config.data_mem_rows),
+        }
+
+    def repeat_count(self, repeat: str) -> int:
+        return {
+            "one": 1,
+            "per_bank": self.config.banks,
+            "per_port": self.config.banks,
+            "per_pe": self.config.num_pes,
+            "times4": 4,
+        }[repeat]
+
+    def width(self, symbol: int | str, group: FieldGroup, lane: int) -> int:
+        if isinstance(symbol, int):
+            return symbol
+        if symbol == "write_sel":
+            if group.repeat != "per_bank":
+                raise EncodingError(
+                    "write_sel width is per-bank; it can only appear in "
+                    "a per_bank group"
+                )
+            options = self.interconnect.pes_writing_to(lane)
+            return _clog2(len(options) + 1)
+        try:
+            return self._symbols[symbol]
+        except KeyError:
+            raise EncodingError(f"unknown width symbol {symbol!r}") from None
+
+
+def synthesize_isa(
+    config: ArchConfig,
+    interconnect: Interconnect | None = None,
+    spec: IsaSpec = DPU_V2_SPEC,
+) -> SynthesizedISA:
+    """Run the two-pass synthesis for one design point.
+
+    Results are memoized per ``(spec, config, topology)`` — layouts
+    are pure functions of those three, and the encoder constructs one
+    per program.
+    """
+    inter = interconnect or Interconnect(config)
+    key = (id(spec), config, inter.topology)
+    cached = _SYNTH_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # Pass 1: opcode allocation over the whole spec.
+    opcode_bits = max(_clog2(len(spec.instructions)), spec.min_opcode_bits)
+    resolver = _WidthResolver(config, inter)
+
+    # Pass 2: sequential field placement per instruction.
+    layouts = []
+    for opcode, instr in enumerate(spec.instructions):
+        fields: list[tuple[str, str, int, int | None]] = [
+            ("constant", "opcode", opcode_bits, opcode)
+        ]
+        for group in instr.groups:
+            lanes = resolver.repeat_count(group.repeat)
+            for lane in range(lanes):
+                for fspec in group.fields:
+                    name = (
+                        fspec.name
+                        if group.repeat == "one"
+                        else f"{fspec.name}[{lane}]"
+                    )
+                    fields.append(
+                        (
+                            fspec.type,
+                            name,
+                            resolver.width(fspec.width, group, lane),
+                            None,
+                        )
+                    )
+        width = sum(length for _, _, length, _ in fields)
+        ranges = []
+        offset = 0  # from the MSB end, i.e. BitWriter append order
+        for ftype, name, length, constant in fields:
+            ranges.append(
+                BitRange(
+                    type=ftype,
+                    start=width - offset - length,
+                    length=length,
+                    name=name,
+                    constant=constant,
+                )
+            )
+            offset += length
+        layouts.append(
+            InstrLayout(
+                mnemonic=instr.mnemonic,
+                opcode=opcode,
+                width=width,
+                ranges=tuple(ranges),
+            )
+        )
+    isa = SynthesizedISA(
+        spec_name=spec.name,
+        opcode_bits=opcode_bits,
+        config=config,
+        layouts=tuple(layouts),
+    )
+    _SYNTH_CACHE[key] = isa
+    return isa
+
+
+_SYNTH_CACHE: dict[tuple, SynthesizedISA] = {}
+
+
+def to_json(isa: SynthesizedISA, indent: int | None = 1) -> str:
+    """Emit the gpidl-style JSON layout descriptor."""
+    cfg = isa.config
+    doc = {
+        "meta": {
+            "spec": isa.spec_name,
+            "encoding_version": ENCODING_VERSION,
+            "opcode_bits": isa.opcode_bits,
+            "design_point": {
+                "depth": cfg.depth,
+                "banks": cfg.banks,
+                "regs_per_bank": cfg.regs_per_bank,
+                "data_mem_rows": cfg.data_mem_rows,
+            },
+            "statistics": {
+                "instructions": len(isa.layouts),
+                "fetch_width": isa.il,
+                "widths": {
+                    lay.mnemonic: lay.width for lay in isa.layouts
+                },
+            },
+        },
+        "encodings": {lay.mnemonic: lay.as_dict() for lay in isa.layouts},
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def encoding_report(isa: SynthesizedISA, verbose: bool = False) -> str:
+    """Human-readable rendering of the synthesized layouts.
+
+    The compact form shows one line per instruction (width + field
+    summary); ``verbose`` expands every range with its bit positions.
+    """
+    cfg = isa.config
+    lines = [
+        f"ISA '{isa.spec_name}' @ D{cfg.depth}-B{cfg.banks}-"
+        f"R{cfg.regs_per_bank} (rows={cfg.data_mem_rows}): "
+        f"{len(isa.layouts)} formats, opcode {isa.opcode_bits}b, "
+        f"IL {isa.il}b",
+    ]
+    for lay in isa.layouts:
+        if verbose:
+            lines.append(f"{lay.mnemonic:8s} opcode={lay.opcode} "
+                         f"width={lay.width}b")
+            for r in lay.ranges:
+                hi = r.start + r.length - 1
+                const = f" = {r.constant}" if r.constant is not None else ""
+                lines.append(
+                    f"  [{hi:4d}:{r.start:4d}] {r.length:3d}b "
+                    f"{r.type:10s} {r.name}{const}"
+                )
+        else:
+            # Collapse lanes: read_en[0..7] rather than 8 rows.
+            seen: dict[str, tuple[int, int]] = {}
+            for r in lay.ranges[1:]:
+                base = r.name.split("[", 1)[0]
+                lanes, bits = seen.get(base, (0, 0))
+                seen[base] = (lanes + 1, bits + r.length)
+            summary = " + ".join(
+                f"{base}x{lanes}({bits}b)" if lanes > 1 else f"{base}({bits}b)"
+                for base, (lanes, bits) in seen.items()
+            )
+            lines.append(
+                f"{lay.mnemonic:8s} op={lay.opcode} {lay.width:5d}b  "
+                f"{summary or '(opcode only)'}"
+            )
+    return "\n".join(lines)

@@ -365,6 +365,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             write_artifacts=not args.no_artifacts,
             out_dir=args.out_dir,
             progress=sys.stderr.isatty(),
+            image_all=args.image_all,
         )
     except VerificationError as exc:
         raise SystemExit(str(exc))
@@ -856,6 +857,33 @@ def cmd_encode(args: argparse.Namespace) -> int:
     print(f"{encoded.total_bits} bits "
           f"({encoded.instruction_count} instructions, "
           f"IL={encoded.widths.il}b) -> {out}")
+    if args.image:
+        from .runner.imageio import write_program_image
+
+        img = Path(args.image)
+        write_program_image(
+            img, result.program, result.allocation.read_addrs
+        )
+        print(f"program image ({img.stat().st_size} bytes) -> {img}")
+    return 0
+
+
+def cmd_encoding_report(args: argparse.Namespace) -> int:
+    """Print the synthesized instruction layouts for one design point.
+
+    The layouts are derived from the declarative ISA spec
+    (:data:`repro.arch.DPU_V2_SPEC`), not from hand-maintained width
+    arithmetic; ``--json`` dumps the machine-readable descriptor.
+    """
+    from .arch import encoding_report, isa_to_json, synthesize_isa
+
+    config = _parse_config(args.config)
+    isa = synthesize_isa(config)
+    print(encoding_report(isa, verbose=args.verbose))
+    if args.json:
+        out = Path(args.json)
+        out.write_text(isa_to_json(isa) + "\n")
+        print(f"JSON descriptor -> {out}")
     return 0
 
 
@@ -967,6 +995,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-fault", default="", metavar="NAME",
         help="deliberately corrupt one executor to demo the harness "
         "(see repro.verify.FAULTS)",
+    )
+    p.add_argument(
+        "--image-all", action="store_true",
+        help="run the binary-image round-trip stage on every scenario "
+        "(default: every fourth)",
     )
     _add_jobs_arg(p)
     _add_cache_args(p)
@@ -1092,7 +1125,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("encode", help="emit the packed binary program")
     _add_common(p)
     p.add_argument("--output", default="program.bin")
+    p.add_argument(
+        "--image", default="", metavar="FILE",
+        help="also write a self-describing binary program image "
+        "(bitstream + sidecars; loadable via repro.runner.imageio)",
+    )
     p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser(
+        "encoding-report",
+        help="print the spec-synthesized instruction bit layouts",
+    )
+    p.add_argument(
+        "--config", default="D3-B64-R32",
+        help="architecture point, default: the paper's min-EDP design",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="one line per bit range instead of the compact per-"
+        "instruction summary",
+    )
+    p.add_argument(
+        "--json", default="", metavar="FILE",
+        help="also dump the machine-readable JSON encoding descriptor",
+    )
+    p.set_defaults(func=cmd_encoding_report)
 
     return parser
 

@@ -44,6 +44,11 @@ class EncodingError(ReproError):
     """Instruction encoding / decoding failed or round-trip mismatch."""
 
 
+class ImageError(EncodingError):
+    """A binary artifact image is malformed: bad magic/version, failed
+    checksum, truncated section table, or an undecodable payload."""
+
+
 class SimulationError(ReproError):
     """The architectural simulator detected an illegal operation."""
 

@@ -8,12 +8,19 @@ processes and invocations:
 * lowered :class:`~repro.sim.plan.ExecutionPlan` artifacts, keyed per
   interconnect topology on top of the compile key.
 
-Artifacts are pickled to ``<dir>/<k[:2]>/<key>.pkl`` via an atomic
-tmp-file + :func:`os.replace`, so concurrent workers racing on the
-same key at worst redo the work — they never observe a torn file.  A
-corrupted or truncated artifact is treated as a miss (and unlinked),
-never an error: the cache must always be safe to delete, truncate or
-share.  The directory is designed to be hammered by many processes at
+Artifacts land under ``<dir>/<k[:2]>/`` via an atomic tmp-file +
+:func:`os.replace`, so concurrent workers racing on the same key at
+worst redo the work — they never observe a torn file.  Lowered
+:class:`~repro.sim.plan.ExecutionPlan` payloads are stored as dense
+checksummed binary images (``<key>.img``, :mod:`repro.runner.
+imageio`) — smaller than the pickles they replace and loadable
+through ``mmap`` with zero-copy index arrays, which is how the serve
+plan pool reads them; every other payload is pickled to ``<key>.pkl``
+with an explicitly pinned protocol (5), so shards on different Python
+versions sharing one cache directory always read each other's
+entries.  A corrupted or truncated artifact of either kind is treated
+as a miss (and unlinked), never an error: the cache must always be
+safe to delete, truncate or share.  The directory is designed to be hammered by many processes at
 once (the serving layer makes cross-process races routine):
 ``prune``/``clear`` serialize against each other through an advisory
 :mod:`fcntl` lock and tolerate entries vanishing mid-scan, while
@@ -61,7 +68,12 @@ from .fingerprint import (
 #: Default location used by the CLI when ``--cache-dir`` is omitted.
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-dpu-v2"
 
-_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+# Pinned explicitly — NOT pickle.HIGHEST_PROTOCOL.  The cache
+# directory is shared machine-wide by the router's shard processes
+# (PR 7); a shard on a newer Python writing HIGHEST_PROTOCOL would
+# produce entries an older interpreter sharing the directory cannot
+# read.  Protocol 5 is readable by every supported Python (3.8+).
+_PICKLE_PROTOCOL = 5
 
 
 class NullCache:
@@ -78,18 +90,54 @@ class NullCache:
 
 
 class ArtifactCache:
-    """Content-addressed pickle store under one directory."""
+    """Content-addressed artifact store under one directory.
+
+    Plans are stored as binary images (``.img``), everything else as
+    pickles (``.pkl``); ``get`` transparently resolves whichever kind
+    the key was written as.
+    """
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
 
-    def path_for(self, key: str) -> Path:
-        return self.directory / key[:2] / f"{key}.pkl"
+    def path_for(self, key: str, suffix: str = ".pkl") -> Path:
+        return self.directory / key[:2] / f"{key}{suffix}"
+
+    def _touch(self, path: Path) -> None:
+        """Best-effort read-recency marker for the LRU prune.
+
+        ``prune`` orders victims by ``st_mtime``; without this, reads
+        never refresh the timestamp and "LRU" degrades to write-time
+        FIFO — evicting exactly the hot entries (every shard's plan-
+        pool artifacts) first.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def get(self, key: str):
         """Load a payload, treating any malformed artifact as a miss."""
+        img_path = self.path_for(key, ".img")
+        if img_path.exists():
+            from .imageio import read_plan_image
+
+            try:
+                payload = read_plan_image(img_path, use_mmap=True)
+            except Exception:
+                # Bad magic/version/checksum or undecodable payload:
+                # drop the image and fall through to the pickle (then
+                # a miss).
+                try:
+                    img_path.unlink()
+                except OSError:
+                    pass
+            else:
+                self.hits += 1
+                self._touch(img_path)
+                return payload
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
@@ -107,11 +155,22 @@ class ArtifactCache:
                 pass
             return None
         self.hits += 1
+        self._touch(path)
         return payload
 
     def put(self, key: str, payload) -> None:
         """Atomically persist a payload; IO failures are non-fatal."""
-        path = self.path_for(key)
+        from ..sim.plan import ExecutionPlan
+        from .imageio import dump_plan
+
+        if isinstance(payload, ExecutionPlan):
+            path = self.path_for(key, ".img")
+            writer = lambda fh: fh.write(dump_plan(payload))  # noqa: E731
+        else:
+            path = self.path_for(key)
+            writer = lambda fh: pickle.dump(  # noqa: E731
+                payload, fh, protocol=_PICKLE_PROTOCOL
+            )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -119,7 +178,7 @@ class ArtifactCache:
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(payload, fh, protocol=_PICKLE_PROTOCOL)
+                    writer(fh)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -134,7 +193,10 @@ class ArtifactCache:
     def entries(self) -> list[Path]:
         if not self.directory.is_dir():
             return []
-        return sorted(self.directory.glob("*/*.pkl"))
+        return sorted(
+            list(self.directory.glob("*/*.pkl"))
+            + list(self.directory.glob("*/*.img"))
+        )
 
     @staticmethod
     def _stat_entries(paths: list[Path]) -> list[tuple[Path, os.stat_result]]:
@@ -186,8 +248,9 @@ class ArtifactCache:
         """Evict least-recently-used artifacts down to ``max_bytes``.
 
         Returns the number of artifacts removed.  Uses ``st_mtime`` as
-        the recency signal (``get`` does not touch mtimes, so this is
-        write-recency — good enough for bounding a scratch dir).
+        the recency signal; ``get`` refreshes it on every successful
+        read (best-effort ``os.utime``), so eviction order is true
+        least-recently-*used*, not write-time FIFO.
         Safe against concurrent readers/writers: eviction holds the
         maintenance lock, tolerates entries vanishing underneath it,
         and never touches in-progress tmp files.

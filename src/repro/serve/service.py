@@ -101,7 +101,9 @@ class ServiceStats:
     timed_out: int = 0
     errors: int = 0
     rows_executed: int = 0
-    started_at: float = field(default_factory=time.time)
+    # Monotonic, not wall-clock: an NTP step must not warp uptime
+    # or any stats derived from it.
+    started_at: float = field(default_factory=time.monotonic)
 
     def as_dict(self, batcher_stats=None) -> dict:
         doc = {
@@ -111,7 +113,7 @@ class ServiceStats:
             "timed_out": self.timed_out,
             "errors": self.errors,
             "rows_executed": self.rows_executed,
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
         }
         if batcher_stats is not None:
             doc["batches"] = batcher_stats.batches
@@ -179,7 +181,7 @@ class InferenceService:
                 initializer=_init_worker,
                 initargs=(cache_env(),),
             )
-        self.stats.started_at = time.time()
+        self.stats.started_at = time.monotonic()
 
     async def stop(self) -> None:
         if self._batcher is not None:

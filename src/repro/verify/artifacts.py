@@ -80,6 +80,7 @@ def write_case(case: ReproCase, out_dir: str | Path | None = None) -> Path:
             "partition_jobs": case.scenario.partition_jobs,
             "serve": case.scenario.serve,
             "fused": case.scenario.fused,
+            "image": case.scenario.image,
         },
         "mismatch": {
             "stage": case.mismatch.stage,
@@ -123,6 +124,7 @@ def load_case(path: str | Path) -> ReproCase:
             partition_jobs=int(raw.get("partition_jobs", 1)),
             serve=bool(raw.get("serve", False)),
             fused=bool(raw.get("fused", False)),
+            image=bool(raw.get("image", False)),
         )
         mismatch = Mismatch(
             stage=payload["mismatch"]["stage"],
@@ -162,4 +164,5 @@ def replay_case(path: str | Path) -> DiffReport:
         partition_jobs=case.scenario.partition_jobs,
         serve=case.scenario.serve,
         fused=case.scenario.fused,
+        image=case.scenario.image,
     )

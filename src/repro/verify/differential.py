@@ -33,7 +33,15 @@ pipeline and cross-checked along every redundant path the stack offers:
   plan-specialized codegen engine (:mod:`repro.sim.fused`), whose
   outputs and activity counters must equal the step interpreter's
   bitwise — the fused lowering only regroups independent lanes, so
-  any drift at all is a lowering bug.
+  any drift at all is a lowering bug;
+* **image round-trip** — with ``image`` enabled, the compiled program
+  is serialized to a binary artifact image (:mod:`repro.runner.
+  imageio`), decoded back through the real bitstream decoder, and
+  re-encoded: the re-encoded bitstream must equal the original
+  byte-for-byte, the round-tripped program must execute bitwise
+  identically, and the plan image must reload to a bitwise-identical
+  batch execution.  A deliberately corrupted image (one payload byte
+  flipped, checksum left stale) must be *rejected* by the loader.
 
 :func:`diff_check_dag` runs the oracle on a bare DAG and returns the
 first mismatch (or ``None``); :func:`check_scenario` wraps it with
@@ -56,7 +64,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch import ArchConfig, DEFAULT_TOPOLOGY
+from ..arch import ArchConfig, DEFAULT_TOPOLOGY, encode_program
 from ..compiler import CompileResult, compile_dag
 from ..errors import ReproError, SpillError, VerificationError
 from ..graphs import DAG, binarize, validate
@@ -75,6 +83,7 @@ FAULTS: dict[str, str] = {
     "serve_output": "served-vs-direct",
     "router_output": "routed-vs-direct",
     "fused_output": "fused-vs-batch",
+    "image_corrupt": "image-roundtrip",
 }
 
 
@@ -127,6 +136,11 @@ class Scenario:
     #: engine and cross-checks outputs and counters bitwise against
     #: the step interpreter.
     fused: bool = False
+    #: When set, the oracle additionally round-trips the compiled
+    #: program and the execution plan through binary artifact images
+    #: (:mod:`repro.runner.imageio`) and cross-checks the re-encoded
+    #: bitstream byte-for-byte plus the reloaded execution bitwise.
+    image: bool = False
 
     def config(self) -> ArchConfig:
         return config_from_label(self.config_label)
@@ -202,6 +216,7 @@ def diff_check_dag(
     partition_jobs: int = 1,
     serve: bool = False,
     fused: bool = False,
+    image: bool = False,
 ) -> DiffReport:
     """Run the full three-way differential oracle on one DAG.
 
@@ -226,6 +241,13 @@ def diff_check_dag(
     checks their outputs and counters bitwise against the step
     interpreter's.
 
+    With ``image`` set (or the ``image_corrupt`` fault, which implies
+    it), the oracle also serializes the compiled program and the
+    execution plan to binary artifact images, reloads both, and
+    checks that the re-encoded bitstream is byte-identical and that
+    the reloaded artifacts execute bitwise like the originals — and
+    that a deliberately corrupted image is rejected by the loader.
+
     Raises:
         SpillError: When the config genuinely cannot hold the DAG's
             live set — the caller decides whether that is a *skip*
@@ -235,7 +257,7 @@ def diff_check_dag(
     stats: dict[str, int] = {}
     mismatch = _oracle(
         dag, config, value_seed, batch, fault, compile_seed, stats,
-        partition_threshold, partition_jobs, serve, fused,
+        partition_threshold, partition_jobs, serve, fused, image,
     )
     return DiffReport(mismatch, cycles=stats.get("cycles", 0))
 
@@ -252,6 +274,7 @@ def _oracle(
     partition_jobs: int = 1,
     serve: bool = False,
     fused: bool = False,
+    image: bool = False,
 ) -> Mismatch | None:
     _validate_fault(fault)
     validate(dag)
@@ -357,6 +380,12 @@ def _oracle(
     # ---- fused engines vs step interpreter --------------------------
     if fused or fault == "fused_output":
         mismatch = _check_fused(batch_result, plan, matrix, fault)
+        if mismatch is not None:
+            return mismatch
+
+    # ---- binary artifact image round-trip ---------------------------
+    if image or fault == "image_corrupt":
+        mismatch = _check_image(result, plan, batch_result, matrix, fault)
         if mismatch is not None:
             return mismatch
 
@@ -495,6 +524,149 @@ def _check_fused(
                 f"{engine} engine counters diverged from the step "
                 "interpreter's",
             )
+    return None
+
+
+def _check_image(
+    result: CompileResult,
+    plan,
+    batch_result,
+    matrix: np.ndarray,
+    fault: str | None,
+) -> Mismatch | None:
+    """Image round-trip cross-check: serialize the compiled program
+    and the execution plan to binary artifact images, reload both,
+    and demand bitwise identity end to end.
+
+    Three properties are enforced:
+
+    * **bitstream stability** — re-encoding the round-tripped program
+      reproduces the original packed bitstream byte-for-byte (the
+      image carries no redundant re-derivable state that could
+      drift);
+    * **behavioral identity** — the round-tripped program executes on
+      the scalar verifying simulator (with address checking against
+      the round-tripped read addresses) to bitwise-equal outputs, and
+      the reloaded plan's batch execution matches the original's
+      outputs and counters bitwise;
+    * **corruption rejection** — flipping one payload byte while
+      leaving the header checksum stale must make the loader raise
+      :class:`~repro.errors.ImageError`; a loader that silently
+      accepts a corrupt image is itself the bug.
+    """
+    from ..errors import ImageError
+    from ..runner.imageio import (
+        dump_plan,
+        dump_program,
+        load_plan,
+        load_program,
+    )
+
+    program = result.program
+    read_addrs = result.allocation.read_addrs
+    try:
+        prog_buf = dump_program(program, read_addrs)
+        prog2, addrs2 = load_program(prog_buf)
+    except ReproError as exc:
+        return Mismatch("image-io", f"program: {type(exc).__name__}: {exc}")
+    if addrs2 != read_addrs:
+        return Mismatch(
+            "image-roundtrip", "program image read addresses drifted"
+        )
+    original = encode_program(program, read_addrs)
+    reencoded = encode_program(prog2, addrs2)
+    if (
+        reencoded.data != original.data
+        or reencoded.total_bits != original.total_bits
+        or reencoded.lengths != original.lengths
+    ):
+        return Mismatch(
+            "image-roundtrip",
+            "re-encoded bitstream differs from the original encoding",
+        )
+    try:
+        sim2 = run_program(
+            prog2, list(matrix[0]), check_addresses=addrs2
+        )
+    except ReproError as exc:
+        return Mismatch(
+            "image-roundtrip",
+            f"round-tripped program failed: {type(exc).__name__}: {exc}",
+        )
+    for var in sorted(batch_result.outputs):
+        if var not in sim2.outputs:
+            return Mismatch(
+                "image-roundtrip",
+                f"round-tripped program dropped output var {var}",
+            )
+        if not _bitwise_equal(
+            float(sim2.outputs[var]), float(batch_result.outputs[var][0])
+        ):
+            return Mismatch(
+                "image-roundtrip",
+                f"var {var}: round-tripped program "
+                f"{float(sim2.outputs[var])!r} != direct "
+                f"{float(batch_result.outputs[var][0])!r}",
+            )
+
+    try:
+        plan_buf = dump_plan(plan)
+        plan2 = load_plan(plan_buf)
+    except ReproError as exc:
+        return Mismatch("image-io", f"plan: {type(exc).__name__}: {exc}")
+    try:
+        image_result = BatchSimulator(plan2).run(matrix)
+    except ReproError as exc:
+        return Mismatch(
+            "image-roundtrip",
+            f"image-loaded plan failed: {type(exc).__name__}: {exc}",
+        )
+    outputs = dict(image_result.outputs)
+    if fault == "image_corrupt" and outputs:
+        worst = max(outputs)
+        col = outputs[worst].copy()
+        # nextafter(inf, inf) is a no-op — overflowed outputs need a
+        # different corruption or the injected fault silently vanishes.
+        col[0] = (
+            np.nextafter(col[0], np.inf) if np.isfinite(col[0]) else 0.0
+        )
+        outputs[worst] = col
+    if sorted(outputs) != sorted(batch_result.outputs):
+        return Mismatch(
+            "image-roundtrip",
+            "image-loaded plan stored a different output-variable set",
+        )
+    for var in sorted(outputs):
+        direct = batch_result.outputs[var]
+        for row in range(batch_result.batch):
+            if not _bitwise_equal(
+                float(outputs[var][row]), float(direct[row])
+            ):
+                return Mismatch(
+                    "image-roundtrip",
+                    f"var {var} row {row}: image-loaded "
+                    f"{float(outputs[var][row])!r} != direct "
+                    f"{float(direct[row])!r}",
+                )
+    if image_result.counters != batch_result.counters:
+        return Mismatch(
+            "image-roundtrip",
+            "image-loaded plan counters diverged from the original's",
+        )
+
+    # Corruption must be *detected*: flip one payload byte without
+    # repatching the checksum and demand the loader refuses it.
+    corrupt = bytearray(plan_buf)
+    corrupt[-1] ^= 0xFF  # last payload byte: never in the header
+    try:
+        load_plan(bytes(corrupt))
+    except ImageError:
+        pass
+    else:
+        return Mismatch(
+            "image-roundtrip",
+            "loader accepted an image with a flipped payload byte",
+        )
     return None
 
 
@@ -666,6 +838,7 @@ def check_scenario(scenario: Scenario) -> ScenarioOutcome:
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
             fused=scenario.fused,
+            image=scenario.image,
         )
     except SpillError as exc:
         return ScenarioOutcome(

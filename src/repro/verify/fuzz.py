@@ -59,8 +59,13 @@ def make_scenarios(
     families: Iterable[str] | None = None,
     fault: str | None = None,
     configs: Iterable[str] | None = None,
+    image_all: bool = False,
 ) -> list[Scenario]:
     """Derive the deterministic scenario list for one fuzzing run.
+
+    With ``image_all`` the binary-image round-trip stage runs on
+    *every* scenario instead of its default every-fourth slice (the
+    CI ``image-roundtrip`` job uses this).
 
     Raises:
         VerificationError: Unknown family/fault name or a budget < 1.
@@ -93,9 +98,11 @@ def make_scenarios(
         kwargs = _family_kwargs(rng, family, n)
         # Every fourth scenario also exercises the partition-parallel
         # compile path, a disjoint every-fourth slice drives the live
-        # micro-batcher (served-vs-direct), and a third disjoint slice
+        # micro-batcher (served-vs-direct), a third disjoint slice
         # re-executes through the fused/codegen engines
-        # (fused-vs-batch).  All assignments are derived WITHOUT
+        # (fused-vs-batch), and the remaining slice round-trips the
+        # compiled artifacts through binary images
+        # (image-roundtrip).  All assignments are derived WITHOUT
         # consuming the master rng, so the (family, n, seed, config,
         # value_seed, batch) stream — and with it the pinned
         # verify_synth golden — is unchanged from earlier revisions.
@@ -117,6 +124,7 @@ def make_scenarios(
                 partition_threshold=partition_threshold,
                 serve=i % 4 == 1,
                 fused=i % 4 == 2,
+                image=image_all or i % 4 == 0,
             )
         )
     return scenarios
@@ -253,6 +261,7 @@ def _shrink_failure(
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
             fused=scenario.fused,
+            image=scenario.image,
         )
         return report.mismatch is not None
 
@@ -271,6 +280,7 @@ def _shrink_failure(
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
             fused=scenario.fused,
+            image=scenario.image,
         )
         case = ReproCase(
             scenario=scenario,
@@ -298,6 +308,7 @@ def fuzz(
     write_artifacts: bool = True,
     out_dir: str | Path | None = None,
     progress: bool | Callable[[int, int], None] = False,
+    image_all: bool = False,
 ) -> FuzzReport:
     """Run one differential fuzzing campaign.
 
@@ -314,6 +325,8 @@ def fuzz(
         configs: Override :data:`CONFIG_POOL` labels.
         write_artifacts: Write shrunk repro cases to ``out_dir``.
         out_dir: Case directory (default ``results/repro_cases/``).
+        image_all: Run the binary-image round-trip stage on every
+            scenario, not just its default every-fourth slice.
         progress: Progress callback or True for a stderr ticker.
 
     Returns:
@@ -321,7 +334,8 @@ def fuzz(
         mismatched (shrunk reproducers are in ``report.failures``).
     """
     scenarios = make_scenarios(
-        budget, seed=seed, families=families, fault=fault, configs=configs
+        budget, seed=seed, families=families, fault=fault, configs=configs,
+        image_all=image_all,
     )
     outcomes = parallel_map(
         check_scenario, scenarios, jobs=jobs, progress=progress, desc="fuzz"

@@ -1,0 +1,242 @@
+"""Tests for the declarative ISA spec and encoding synthesis.
+
+The synthesized bit layouts replaced hand-maintained width arithmetic;
+``_legacy_instruction_widths`` below is a frozen copy of that original
+arithmetic, kept verbatim so the suite proves bitwise compatibility on
+every design point the DSE sweeps — not just the points other tests
+happen to compile on.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    DPU_V2_SPEC,
+    ENCODING_VERSION,
+    FieldGroup,
+    FieldSpec,
+    InstrSpec,
+    Interconnect,
+    IsaSpec,
+    Topology,
+    dse_grid,
+    encode_program,
+    encoding_report,
+    instruction_widths,
+    isa_to_json,
+    synthesize_isa,
+)
+from repro.arch.encoding import COUNT_BITS, OPCODE_BITS, PE_OP_BITS, InstrWidths
+from repro.compiler import compile_dag
+from repro.errors import EncodingError
+from repro.testing import make_random_dag
+
+
+def _clog2(n: int) -> int:
+    return (n - 1).bit_length()
+
+
+def _legacy_instruction_widths(
+    config: ArchConfig, interconnect: Interconnect
+) -> InstrWidths:
+    """The pre-synthesis hand width arithmetic, frozen verbatim."""
+    b = config.banks
+    addr = _clog2(config.regs_per_bank)
+    bank_sel = _clog2(b)
+    row = _clog2(config.data_mem_rows)
+    write_sel = sum(
+        _clog2(len(interconnect.pes_writing_to(bank)) + 1)
+        for bank in range(b)
+    )
+    exec_bits = (
+        OPCODE_BITS
+        + b * (1 + addr + 1)  # reads
+        + b * bank_sel  # input crossbar selects
+        + config.num_pes * PE_OP_BITS
+        + write_sel
+    )
+    copy_bits = OPCODE_BITS + b * (1 + addr + 1) + b * (1 + bank_sel)
+    copy4_bits = OPCODE_BITS + COUNT_BITS + 4 * (2 * bank_sel + addr + 1)
+    load_bits = OPCODE_BITS + row + b
+    store_bits = OPCODE_BITS + row + b * (1 + addr + 1)
+    store4_bits = OPCODE_BITS + row + COUNT_BITS + 4 * (bank_sel + addr + 1)
+    return InstrWidths(
+        exec=exec_bits,
+        copy=copy_bits,
+        copy4=copy4_bits,
+        load=load_bits,
+        store=store_bits,
+        store4=store4_bits,
+        nop=OPCODE_BITS,
+    )
+
+
+class TestLegacyCompatibility:
+    def test_widths_match_legacy_on_full_dse_grid(self):
+        for config in dse_grid():
+            inter = Interconnect(config)
+            assert instruction_widths(config, inter) == (
+                _legacy_instruction_widths(config, inter)
+            ), f"width drift at {config}"
+
+    @pytest.mark.parametrize("topology", list(Topology))
+    def test_widths_match_legacy_across_topologies(self, topology):
+        config = ArchConfig(depth=2, banks=8, regs_per_bank=16)
+        inter = Interconnect(config, topology=topology)
+        assert instruction_widths(config, inter) == (
+            _legacy_instruction_widths(config, inter)
+        )
+
+    def test_fuzz_pool_configs_match_legacy(self):
+        from repro.verify.fuzz import CONFIG_POOL
+        from repro.verify.differential import config_from_label
+
+        for label in CONFIG_POOL:
+            config = config_from_label(label)
+            inter = Interconnect(config)
+            assert instruction_widths(config, inter) == (
+                _legacy_instruction_widths(config, inter)
+            )
+
+
+class TestLayoutInvariants:
+    @pytest.fixture(scope="class")
+    def isa(self):
+        return synthesize_isa(ArchConfig(depth=2, banks=8, regs_per_bank=8))
+
+    def test_opcode_allocation_honors_floor(self, isa):
+        # clog2(7 instructions) is 3, but the spec pins a 4-bit floor
+        # for compatibility with the historical format table.
+        assert isa.opcode_bits == 4
+
+    def test_ranges_tile_each_format_exactly(self, isa):
+        for layout in isa.layouts:
+            # MSB-first placement: starts descend and tile [0, width)
+            # with no gaps or overlaps.
+            offset = layout.width
+            for rng in layout.ranges:
+                assert rng.start == offset - rng.length
+                offset -= rng.length
+            assert offset == 0
+
+    def test_first_range_is_the_opcode_constant(self, isa):
+        for layout in isa.layouts:
+            head = layout.ranges[0]
+            assert head.type == "constant"
+            assert head.name == "opcode"
+            assert head.constant == layout.opcode
+
+    def test_opcodes_are_dense_and_ordered(self, isa):
+        opcodes = [layout.opcode for layout in isa.layouts]
+        assert opcodes == list(range(len(opcodes)))
+        assert [l.mnemonic for l in isa.layouts] == list(
+            DPU_V2_SPEC.mnemonics()
+        )
+
+    def test_synthesis_is_memoized(self):
+        config = ArchConfig(depth=1, banks=8, regs_per_bank=16)
+        assert synthesize_isa(config) is synthesize_isa(config)
+
+    def test_distinct_topologies_get_distinct_layouts(self):
+        config = ArchConfig(depth=3, banks=16, regs_per_bank=16)
+        full = synthesize_isa(config, Interconnect(config))
+        sparse = synthesize_isa(
+            config,
+            Interconnect(config, topology=Topology.ONE_TO_ONE),
+        )
+        # Fewer writers per bank -> narrower write_sel -> shorter exec.
+        assert sparse.width_of("exec") < full.width_of("exec")
+
+
+class TestSpecValidation:
+    def test_unknown_width_symbol_rejected(self):
+        spec = IsaSpec(
+            name="bad",
+            instructions=(
+                InstrSpec(
+                    "weird",
+                    groups=(
+                        FieldGroup(
+                            "one", (FieldSpec("x", "no_such_symbol"),)
+                        ),
+                    ),
+                ),
+            ),
+        )
+        with pytest.raises(EncodingError):
+            synthesize_isa(
+                ArchConfig(depth=1, banks=8, regs_per_bank=8), spec=spec
+            )
+
+    def test_write_sel_only_valid_per_bank(self):
+        spec = IsaSpec(
+            name="bad",
+            instructions=(
+                InstrSpec(
+                    "weird",
+                    groups=(
+                        FieldGroup("one", (FieldSpec("w", "write_sel"),)),
+                    ),
+                ),
+            ),
+        )
+        with pytest.raises(EncodingError):
+            synthesize_isa(
+                ArchConfig(depth=1, banks=8, regs_per_bank=8), spec=spec
+            )
+
+    def test_min_opcode_bits_vs_instruction_count(self):
+        two = IsaSpec(
+            name="tiny",
+            instructions=(
+                InstrSpec("a", groups=()),
+                InstrSpec("b", groups=()),
+            ),
+        )
+        isa = synthesize_isa(
+            ArchConfig(depth=1, banks=8, regs_per_bank=8), spec=two
+        )
+        assert isa.opcode_bits == 1  # clog2(2), no floor declared
+
+
+class TestDescriptorAndReport:
+    def test_json_descriptor_schema(self):
+        config = ArchConfig(depth=2, banks=8, regs_per_bank=16)
+        isa = synthesize_isa(config)
+        doc = json.loads(isa_to_json(isa))
+        assert doc["meta"]["encoding_version"] == ENCODING_VERSION
+        assert doc["meta"]["opcode_bits"] == isa.opcode_bits
+        assert set(doc["encodings"]) == set(DPU_V2_SPEC.mnemonics())
+        exec_doc = doc["encodings"]["exec"]
+        assert exec_doc["opcode"] == 1
+        total = sum(r["length"] for r in exec_doc["ranges"])
+        assert total == exec_doc["width"] == isa.width_of("exec")
+        for rng in exec_doc["ranges"]:
+            assert set(rng) == {
+                "type", "start", "length", "name", "constant"
+            }
+
+    def test_report_mentions_every_mnemonic(self):
+        isa = synthesize_isa(ArchConfig(depth=2, banks=8, regs_per_bank=8))
+        compact = encoding_report(isa)
+        verbose = encoding_report(isa, verbose=True)
+        for mnemonic in DPU_V2_SPEC.mnemonics():
+            assert mnemonic in compact
+            assert mnemonic in verbose
+        assert "[" in verbose  # per-range bit positions
+
+    def test_encoder_consumes_synthesized_layouts(self):
+        # The encoder must produce exactly layout.width bits per
+        # instruction — the layout is the single source of truth.
+        config = ArchConfig(depth=2, banks=8, regs_per_bank=16)
+        dag = make_random_dag(seed=11, num_ops=30)
+        result = compile_dag(dag, config)
+        encoded = encode_program(
+            result.program, result.allocation.read_addrs
+        )
+        isa = synthesize_isa(config)
+        widths = {layout.width for layout in isa.layouts}
+        for length in encoded.lengths:
+            assert length in widths

@@ -1,6 +1,8 @@
 """Unit tests for memories and the variable-length instruction encoding."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.arch import (
     ArchConfig,
@@ -90,6 +92,88 @@ class TestBitStream:
         w.write(1, 2)
         r = BitReader(w.to_bytes(), w.bit_length)
         r.read(2)
+        with pytest.raises(EncodingError):
+            r.read(1)
+
+    def test_zero_width_field_is_a_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        w.write(3, 2)
+        w.write(0, 0)
+        assert w.bit_length == 2
+        r = BitReader(w.to_bytes(), w.bit_length)
+        assert r.read(0) == 0
+        assert r.read(2) == 3
+        assert r.read(0) == 0
+        assert r.remaining == 0
+
+    def test_zero_width_value_must_be_zero(self):
+        w = BitWriter()
+        with pytest.raises(EncodingError):
+            w.write(1, 0)  # 1 does not fit in 0 bits
+
+    def test_exact_byte_boundary(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        w.write(0xCD, 8)
+        data = w.to_bytes()
+        assert data == b"\xab\xcd"  # no pad bits when bits % 8 == 0
+        r = BitReader(data, w.bit_length)
+        assert r.read(16) == 0xABCD
+
+    def test_underrun_with_ragged_tail(self):
+        # total_bits % 8 != 0: the final byte carries pad bits that
+        # the reader must never expose as data.
+        w = BitWriter()
+        w.write(0b101, 3)
+        data = w.to_bytes()
+        assert len(data) == 1  # 3 bits + 5 pad
+        r = BitReader(data, 3)
+        assert r.read(3) == 0b101
+        with pytest.raises(EncodingError):
+            r.read(1)  # the pad is not readable
+
+    def test_empty_stream(self):
+        w = BitWriter()
+        assert w.to_bytes() == b""
+        r = BitReader(b"", 0)
+        assert r.remaining == 0
+        with pytest.raises(EncodingError):
+            r.read(1)
+
+    def test_negative_width_rejected(self):
+        w = BitWriter()
+        with pytest.raises(EncodingError):
+            w.write(0, -1)
+
+
+class TestBitStreamProperties:
+    """Hypothesis: any field sequence round-trips exactly."""
+
+    fields = st.lists(
+        st.integers(min_value=0, max_value=24).flatmap(
+            lambda w: st.tuples(
+                st.integers(min_value=0, max_value=max(0, (1 << w) - 1)),
+                st.just(w),
+            )
+        ),
+        max_size=40,
+    )
+
+    @given(fields=fields)
+    @settings(max_examples=150, deadline=None)
+    def test_write_read_round_trip(self, fields):
+        w = BitWriter()
+        for value, width in fields:
+            w.write(value, width)
+        total = sum(width for _, width in fields)
+        assert w.bit_length == total
+        data = w.to_bytes()
+        assert len(data) == (total + 7) // 8
+        r = BitReader(data, total)
+        for value, width in fields:
+            assert r.read(width) == value
+        assert r.remaining == 0
         with pytest.raises(EncodingError):
             r.read(1)
 

@@ -74,6 +74,46 @@ class TestCommands:
         assert rc == 0
         assert out.stat().st_size > 0
 
+    def test_encode_writes_program_image(self, tmp_path, capsys):
+        out = tmp_path / "prog.bin"
+        img = tmp_path / "prog.img"
+        rc = main(
+            [
+                "encode", "tretail", "--scale", "0.02",
+                "--config", "D2-B8-R16", "--output", str(out),
+                "--image", str(img),
+            ]
+        )
+        assert rc == 0
+        from repro.runner.imageio import read_program_image
+
+        program, read_addrs = read_program_image(img)
+        assert program.instructions
+        assert len(read_addrs) == len(program.instructions)
+
+    def test_encoding_report(self, tmp_path, capsys):
+        rc = main(["encoding-report", "--config", "D2-B8-R16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for mnemonic in ("nop", "exec", "copy_4", "store_4"):
+            assert mnemonic in out
+        assert "opcode 4b" in out
+
+    def test_encoding_report_json(self, tmp_path, capsys):
+        import json
+
+        doc_path = tmp_path / "enc.json"
+        rc = main(
+            [
+                "encoding-report", "--config", "D3-B16-R16",
+                "--verbose", "--json", str(doc_path),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(doc_path.read_text())
+        assert "exec" in doc["encodings"]
+        assert doc["meta"]["opcode_bits"] == 4
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -145,7 +145,8 @@ def test_clear_empties_the_store(cache):
 
 def test_maintenance_never_unlinks_the_live_lock_file(cache):
     """Pin the structural guarantee that prune/clear only ever touch
-    ``*/*.pkl`` entries: the top-level ``.maintenance.lock`` another
+    ``*/*.pkl`` / ``*/*.img`` entries: the top-level
+    ``.maintenance.lock`` another
     process may be flock-ing RIGHT NOW must survive both — unlinking
     it would silently split the advisory lock into two files and
     reopen the double-eviction race it exists to close."""
@@ -342,6 +343,159 @@ class TestConcurrentAccess:
         assert cache.entries() == []
         cache.put("zzkey", {"fresh": 1})
         assert cache.get("zzkey") == {"fresh": 1}
+
+
+class TestBinaryPlanImages:
+    """Plans are stored as ``.img`` binary images, not pickles."""
+
+    def _plan(self, seed=30):
+        dag = make_random_dag(seed=seed, num_ops=20)
+        result = cached_compile(dag, CONFIG)
+        return dag, result, cached_plan(result)
+
+    def test_plan_stored_as_image_not_pickle(self, cache):
+        _, result, plan = self._plan()
+        imgs = [p for p in cache.entries() if p.suffix == ".img"]
+        assert len(imgs) == 1
+        # The plan key has no companion pickle.
+        assert not imgs[0].with_suffix(".pkl").exists()
+
+    def test_warm_image_load_executes_bitwise(self, cache):
+        import numpy as np
+
+        dag, result, plan = self._plan(seed=31)
+        hits = cache.hits
+        warm = cached_plan(result)
+        assert cache.hits == hits + 1
+        matrix = np.random.default_rng(1).uniform(
+            0.9, 1.1, size=(3, dag.num_inputs)
+        )
+        a = BatchSimulator(plan).run(matrix)
+        b = BatchSimulator(warm).run(matrix)
+        for var, col in a.outputs.items():
+            np.testing.assert_array_equal(col, b.outputs[var])
+        assert a.counters == b.counters
+
+    def test_warm_plan_arrays_are_mmap_backed(self, cache):
+        import mmap as mmap_mod
+
+        import numpy as np
+
+        _, result, _ = self._plan(seed=32)
+        warm = cached_plan(result)
+        base = warm.input_cells
+        while base.base is not None and isinstance(base.base, np.ndarray):
+            base = base.base
+        assert isinstance(base.base, (mmap_mod.mmap, memoryview))
+
+    def test_corrupt_image_is_dropped_and_recomputed(self, cache):
+        _, result, plan = self._plan(seed=33)
+        (img,) = [p for p in cache.entries() if p.suffix == ".img"]
+        data = bytearray(img.read_bytes())
+        data[-1] ^= 0xFF  # payload flip; checksum now stale
+        img.write_bytes(bytes(data))
+        again = cached_plan(result)  # must not raise
+        assert again.cycles_per_row == plan.cycles_per_row
+        # The torn image was dropped and rewritten by the recompute.
+        (rewritten,) = [p for p in cache.entries() if p.suffix == ".img"]
+        assert rewritten == img
+
+    def test_prune_covers_images(self, cache):
+        import os
+        import time
+
+        for seed in (34, 35, 36):
+            self._plan(seed=seed)
+        now = time.time()
+        for i, path in enumerate(sorted(cache.entries())):
+            os.utime(path, (now + i, now + i))
+        cache.prune(max_bytes=0)
+        assert cache.entries() == []
+
+
+class TestPickleProtocolPin:
+    """Pickle artifacts are written at protocol 5, pinned — sharded
+    serving shares one cache directory across worker interpreters, so
+    ``HIGHEST_PROTOCOL`` drifting upward in a newer Python would write
+    entries older workers cannot read."""
+
+    def test_protocol_constant_is_pinned(self):
+        from repro.runner import cache as cache_mod
+
+        assert cache_mod._PICKLE_PROTOCOL == 5
+        assert cache_mod._PICKLE_PROTOCOL <= pickle.HIGHEST_PROTOCOL
+
+    def test_pin_survives_a_higher_interpreter_protocol(self):
+        """On a future interpreter where ``HIGHEST_PROTOCOL`` > 5, the
+        module must still write protocol 5 — pinning to
+        ``HIGHEST_PROTOCOL`` at import time is exactly the bug."""
+        import importlib
+
+        from repro.runner import cache as cache_mod
+
+        original = pickle.HIGHEST_PROTOCOL
+        try:
+            pickle.HIGHEST_PROTOCOL = 99
+            importlib.reload(cache_mod)
+            assert cache_mod._PICKLE_PROTOCOL == 5
+        finally:
+            pickle.HIGHEST_PROTOCOL = original
+            importlib.reload(cache_mod)
+
+    def test_artifacts_written_at_protocol_5(self, cache):
+        import pickletools
+
+        cached_compile(make_random_dag(seed=37, num_ops=10), CONFIG)
+        (entry,) = cache.entries()
+        opcode, arg, _ = next(pickletools.genops(entry.read_bytes()))
+        assert opcode.name == "PROTO" and arg == 5
+
+    def test_cross_protocol_artifacts_still_load(self, cache):
+        """An entry written by an older interpreter (protocol 4) must
+        read back fine — the pin fixes writes, not reads."""
+        key = "aacrossproto"
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"legacy": True}, protocol=4))
+        assert cache.get(key) == {"legacy": True}
+
+
+class TestPruneIsLru:
+    """Prune must evict by *recency of use*, not write order: reads
+    refresh the entry's mtime, so a hot old entry survives a prune
+    that evicts a cold newer one."""
+
+    def test_read_touch_updates_mtime(self, cache):
+        import os
+        import time
+
+        cache.put("aahot", {"v": 1})
+        (entry,) = cache.entries()
+        stale = time.time() - 3600
+        os.utime(entry, (stale, stale))
+        before = entry.stat().st_mtime
+        assert cache.get("aahot") == {"v": 1}
+        assert entry.stat().st_mtime > before
+
+    def test_hot_entry_survives_prune_of_newer_cold_one(self, cache):
+        import os
+        import time
+
+        cache.put("aahot", {"v": "old-but-hot"})
+        cache.put("bbcold", {"v": "new-but-cold"})
+        hot = cache.path_for("aahot")
+        cold = cache.path_for("bbcold")
+        # Back-date both so the write order says: hot is OLDER.
+        now = time.time()
+        os.utime(hot, (now - 200, now - 200))
+        os.utime(cold, (now - 100, now - 100))
+        # A read touches the hot entry, making it most recently USED.
+        assert cache.get("aahot") is not None
+        keep = max(hot.stat().st_size, cold.stat().st_size)
+        cache.prune(max_bytes=keep)
+        survivors = cache.entries()
+        assert hot in survivors  # write-FIFO would have evicted it
+        assert cold not in survivors
 
 
 def _hammer_cache(directory: str, worker: int) -> None:

@@ -765,3 +765,73 @@ class TestLoadgenCli:
         doc = json.loads(bench.read_text())
         assert doc["schema"] == "repro-bench-v1"
         assert len(doc["runs"][-1]["records"]) == 2
+
+
+class TestPlanPoolImages:
+    """With a warm disk cache, the pool's plans load from ``.img``
+    binary images as zero-copy mmap views — and serve bitwise the
+    same responses as a cold compile."""
+
+    def test_warm_pool_serves_bitwise_from_mmap_images(self, tmp_path):
+        from repro.runner import cache as cache_mod
+        from repro.runner.cache import configure_cache
+        from repro.serve.planpool import PlanPool
+
+        previous = cache_mod._default_cache
+        configure_cache(tmp_path / "cache")
+        try:
+            spec = ProgramSpec(
+                name="synth_layered",
+                config_label="D2-B8-R16",
+                scale=0.02,
+            )
+            cold_pool = PlanPool()
+            cold = cold_pool.register(spec)
+            imgs = list((tmp_path / "cache").glob("*/*.img"))
+            assert imgs, "plan should be cached as a binary image"
+            # A fresh pool on the warm cache loads the plan from the
+            # image (mmap path) — responses must match bitwise.
+            warm_pool = PlanPool()
+            warm = warm_pool.register(spec)
+            rng = np.random.default_rng(7)
+            rows = [
+                rng.uniform(0.9, 1.1, size=cold.num_inputs)
+                for _ in range(3)
+            ]
+            a = cold.execute_rows(rows)
+            b = warm.execute_rows(rows)
+            assert sorted(a) == sorted(b)
+            for node in a:
+                np.testing.assert_array_equal(a[node], b[node])
+        finally:
+            cache_mod._default_cache = previous
+
+
+class TestServiceClock:
+    """Uptime accounting must use the monotonic clock: an NTP step or
+    DST jump of the wall clock must not warp ``uptime_s`` (negative
+    uptimes broke dashboard rate maths)."""
+
+    def test_uptime_immune_to_wall_clock_warp(self, monkeypatch):
+        import time as time_mod
+
+        from repro.serve.service import ServiceStats
+
+        stats = ServiceStats()
+        # Warp the wall clock a day backwards; uptime must not care.
+        real_time = time_mod.time
+        monkeypatch.setattr(
+            time_mod, "time", lambda: real_time() - 86400.0
+        )
+        uptime = stats.as_dict()["uptime_s"]
+        assert 0.0 <= uptime < 60.0
+
+    def test_started_at_is_monotonic_based(self):
+        import time as time_mod
+
+        from repro.serve.service import ServiceStats
+
+        before = time_mod.monotonic()
+        stats = ServiceStats()
+        after = time_mod.monotonic()
+        assert before <= stats.started_at <= after

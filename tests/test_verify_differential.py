@@ -188,6 +188,68 @@ class TestFuzzCampaigns:
             assert payload["shrunk_nodes"] == 3
 
 
+class TestImageRoundTripStage:
+    """The binary-image encode→decode→execute oracle stage."""
+
+    @pytest.mark.parametrize("family", ["layered", "wide", "near_chain"])
+    def test_image_stage_clean(self, family, tiny_config):
+        dag = generate_synth(family, 50, seed=6)
+        report = diff_check_dag(
+            dag, tiny_config, value_seed=4, batch=2, image=True
+        )
+        assert report.ok, str(report.mismatch)
+
+    def test_image_corrupt_fault_caught_and_shrunk(self, tmp_path):
+        report = fuzz(
+            budget=1,
+            seed=3,
+            families=["layered"],
+            fault="image_corrupt",
+            out_dir=tmp_path,
+        )
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.outcome.mismatch.stage == "image-roundtrip"
+        assert failure.shrunk_nodes <= 5
+        replay = replay_case(failure.case_path)
+        assert replay.mismatch is not None
+        assert replay.mismatch.stage == "image-roundtrip"
+
+    def test_every_fourth_scenario_gets_the_stage(self):
+        scenarios = make_scenarios(12, seed=0)
+        flags = [s.image for s in scenarios]
+        assert flags == [i % 4 == 0 for i in range(12)]
+        # The slices stay disjoint from the other optional stages.
+        for s in scenarios:
+            assert not (s.image and (s.serve or s.fused))
+
+    def test_image_all_overrides_the_slice(self):
+        scenarios = make_scenarios(8, seed=0, image_all=True)
+        assert all(s.image for s in scenarios)
+
+    def test_image_all_does_not_perturb_derivation(self):
+        base = make_scenarios(8, seed=0)
+        everything = make_scenarios(8, seed=0, image_all=True)
+        for a, b in zip(base, everything):
+            assert a.params == b.params
+            assert a.config_label == b.config_label
+            assert a.value_seed == b.value_seed
+            assert a.batch == b.batch
+
+    def test_image_flag_survives_artifact_round_trip(self, tmp_path):
+        report = fuzz(
+            budget=4,
+            seed=3,
+            families=["layered"],
+            fault="image_corrupt",
+            out_dir=tmp_path,
+            image_all=True,
+        )
+        assert report.failures
+        case = load_case(report.failures[0].case_path)
+        assert case.scenario.image is True
+
+
 class TestArtifacts:
     def _one_case(self, tmp_path):
         report = fuzz(
