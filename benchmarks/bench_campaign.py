@@ -1,0 +1,129 @@
+"""Bench: durable campaign overhead vs the in-memory pool.
+
+The durable work queue buys crash-survival with per-task journaling
+(fsync'd ledger records, O_EXCL lease files, atomically renamed
+result checkpoints).  This bench prices that durability on a reduced
+DSE grid and proves the two properties worth paying for:
+
+* **pool vs campaign** — the same sweep through ``parallel_map`` and
+  through ``run_sweep_campaign``; the grid points must be bitwise
+  identical, and the durable overhead is reported as a ratio;
+* **resume** — resuming the completed campaign re-executes nothing
+  (a pure merge of the checkpointed results), so it must be much
+  faster than the original run.
+
+Also runnable directly:
+``PYTHONPATH=src python benchmarks/bench_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.arch import ArchConfig
+from repro.dse import run_sweep, run_sweep_campaign
+from repro.runner.cache import configure_cache
+from repro.workloads import build_workload
+
+REDUCED_GRID = [
+    ArchConfig(depth=depth, banks=banks, regs_per_bank=regs)
+    for depth in (2, 3)
+    for banks in (16, 32)
+    for regs in (32, 64)
+]
+WORKLOADS = ("tretail", "bp_200")
+SCALE = 0.1
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def run_bench() -> str:
+    workloads = {
+        name: build_workload(name, scale=SCALE) for name in WORKLOADS
+    }
+    dir_a = tempfile.mkdtemp(prefix="bench-campaign-cache-a-")
+    dir_b = tempfile.mkdtemp(prefix="bench-campaign-cache-b-")
+    try:
+        # Separate cold caches so pool vs campaign is apples to
+        # apples; the campaign directory lives under dir_b's cache.
+        configure_cache(dir_a)
+        t0 = time.perf_counter()
+        pool = run_sweep(workloads, configs=REDUCED_GRID, jobs=JOBS)
+        t_pool = time.perf_counter() - t0
+
+        configure_cache(dir_b)
+        t0 = time.perf_counter()
+        durable = run_sweep_campaign(
+            workloads,
+            configs=REDUCED_GRID,
+            jobs=JOBS,
+            campaign_id="bench-campaign",
+        )
+        t_campaign = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        resumed = run_sweep_campaign(
+            workloads,
+            configs=REDUCED_GRID,
+            jobs=JOBS,
+            campaign_id="bench-campaign",
+            resume=True,
+        )
+        t_resume = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(dir_a, ignore_errors=True)
+        shutil.rmtree(dir_b, ignore_errors=True)
+
+    for a, b, c in zip(pool.points, durable.points, resumed.points):
+        assert a.latency_per_op_ns == b.latency_per_op_ns == c.latency_per_op_ns
+        assert a.energy_per_op_pj == b.energy_per_op_pj == c.energy_per_op_pj
+
+    from repro.analysis import format_table
+
+    rows = [
+        (f"pool parallel_map (jobs={JOBS})", f"{t_pool:.2f}", "1.0x"),
+        (
+            f"durable campaign (jobs={JOBS})",
+            f"{t_campaign:.2f}",
+            f"{t_campaign / t_pool:.2f}x",
+        ),
+        ("resume (pure merge)", f"{t_resume:.2f}", f"{t_resume / t_pool:.2f}x"),
+    ]
+    table = format_table(
+        ["mode", "seconds", "vs pool"],
+        rows,
+        title=(
+            f"Durable campaign overhead — {len(REDUCED_GRID)} configs x "
+            f"{len(WORKLOADS)} workloads @ scale {SCALE} "
+            "(bitwise-identical DsePoints in all three modes)"
+        ),
+    )
+    # Resuming a finished campaign merges checkpoints; it must not
+    # redo the sweep.  (The bound is loose — the point is "merge, not
+    # recompute", not a micro-benchmark.)
+    assert t_resume < max(1.0, 0.5 * t_campaign), (
+        f"resume took {t_resume:.2f}s vs campaign {t_campaign:.2f}s — "
+        "a pure merge should not re-execute work"
+    )
+    return table
+
+
+def test_campaign_overhead(benchmark):
+    from conftest import publish
+
+    table = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    publish("bench_campaign", table)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    table = run_bench()
+    results = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "bench_campaign.txt").write_text(table + "\n")
+    print(table)
+    sys.exit(0)

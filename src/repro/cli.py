@@ -17,6 +17,14 @@ Mirrors the paper artifact's ``run.sh`` workflow:
 * ``fuzz``     — differential verification: seeded synthetic
   scenarios through the three-way executor cross-check, shrinking
   any mismatch to a replayable case under ``results/repro_cases/``;
+  ``--campaign <id>`` makes the run durable (checkpointed, killable,
+  resumable with ``--resume``), ``--task-timeout S`` bounds each
+  scenario's wall clock;
+* ``campaign`` — status of durable campaigns: completion,
+  quarantine, retries, reclaimed leases, torn ledger lines;
+* ``chaos``    — the campaign runner's own adversary: SIGKILL the
+  coordinator at seeded points and prove the resumed merge is
+  byte-identical, then quarantine an injected poison task;
 * ``serve``    — the asyncio inference service: dynamic micro-batching
   over warm execution plans behind a minimal HTTP front end;
 * ``loadgen``  — drive a server (or an in-process service) with a
@@ -93,6 +101,32 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the orchestrator (default 1: serial; "
         "results are identical at any N)",
+    )
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    """Durable-campaign flags shared by ``fuzz`` and ``sweep``."""
+    parser.add_argument(
+        "--campaign", default="", metavar="ID",
+        help="run through the durable work queue under this campaign "
+        "id: progress is checkpointed under the cache dir, the run "
+        "is killable and resumable, and the merged result is "
+        "byte-identical to an uninterrupted one",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing --campaign where it left off "
+        "(finished tasks are skipped via their checkpoints)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="K",
+        help="campaign mode: failures per task before it is "
+        "quarantined as poison instead of sinking the run (default 3)",
+    )
+    parser.add_argument(
+        "--campaign-root", default="", metavar="DIR",
+        help="override the campaign directory "
+        "(default <cache dir>/campaigns)",
     )
 
 
@@ -309,8 +343,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         progress=sys.stderr.isatty(),
+        campaign_id=getattr(args, "campaign", "") or None,
+        resume=getattr(args, "resume", False),
+        campaign_root=getattr(args, "campaign_root", "") or None,
+        max_attempts=getattr(args, "max_attempts", 3),
     )
     print(fig11_dse.render(experiment))
+    if getattr(args, "campaign", ""):
+        from .runner.queue import campaign_status
+
+        status = campaign_status(
+            args.campaign, root=args.campaign_root or None
+        )
+        print(status.render())
     return 0
 
 
@@ -366,11 +411,99 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             out_dir=args.out_dir,
             progress=sys.stderr.isatty(),
             image_all=args.image_all,
+            task_timeout_s=args.task_timeout,
+            campaign_id=args.campaign or None,
+            resume=args.resume,
+            max_attempts=args.max_attempts,
+            campaign_root=args.campaign_root or None,
         )
     except VerificationError as exc:
         raise SystemExit(str(exc))
     print(report.render())
+    if args.campaign:
+        from .runner.queue import campaign_status
+
+        status = campaign_status(
+            args.campaign, root=args.campaign_root or None
+        )
+        print(status.render())
     return 0 if report.ok else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Inspect durable campaigns: per-campaign status or a listing.
+
+    Shows completion/quarantine counts plus the recovery history —
+    retries, reclaimed leases, task timeouts, resumes and torn ledger
+    lines — so an operator can tell how rough a campaign's life was.
+    """
+    from .errors import ReproError
+    from .runner.queue import campaign_status, list_campaigns
+
+    _setup_cache(args)
+    root = args.campaign_root or None
+    if args.id:
+        try:
+            print(campaign_status(args.id, root=root).render())
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+        return 0
+    statuses = list_campaigns(root)
+    if not statuses:
+        print("no campaigns")
+        return 0
+    for status in statuses:
+        print(status.render())
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """The CI chaos job: kill/resume identity + poison quarantine.
+
+    Phase 1 SIGKILLs a fuzz campaign's coordinator (process group and
+    all) at seeded points and resumes it each time; the merged report
+    must be byte-identical to an uninterrupted control run with zero
+    oracle mismatches.  Phase 2 injects a poison scenario and checks
+    it is quarantined while the rest of the campaign completes
+    unchanged.  Exit 0 only if both hold.
+    """
+    from .errors import ReproError
+    from .verify.chaos import run_chaos_fuzz, run_quarantine_fuzz
+
+    _setup_cache(args)
+    failures = 0
+    try:
+        identity = run_chaos_fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            jobs=args.jobs,
+            kills=args.kills,
+            kill_window=(args.kill_after, args.kill_before),
+            task_timeout_s=args.task_timeout,
+            campaign_root=args.campaign_root or None,
+            verbose=sys.stderr.isatty(),
+        )
+        print(identity.render())
+        print()
+        failures += 0 if identity.ok and not identity.quarantined else 1
+        quarantine = run_quarantine_fuzz(
+            budget=max(8, args.budget // 8),
+            seed=args.seed,
+            jobs=args.jobs,
+            poison_task=args.poison_task,
+            task_timeout_s=args.task_timeout,
+            campaign_root=args.campaign_root or None,
+        )
+        print(quarantine.render())
+        failures += 0 if quarantine.ok else 1
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if failures:
+        print(f"FAILED: {failures} chaos phase(s) broke determinism")
+        return 1
+    print("chaos: both phases clean — kill/resume is byte-identical "
+          "and poison tasks quarantine")
+    return 0
 
 
 def _serve_specs(args: argparse.Namespace) -> list:
@@ -931,6 +1064,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dse", help="fig. 11 design-space exploration")
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=0)
+    _add_campaign_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_sweep)
@@ -946,6 +1080,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=0)
+    _add_campaign_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_sweep)
@@ -1001,9 +1136,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the binary-image round-trip stage on every scenario "
         "(default: every fourth)",
     )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="hard per-scenario wall-clock budget in seconds; a "
+        "wedged scenario is killed, reported as a failure, shrunk "
+        "and written as a repro case (default: no limit)",
+    )
+    _add_campaign_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "campaign",
+        help="status of durable fuzz/sweep campaigns (retries, "
+        "reclaimed leases, quarantine)",
+    )
+    p.add_argument(
+        "id", nargs="?", default="",
+        help="campaign id to inspect (default: list all campaigns)",
+    )
+    p.add_argument(
+        "--campaign-root", default="", metavar="DIR",
+        help="override the campaign directory "
+        "(default <cache dir>/campaigns)",
+    )
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos-test the durable campaign runner: SIGKILL + "
+        "resume must be byte-identical; poison tasks must quarantine",
+    )
+    p.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="scenarios in the kill/resume campaign (default 200)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="campaign worker processes (default 2)",
+    )
+    p.add_argument(
+        "--kills", type=int, default=2, metavar="K",
+        help="SIGKILL the coordinator at K seeded points (default 2)",
+    )
+    p.add_argument(
+        "--kill-after", type=float, default=1.0, metavar="S",
+        help="earliest kill point, seconds after launch (default 1)",
+    )
+    p.add_argument(
+        "--kill-before", type=float, default=6.0, metavar="S",
+        help="latest kill point, seconds after launch (default 6)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=30.0, metavar="S",
+        help="per-scenario wall-clock budget (default 30)",
+    )
+    p.add_argument(
+        "--poison-task", type=int, default=0, metavar="I",
+        help="scenario index poisoned in the quarantine phase "
+        "(default 0)",
+    )
+    p.add_argument(
+        "--campaign-root", default="", metavar="DIR",
+        help="override the campaign directory "
+        "(default <cache dir>/campaigns)",
+    )
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_chaos)
 
     def _add_serving_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(

@@ -7,6 +7,7 @@ from .sweep import (
     evaluate_config,
     resolve_workloads,
     run_sweep,
+    run_sweep_campaign,
 )
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "evaluate_config",
     "resolve_workloads",
     "run_sweep",
+    "run_sweep_campaign",
     "ParetoSummary",
     "summarize",
     "pareto_front",

@@ -196,3 +196,79 @@ def run_sweep(
     )
     points = [point for chunk in results for point in chunk]
     return DseResult(points=points, workloads=sorted(workloads))
+
+
+def _sweep_task(item: tuple[ArchConfig, dict[str, DAG], int]) -> DsePoint:
+    """Durable-campaign task body: one grid point per task, so resume
+    granularity is a single configuration."""
+    config, workloads, seed = item
+    return evaluate_config(config, workloads, seed=seed)
+
+
+def run_sweep_campaign(
+    workloads: dict[str, DAG],
+    configs: list[ArchConfig] | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    *,
+    campaign_id: str,
+    resume: bool = False,
+    campaign_root=None,
+    max_attempts: int = 3,
+    task_timeout_s: float | None = None,
+    progress: bool | Callable[[int, int], None] = False,
+) -> DseResult:
+    """:func:`run_sweep` through the durable work queue.
+
+    Each grid point is one checkpointed task: a killed sweep resumed
+    with ``resume=True`` recompiles only the unfinished points, and
+    the merged :class:`DseResult` is bitwise-identical to an
+    uninterrupted (or serial) run because points merge in grid order.
+
+    The task list is fingerprinted from the workload DAGs + grid +
+    seed, so a resume with different parameters is refused rather
+    than silently mixed.  A sweep cannot average around a hole, so
+    quarantined (poison) points fail the sweep explicitly.
+    """
+    import hashlib
+
+    from ..runner.fingerprint import dag_fingerprint
+    from ..runner.orchestrator import default_jobs
+    from ..runner.queue import CampaignError, run_campaign
+
+    grid = configs if configs is not None else dse_grid()
+    identity = repr(
+        (
+            "sweep",
+            sorted((name, dag_fingerprint(dag))
+                   for name, dag in workloads.items()),
+            [str(cfg) for cfg in grid],
+            seed,
+        )
+    )
+    result = run_campaign(
+        _sweep_task,
+        [(cfg, workloads, seed) for cfg in grid],
+        campaign_id=campaign_id,
+        root=campaign_root,
+        workers=default_jobs() if jobs is None else max(1, int(jobs)),
+        resume=resume,
+        kind="sweep",
+        params_fingerprint=hashlib.blake2b(
+            identity.encode(), digest_size=16
+        ).hexdigest(),
+        max_attempts=max_attempts,
+        task_timeout_s=task_timeout_s,
+        progress=progress,
+        desc="dse sweep",
+    )
+    if result.quarantined:
+        poisoned = [str(grid[i]) for i in sorted(result.quarantined)]
+        raise CampaignError(
+            f"sweep campaign {campaign_id!r} quarantined "
+            f"{len(poisoned)} grid point(s) ({', '.join(poisoned)}); "
+            "a DSE grid with holes cannot reproduce the paper figures"
+        )
+    return DseResult(
+        points=list(result.results), workloads=sorted(workloads)
+    )

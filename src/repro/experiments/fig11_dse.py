@@ -13,7 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dse import DseResult, ParetoSummary, resolve_workloads, run_sweep, summarize
+from ..dse import (
+    DseResult,
+    ParetoSummary,
+    resolve_workloads,
+    run_sweep,
+    run_sweep_campaign,
+    summarize,
+)
 
 #: Compact workload set for the sweep: two PCs (one register-pressure
 #: heavy, so R matters) + two SpTRSVs keeps the 48-config sweep to a
@@ -34,10 +41,29 @@ def run(
     seed: int = 0,
     jobs: int | None = None,
     progress: bool = False,
+    campaign_id: str | None = None,
+    resume: bool = False,
+    campaign_root=None,
+    max_attempts: int = 3,
 ) -> DseExperiment:
     # Entries may be workload names or whole groups ("pc", "synth").
     workloads = resolve_workloads(workload_names, scale=scale)
-    result = run_sweep(workloads, seed=seed, jobs=jobs, progress=progress)
+    if campaign_id is not None:
+        # Durable path: each grid point checkpointed, killable and
+        # resumable (`repro sweep --campaign <id> [--resume]`), with a
+        # merged result bitwise-identical to run_sweep's.
+        result = run_sweep_campaign(
+            workloads,
+            seed=seed,
+            jobs=jobs,
+            progress=progress,
+            campaign_id=campaign_id,
+            resume=resume,
+            campaign_root=campaign_root,
+            max_attempts=max_attempts,
+        )
+    else:
+        result = run_sweep(workloads, seed=seed, jobs=jobs, progress=progress)
     return DseExperiment(result=result, summary=summarize(result))
 
 

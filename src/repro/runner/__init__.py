@@ -8,8 +8,14 @@ The runner subsystem makes the full evaluation cheap to repeat:
   compiled programs and lowered execution plans across processes and
   invocations (``cached_compile`` / ``cached_plan``);
 * :mod:`repro.runner.orchestrator` — deterministic process-pool
-  fan-out (``parallel_map``) with shared cache and progress
-  reporting;
+  fan-out (``parallel_map``) with shared cache, progress reporting
+  and one-shot pool recovery when a worker dies;
+* :mod:`repro.runner.ledger` — append-only, fsync'd, checksummed
+  campaign event journal tolerating torn writes;
+* :mod:`repro.runner.queue` — durable work queue on top of the
+  ledger: lease files with heartbeats, dead/stalled-worker reclaim,
+  exponential backoff, poison-task quarantine and byte-identical
+  kill/resume campaign merges;
 * :mod:`repro.runner.registry` — one :class:`ExperimentSpec` per
   figure/table with canonical snapshots, powering ``repro all`` and
   the golden regression net under ``tests/goldens/``.
@@ -32,7 +38,20 @@ from .fingerprint import (
     node_digests,
     plan_key,
 )
+from .ledger import CampaignLedger, LedgerError
 from .orchestrator import default_jobs, parallel_map, starmap_jobs
+from .queue import (
+    CampaignError,
+    CampaignResult,
+    CampaignStatus,
+    ChaosSpec,
+    DurableQueue,
+    campaign_status,
+    create_campaign,
+    list_campaigns,
+    merge_campaign,
+    run_campaign,
+)
 
 #: Registry names resolved lazily (PEP 562): ``repro.runner.registry``
 #: imports :mod:`repro.experiments`, which itself builds on
@@ -74,6 +93,18 @@ __all__ = [
     "parallel_map",
     "starmap_jobs",
     "default_jobs",
+    "CampaignLedger",
+    "LedgerError",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignStatus",
+    "ChaosSpec",
+    "DurableQueue",
+    "campaign_status",
+    "create_campaign",
+    "list_campaigns",
+    "merge_campaign",
+    "run_campaign",
     "EXPERIMENTS",
     "ExperimentSpec",
     "ExperimentRun",

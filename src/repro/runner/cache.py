@@ -8,9 +8,12 @@ processes and invocations:
 * lowered :class:`~repro.sim.plan.ExecutionPlan` artifacts, keyed per
   interconnect topology on top of the compile key.
 
-Artifacts land under ``<dir>/<k[:2]>/`` via an atomic tmp-file +
-:func:`os.replace`, so concurrent workers racing on the same key at
-worst redo the work — they never observe a torn file.  Lowered
+Artifacts land under ``<dir>/<k[:2]>/`` via an atomic tmp-file
+(fsync'd before the rename, so a power cut cannot promote unwritten
+data) + :func:`os.replace`, so concurrent workers racing on the same
+key at worst redo the work — they never observe a torn file, even
+when a writer is SIGKILLed between its tmp write and the rename (the
+orphaned tmp is swept by the next ``prune``/``clear`` once stale).  Lowered
 :class:`~repro.sim.plan.ExecutionPlan` payloads are stored as dense
 checksummed binary images (``<key>.img``, :mod:`repro.runner.
 imageio`) — smaller than the pickles they replace and loadable
@@ -47,6 +50,7 @@ import contextlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
 try:  # POSIX advisory locking; absent on some platforms.
@@ -67,6 +71,12 @@ from .fingerprint import (
 
 #: Default location used by the CLI when ``--cache-dir`` is omitted.
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-dpu-v2"
+
+# A writer SIGKILLed between its tmp write and the rename leaks the
+# tmp file; maintenance sweeps orphans older than this.  The age guard
+# is what makes the sweep safe against a *live* writer's in-flight
+# tmp: no put() holds its tmp open anywhere near this long.
+_TMP_MAX_AGE_S = 3600.0
 
 # Pinned explicitly — NOT pickle.HIGHEST_PROTOCOL.  The cache
 # directory is shared machine-wide by the router's shard processes
@@ -179,6 +189,15 @@ class ArtifactCache:
             try:
                 with os.fdopen(fd, "wb") as fh:
                     writer(fh)
+                    # Flush to stable storage BEFORE the rename: on a
+                    # power cut the rename may survive while the data
+                    # does not, leaving a renamed-but-empty artifact —
+                    # exactly the torn state the tmp file exists to
+                    # prevent.  (get() would recover by dropping it,
+                    # but a checkpoint-of-record cache should not rely
+                    # on its own corruption path.)
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -212,6 +231,35 @@ class ArtifactCache:
 
     def size_bytes(self) -> int:
         return sum(st.st_size for _, st in self._stat_entries(self.entries()))
+
+    def stale_tmp_files(
+        self, max_age_s: float = _TMP_MAX_AGE_S
+    ) -> list[Path]:
+        """Orphaned ``.tmp`` files: a writer was SIGKILLed between its
+        tmp write and the rename, so nothing will ever rename or unlink
+        them.  Only files older than ``max_age_s`` qualify — a young
+        tmp may belong to a writer that is mid-``put`` right now."""
+        if not self.directory.is_dir():
+            return []
+        cutoff = time.time() - max_age_s
+        stale = []
+        for path in self.directory.glob("*/.*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    stale.append(path)
+            except OSError:
+                continue  # the writer finished (renamed) mid-scan
+        return sorted(stale)
+
+    def _sweep_stale_tmp(self, max_age_s: float = _TMP_MAX_AGE_S) -> int:
+        removed = 0
+        for path in self.stale_tmp_files(max_age_s):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     @contextlib.contextmanager
     def _maintenance_lock(self):
@@ -253,9 +301,12 @@ class ArtifactCache:
         least-recently-*used*, not write-time FIFO.
         Safe against concurrent readers/writers: eviction holds the
         maintenance lock, tolerates entries vanishing underneath it,
-        and never touches in-progress tmp files.
+        and never touches in-progress tmp files — though it does sweep
+        *stale* ones (orphans of writers killed mid-``put``, older
+        than an hour), which otherwise leak forever.
         """
         with self._maintenance_lock():
+            self._sweep_stale_tmp()
             entries = self._stat_entries(self.entries())
             entries.sort(key=lambda e: e[1].st_mtime)
             total = sum(st.st_size for _, st in entries)
@@ -273,6 +324,7 @@ class ArtifactCache:
 
     def clear(self) -> None:
         with self._maintenance_lock():
+            self._sweep_stale_tmp(max_age_s=0.0)
             for path in self.entries():
                 try:
                     path.unlink()

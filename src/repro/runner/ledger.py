@@ -1,0 +1,204 @@
+"""Append-only, fsync'd, checksummed campaign ledger.
+
+The durable work queue (:mod:`repro.runner.queue`) journals every
+lifecycle event of a campaign — task enqueue, lease claim, completion,
+failure, lease reclaim, quarantine — to one append-only file so that a
+coordinator crash, a worker SIGKILL or a torn write never loses the
+campaign's history.  The format is built for exactly that failure
+model:
+
+* every record is one line of canonical JSON followed by a
+  ``|<blake2b-12-hex>`` checksum of the JSON bytes, so a torn or
+  corrupted line is *detected*, never misparsed;
+* every record is written with a **leading** newline in a single
+  ``os.write`` on an ``O_APPEND`` descriptor and fsync'd before the
+  writer proceeds.  The leading newline self-heals torn tails: if a
+  writer dies mid-record, the half-line merges with nothing — the
+  next writer's leading newline terminates the garbage, which then
+  fails its checksum and is skipped, while every record after it
+  still parses;
+* :func:`CampaignLedger.replay` therefore tolerates torn lines
+  anywhere in the file (reporting how many it skipped), not just at
+  the tail.
+
+The ledger is an **audit log**, not the checkpoint of record: task
+completion is established by the atomically-renamed result files
+(:mod:`repro.runner.queue`), so losing a ledger record to a crash can
+never lose work — only a line of history.  Status reporting
+(`repro campaign`) derives retry/reclaim/quarantine counts from the
+surviving records.
+
+Multiple processes (the coordinator and every worker) append to one
+ledger concurrently; on Linux an ``O_APPEND`` write of a small buffer
+is atomic with respect to the file offset, so records never interleave
+byte-wise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from ..errors import ReproError
+
+
+class LedgerError(ReproError):
+    """The campaign ledger or a campaign directory is unusable."""
+
+
+_CHECKSUM_BYTES = 12
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=_CHECKSUM_BYTES).hexdigest()
+
+
+def encode_record(record: dict) -> bytes:
+    """Serialize one record to its on-disk bytes (leading newline,
+    canonical JSON, trailing checksum)."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode()
+    return b"\n" + payload + b"|" + _checksum(payload).encode()
+
+
+def decode_line(line: bytes) -> dict | None:
+    """Parse one ledger line; ``None`` when torn or corrupted."""
+    if not line:
+        return None
+    payload, sep, digest = line.rpartition(b"|")
+    if not sep or digest.decode("ascii", "replace") != _checksum(payload):
+        return None
+    try:
+        record = json.loads(payload)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class CampaignLedger:
+    """One campaign's append-only event journal.
+
+    ``tear_hook`` exists for the chaos harness: when set, it is called
+    with the encoded record bytes before writing and may return a
+    *prefix length* to write instead of the whole record (simulating a
+    writer dying mid-``write``).  Production callers leave it ``None``.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        tear_hook: Callable[[dict, bytes], int | None] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.tear_hook = tear_hook
+        self._fd: int | None = None
+
+    def _descriptor(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def append(self, record: dict) -> None:
+        """Durably journal one record (single write + fsync).
+
+        IO failures propagate as :class:`LedgerError`: a campaign whose
+        journal cannot be written must not keep dispatching work.
+        """
+        data = encode_record(record)
+        if self.tear_hook is not None:
+            keep = self.tear_hook(record, data)
+            if keep is not None:
+                data = data[: max(0, int(keep))]
+        try:
+            fd = self._descriptor()
+            os.write(fd, data)
+            os.fsync(fd)
+        except OSError as exc:
+            raise LedgerError(
+                f"cannot journal to {self.path}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            finally:
+                self._fd = None
+
+    def __enter__(self) -> CampaignLedger:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def replay(self) -> tuple[list[dict], int]:
+        """Read every intact record; returns ``(records, torn_lines)``.
+
+        Torn/corrupt lines anywhere in the file are skipped and
+        counted — the records after them still parse thanks to the
+        leading-newline framing.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        except OSError as exc:
+            raise LedgerError(f"cannot read {self.path}: {exc}") from exc
+        records: list[dict] = []
+        torn = 0
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            record = decode_line(line)
+            if record is None:
+                torn += 1
+            else:
+                records.append(record)
+        return records, torn
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.replay()[0])
+
+
+# ---------------------------------------------------------------------
+# Atomic small-file helpers shared by the queue (manifest, leases,
+# backoff markers, quarantine entries).
+# ---------------------------------------------------------------------
+def write_json_atomic(path: Path, doc: dict) -> None:
+    """Write ``doc`` via tmp-file + fsync + rename: readers see the old
+    content or the new, never a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    data = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    try:
+        fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> dict | None:
+    """Best-effort JSON read: ``None`` for missing/torn/garbage files
+    (the caller treats those as "no usable state")."""
+    try:
+        doc = json.loads(path.read_bytes())
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None

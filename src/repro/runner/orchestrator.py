@@ -16,7 +16,14 @@ Design points:
   stderr ticker) as completions arrive, while the returned list stays
   deterministically ordered;
 * a worker exception cancels the remaining tasks and re-raises in the
-  parent — partial results are never silently merged.
+  parent — partial results are never silently merged;
+* a worker *death* (SIGKILL, OOM-kill — surfacing as
+  ``BrokenProcessPool``) does not abort the map: completed results are
+  kept, the pool is restarted once, and only the lost tasks are
+  re-run.  A second death raises with the in-flight item indices named
+  so the poison task can be found.  Campaigns needing stronger
+  guarantees (durable checkpoints, retry budgets, quarantine) use
+  :mod:`repro.runner.queue` instead.
 
 ``fn`` and every item must be picklable (module-level functions and
 plain data) when ``jobs > 1``; that is the usual multiprocessing
@@ -29,8 +36,13 @@ import os
 import sys
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from .cache import cache_env, configure_cache
+
+#: Distinguishes "no result yet" from a legitimate ``None`` result when
+#: deciding which tasks were lost to a dead worker.
+_UNSET = object()
 
 def default_jobs() -> int:
     """Fallback worker count: ``REPRO_JOBS`` env, else 1 (serial)."""
@@ -100,29 +112,60 @@ def parallel_map(
                 report(i + 1, total)
         return results
 
-    results = [None] * total
+    results: list = [_UNSET] * total
     env = cache_env()
-    done = 0
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, total),
-        initializer=_init_worker,
-        initargs=(env,),
-    ) as pool:
-        futures = {pool.submit(fn, item): i for i, item in enumerate(tasks)}
-        pending = set(futures)
-        try:
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    results[futures[fut]] = fut.result()
-                    done += 1
-                    if report:
-                        report(done, total)
-        except BaseException:
-            for fut in pending:
-                fut.cancel()
-            raise
-    return results
+    restarts_left = 1  # one automatic pool restart on worker death
+    while True:
+        remaining = [i for i in range(total) if results[i] is _UNSET]
+        if not remaining:
+            return results
+        done = total - len(remaining)
+        broken: BaseException | None = None
+        pending: set = set()
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(remaining)),
+            initializer=_init_worker,
+            initargs=(env,),
+        ) as pool:
+            try:
+                futures = {
+                    pool.submit(fn, tasks[i]): i for i in remaining
+                }
+                pending = set(futures)
+                # A dead worker resolves every pending future with
+                # BrokenProcessPool, so this loop still drains: note
+                # the breakage but keep any results that did land.
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for fut in finished:
+                        try:
+                            results[futures[fut]] = fut.result()
+                        except BrokenProcessPool as exc:
+                            broken = exc
+                            continue
+                        done += 1
+                        if report:
+                            report(done, total)
+            except BrokenProcessPool as exc:
+                broken = exc
+            except BaseException:
+                for fut in pending:
+                    fut.cancel()
+                raise
+        if broken is None:
+            continue
+        lost = [i for i in range(total) if results[i] is _UNSET]
+        if restarts_left <= 0:
+            raise RuntimeError(
+                f"worker process died again after a pool restart; "
+                f"{len(lost)} task(s) unfinished — in-flight candidates "
+                f"(item indices): {lost[:8]}"
+                f"{', …' if len(lost) > 8 else ''}; first lost item: "
+                f"{tasks[lost[0]]!r:.200}"
+            ) from broken
+        restarts_left -= 1
 
 
 def starmap_jobs(

@@ -40,8 +40,10 @@ from .differential import (
 )
 from .fuzz import (
     CONFIG_POOL,
+    STALL_FAULT,
     FuzzFailure,
     FuzzReport,
+    TaskTimeout,
     fuzz,
     make_scenarios,
 )
@@ -50,6 +52,8 @@ from .shrink import ShrinkResult, ancestor_closure, extract_subdag, shrink_dag
 __all__ = [
     "FAULTS",
     "CONFIG_POOL",
+    "STALL_FAULT",
+    "TaskTimeout",
     "DEFAULT_CASE_DIR",
     "DiffReport",
     "Mismatch",

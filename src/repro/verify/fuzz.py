@@ -17,27 +17,123 @@ On mismatch, the failing DAG is shrunk to a minimal reproducer
 (:func:`repro.verify.shrink.shrink_dag`) and written as a replayable
 artifact under ``results/repro_cases/`` (:mod:`repro.verify.
 artifacts`).
+
+Two robustness layers sit on top of the oracle:
+
+* ``task_timeout_s`` arms a per-scenario wall-clock alarm inside the
+  worker (``SIGALRM``), so one wedged compile cannot stall a whole
+  campaign — timed-out scenarios come back as failures, are shrunk
+  with a timeout-aware predicate and written as repro cases.  The
+  fuzz-only :data:`STALL_FAULT` injects exactly that wedge for tests.
+* ``campaign_id`` routes the fan-out through the durable work queue
+  (:mod:`repro.runner.queue`) instead of an in-memory pool: progress
+  is checkpointed per scenario, a killed run resumes with
+  ``resume=True`` (CLI ``repro fuzz --resume --campaign <id>``), and
+  poison scenarios are quarantined after ``max_attempts`` instead of
+  sinking the campaign.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
+import hashlib
 import random
+import signal
+import threading
+import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import VerificationError
-from ..runner.orchestrator import parallel_map
+from ..runner.orchestrator import default_jobs, parallel_map
 from ..workloads.synth import MIN_NODES, SYNTH_FAMILIES, SynthParams
 from .artifacts import ReproCase, write_case
 from .differential import (
     FAULTS,
+    Mismatch,
     Scenario,
     ScenarioOutcome,
     check_scenario,
     diff_check_dag,
 )
 from .shrink import ShrinkResult, shrink_dag
+
+#: Fuzz-layer-only injected fault: the scenario wedges mid-task
+#: (sleeps past any reasonable budget) instead of miscomputing.  It is
+#: deliberately NOT in :data:`repro.verify.differential.FAULTS` — the
+#: oracle never sees it; the timed task wrapper intercepts it before
+#: :func:`check_scenario` runs.  Requires ``task_timeout_s``.
+STALL_FAULT = "stall"
+
+
+class TaskTimeout(BaseException):
+    """A scenario exceeded its wall-clock budget.
+
+    Derives from ``BaseException`` so broad ``except Exception``
+    blocks in library code (cache reads treating corruption as a
+    miss, etc.) cannot swallow the alarm and leave the task wedged
+    with its one-shot timer spent.
+    """
+
+
+def _raise_task_timeout(signum, frame):  # noqa: ARG001 - signal API
+    raise TaskTimeout()
+
+
+@contextlib.contextmanager
+def _alarm(timeout_s: float | None):
+    """Arm a one-shot SIGALRM raising :class:`TaskTimeout`.
+
+    No-op when ``timeout_s`` is ``None`` or when not on the main
+    thread (signal handlers can only be installed there; worker
+    processes run tasks on their main thread, so the guard only
+    relaxes in exotic embedding situations).
+    """
+    if (
+        timeout_s is None
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    previous = signal.signal(signal.SIGALRM, _raise_task_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _check_timed_task(item: tuple) -> ScenarioOutcome:
+    """Campaign/pool task body: one scenario under a wall-clock budget.
+
+    The item is ``(scenario, timeout_s)`` so the same module-level
+    callable serves both the in-memory pool and the durable queue
+    (whose workers re-import it by name).
+    """
+    scenario, timeout_s = item
+    if timeout_s is None:
+        return check_scenario(scenario)
+    try:
+        with _alarm(timeout_s):
+            if scenario.fault == STALL_FAULT:
+                # The injected wedge: sleep until the alarm fires.
+                time.sleep(timeout_s + 3600.0)
+            return check_scenario(scenario)
+    except TaskTimeout:
+        return ScenarioOutcome(
+            scenario=scenario,
+            status="timeout",
+            mismatch=Mismatch(
+                "task-timeout",
+                f"exceeded {timeout_s:g}s wall clock",
+            ),
+            nodes=scenario.params.n,
+            fingerprint="",
+            cycles=0,
+        )
 
 #: Architecture points the fuzzer samples.  Mostly roomy register
 #: files (so compilation always succeeds) plus one deliberately tight
@@ -79,9 +175,10 @@ def make_scenarios(
             f"unknown synth families {unknown}; choose from "
             f"{sorted(SYNTH_FAMILIES)}"
         )
-    if fault is not None and fault not in FAULTS:
+    if fault is not None and fault not in FAULTS and fault != STALL_FAULT:
         raise VerificationError(
-            f"unknown fault {fault!r}; choose from {sorted(FAULTS)}"
+            f"unknown fault {fault!r}; choose from "
+            f"{sorted([*FAULTS, STALL_FAULT])}"
         )
     pool = tuple(configs) if configs else CONFIG_POOL
     rng = random.Random(seed)
@@ -187,6 +284,14 @@ class FuzzReport:
     def skipped(self) -> int:
         return sum(1 for o in self.outcomes if o.status == "skipped")
 
+    @property
+    def timed_out(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "timeout")
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "quarantined")
+
     def by_family(self) -> dict[str, dict[str, int]]:
         """Per-family tallies for reports and snapshots."""
         table: dict[str, dict[str, int]] = {}
@@ -206,10 +311,16 @@ class FuzzReport:
         return dict(sorted(table.items()))
 
     def render(self) -> str:
+        extra = ""
+        if self.timed_out or self.quarantined:
+            extra = (
+                f" ({self.timed_out} timed out, "
+                f"{self.quarantined} quarantined)"
+            )
         lines = [
             f"fuzz: budget {self.budget}, seed {self.seed} — "
             f"{self.checked} ok, {self.skipped} skipped (spill-bound), "
-            f"{len(self.failures)} mismatches"
+            f"{len(self.failures)} mismatches{extra}"
         ]
         header = f"{'family':16s} {'runs':>5s} {'ok':>5s} " \
                  f"{'skip':>5s} {'fail':>5s} {'nodes':>8s}"
@@ -222,8 +333,12 @@ class FuzzReport:
             )
         for failure in self.failures:
             o = failure.outcome
+            label = {
+                "timeout": "TIMEOUT",
+                "quarantined": "QUARANTINED",
+            }.get(o.status, "MISMATCH")
             lines.append(
-                f"MISMATCH {o.scenario.params.family} "
+                f"{label} {o.scenario.params.family} "
                 f"n={o.scenario.params.n} seed={o.scenario.params.seed}: "
                 f"{o.mismatch} -> shrunk to {failure.shrunk_nodes} nodes"
                 + (f" ({failure.case_path})" if failure.case_path else "")
@@ -240,51 +355,81 @@ def _shrunk_threshold(scenario, candidate) -> int | None:
     return max(1, min(scenario.partition_threshold, candidate.num_nodes // 2))
 
 
+def _storable_scenario(scenario: Scenario) -> Scenario:
+    """Strip the fuzz-only stall fault before persisting a case: the
+    oracle (and replay) does not know it, and a disarmed stall replays
+    clean — exactly like a disarmed executor fault."""
+    if scenario.fault == STALL_FAULT:
+        return dataclasses.replace(scenario, fault=None)
+    return scenario
+
+
 def _shrink_failure(
     outcome: ScenarioOutcome,
     write_artifacts: bool,
     out_dir: str | Path | None,
+    task_timeout_s: float | None = None,
 ) -> FuzzFailure:
     """Minimize one failing scenario and persist the repro case."""
     scenario = outcome.scenario
+    timed_out = outcome.status == "timeout"
+    oracle_fault = (
+        None if scenario.fault == STALL_FAULT else scenario.fault
+    )
     dag = scenario.params.build()
     config = scenario.config()
 
-    def still_fails(candidate) -> bool:
-        report = diff_check_dag(
+    def oracle(candidate):
+        return diff_check_dag(
             candidate,
             config,
             value_seed=scenario.value_seed,
             batch=scenario.batch,
-            fault=scenario.fault,
+            fault=oracle_fault,
             partition_threshold=_shrunk_threshold(scenario, candidate),
             partition_jobs=scenario.partition_jobs,
             serve=scenario.serve,
             fused=scenario.fused,
             image=scenario.image,
         )
-        return report.mismatch is not None
+
+    if timed_out:
+        # Keep candidates that still blow the wall-clock budget.  The
+        # injected stall wedges independently of the DAG, so every
+        # candidate "fails" and shrinking converges instantly; a real
+        # wedge shrinks toward the smallest DAG that still hangs.
+        def still_fails(candidate) -> bool:
+            if scenario.fault == STALL_FAULT:
+                return True
+            try:
+                with _alarm(task_timeout_s):
+                    oracle(candidate)
+            except TaskTimeout:
+                return True
+            return False
+
+    else:
+        def still_fails(candidate) -> bool:
+            return oracle(candidate).mismatch is not None
 
     shrunk: ShrinkResult = shrink_dag(dag, still_fails)
     case_path: Path | None = None
     if write_artifacts:
         # Record the mismatch as observed on the *shrunk* DAG — the
-        # stage can legitimately sharpen while shrinking.
-        final = diff_check_dag(
-            shrunk.dag,
-            config,
-            value_seed=scenario.value_seed,
-            batch=scenario.batch,
-            fault=scenario.fault,
-            partition_threshold=_shrunk_threshold(scenario, shrunk.dag),
-            partition_jobs=scenario.partition_jobs,
-            serve=scenario.serve,
-            fused=scenario.fused,
-            image=scenario.image,
-        )
+        # stage can legitimately sharpen while shrinking.  The final
+        # probe runs under the alarm too: a shrunk-but-still-wedging
+        # DAG must not hang the reporting path.
+        final_mismatch = outcome.mismatch
+        try:
+            with _alarm(task_timeout_s):
+                final = oracle(shrunk.dag)
+            if final.mismatch is not None:
+                final_mismatch = final.mismatch
+        except TaskTimeout:
+            pass
         case = ReproCase(
-            scenario=scenario,
-            mismatch=final.mismatch or outcome.mismatch,
+            scenario=_storable_scenario(scenario),
+            mismatch=final_mismatch,
             shrunk_dag=shrunk.dag,
             original_nodes=dag.num_nodes,
             shrink_checks=shrunk.checks,
@@ -298,6 +443,72 @@ def _shrink_failure(
     )
 
 
+def _quarantine_failure(
+    outcome: ScenarioOutcome,
+    write_artifacts: bool,
+    out_dir: str | Path | None,
+    task_timeout_s: float | None = None,
+) -> FuzzFailure:
+    """Persist a quarantined (poison) scenario as a replayable case.
+
+    No shrinking: the scenario killed ``max_attempts`` workers, so
+    every probe is a fresh hazard.  The unshrunk DAG is written under
+    an alarm guard; if even *building* it wedges, the failure is still
+    reported, just without an artifact.
+    """
+    case_path: Path | None = None
+    nodes = outcome.scenario.params.n
+    if write_artifacts:
+        try:
+            with _alarm(task_timeout_s):
+                dag = outcome.scenario.params.build()
+                nodes = dag.num_nodes
+                case = ReproCase(
+                    scenario=_storable_scenario(outcome.scenario),
+                    mismatch=outcome.mismatch
+                    or Mismatch("quarantine", "poison scenario"),
+                    shrunk_dag=dag,
+                    original_nodes=dag.num_nodes,
+                    shrink_checks=0,
+                )
+                case_path = write_case(case, out_dir)
+        except BaseException:  # noqa: BLE001 - reporting must survive
+            case_path = None
+    return FuzzFailure(
+        outcome=outcome,
+        shrunk_nodes=nodes,
+        shrink_checks=0,
+        case_path=case_path,
+    )
+
+
+def _campaign_fingerprint(
+    budget: int,
+    seed: int,
+    families,
+    fault,
+    configs,
+    image_all: bool,
+    task_timeout_s,
+) -> str:
+    """Identity of a fuzz campaign's parameter set: resuming a
+    campaign with different parameters must be refused, not silently
+    merged."""
+    key = repr(
+        (
+            "fuzz",
+            budget,
+            seed,
+            tuple(families) if families else None,
+            fault,
+            tuple(configs) if configs else None,
+            image_all,
+            task_timeout_s,
+        )
+    )
+    return hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+
+
 def fuzz(
     budget: int,
     seed: int = 0,
@@ -309,6 +520,11 @@ def fuzz(
     out_dir: str | Path | None = None,
     progress: bool | Callable[[int, int], None] = False,
     image_all: bool = False,
+    task_timeout_s: float | None = None,
+    campaign_id: str | None = None,
+    resume: bool = False,
+    max_attempts: int = 3,
+    campaign_root: str | Path | None = None,
 ) -> FuzzReport:
     """Run one differential fuzzing campaign.
 
@@ -320,7 +536,8 @@ def fuzz(
             ``REPRO_JOBS`` or serial).
         families: Restrict to these generator families (default: all).
         fault: Inject a named executor fault (:data:`repro.verify.
-            differential.FAULTS`) into every scenario — for tests and
+            differential.FAULTS`) or the fuzz-layer
+            :data:`STALL_FAULT` into every scenario — for tests and
             demos of the harness itself.
         configs: Override :data:`CONFIG_POOL` labels.
         write_artifacts: Write shrunk repro cases to ``out_dir``.
@@ -328,22 +545,112 @@ def fuzz(
         image_all: Run the binary-image round-trip stage on every
             scenario, not just its default every-fourth slice.
         progress: Progress callback or True for a stderr ticker.
+        task_timeout_s: Hard per-scenario wall-clock budget enforced
+            inside the worker; timed-out scenarios are failures (and
+            are shrunk/persisted like any other).
+        campaign_id: Run through the durable work queue under this
+            campaign id instead of an in-memory pool — the run
+            becomes killable/resumable.
+        resume: Pick up an existing campaign where it left off
+            (requires ``campaign_id``).
+        max_attempts: Campaign mode: failures per scenario before it
+            is quarantined.
+        campaign_root: Campaign mode: override the campaigns
+            directory (default ``<cache dir>/campaigns``).
 
     Returns:
         A :class:`FuzzReport`; ``report.ok`` is False iff any scenario
-        mismatched (shrunk reproducers are in ``report.failures``).
+        mismatched, timed out or was quarantined (reproducers are in
+        ``report.failures``).
     """
+    if fault == STALL_FAULT and task_timeout_s is None:
+        raise VerificationError(
+            f"the {STALL_FAULT!r} fault wedges scenarios forever; it "
+            "requires task_timeout_s (--task-timeout) to be survivable"
+        )
+    if resume and campaign_id is None:
+        raise VerificationError(
+            "resume=True needs a campaign_id (--campaign <id>)"
+        )
     scenarios = make_scenarios(
         budget, seed=seed, families=families, fault=fault, configs=configs,
         image_all=image_all,
     )
-    outcomes = parallel_map(
-        check_scenario, scenarios, jobs=jobs, progress=progress, desc="fuzz"
-    )
+    quarantined: dict[int, dict] = {}
+    if campaign_id is None:
+        if task_timeout_s is None:
+            outcomes = parallel_map(
+                check_scenario, scenarios, jobs=jobs, progress=progress,
+                desc="fuzz",
+            )
+        else:
+            outcomes = parallel_map(
+                _check_timed_task,
+                [(s, task_timeout_s) for s in scenarios],
+                jobs=jobs,
+                progress=progress,
+                desc="fuzz",
+            )
+    else:
+        from ..runner.queue import run_campaign
+
+        # The in-worker alarm is the first line of defense; the
+        # coordinator's wall-clock kill is the backstop for wedges the
+        # alarm cannot interrupt (C-level loops).
+        backstop = (
+            None if task_timeout_s is None else task_timeout_s + 30.0
+        )
+        result = run_campaign(
+            _check_timed_task,
+            [(s, task_timeout_s) for s in scenarios],
+            campaign_id=campaign_id,
+            root=campaign_root,
+            workers=default_jobs() if jobs is None else max(1, int(jobs)),
+            resume=resume,
+            kind="fuzz",
+            params_fingerprint=_campaign_fingerprint(
+                budget, seed, families, fault, configs, image_all,
+                task_timeout_s,
+            ),
+            max_attempts=max_attempts,
+            task_timeout_s=backstop,
+            progress=progress,
+            desc="fuzz",
+        )
+        quarantined = result.quarantined
+        outcomes = []
+        for i, value in enumerate(result.results):
+            if i in quarantined:
+                doc = quarantined[i]
+                outcomes.append(
+                    ScenarioOutcome(
+                        scenario=scenarios[i],
+                        status="quarantined",
+                        mismatch=Mismatch(
+                            "quarantine",
+                            f"{doc.get('attempts', '?')} failed "
+                            f"attempts; last: "
+                            f"{str(doc.get('error', ''))[:200]}",
+                        ),
+                        nodes=scenarios[i].params.n,
+                        fingerprint="",
+                        cycles=0,
+                    )
+                )
+            else:
+                outcomes.append(value)
     report = FuzzReport(budget=budget, seed=seed, outcomes=outcomes)
     for outcome in outcomes:
-        if outcome.status == "mismatch":
+        if outcome.status in ("mismatch", "timeout"):
             report.failures.append(
-                _shrink_failure(outcome, write_artifacts, out_dir)
+                _shrink_failure(
+                    outcome, write_artifacts, out_dir, task_timeout_s
+                )
+            )
+        elif outcome.status == "quarantined":
+            report.failures.append(
+                _quarantine_failure(
+                    outcome, write_artifacts, out_dir, task_timeout_s
+                )
             )
     return report

@@ -1,0 +1,112 @@
+"""parallel_map worker-death recovery (BrokenProcessPool).
+
+Before this PR a SIGKILLed pool worker aborted the whole map with a
+bare ``BrokenProcessPool`` — hours of completed work discarded and no
+hint which task killed the worker.  These tests pin the recovery
+contract: one automatic pool restart re-running only the lost tasks,
+and a second death raising with the in-flight item indices named.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.runner.orchestrator import parallel_map, starmap_jobs
+
+
+# -- module-level worker bodies (must pickle into the pool) -----------
+def _double(x: int) -> int:
+    return x * 2
+
+
+def _kill_worker_once(item) -> int:
+    """SIGKILLs its worker the first time any worker sees the poison
+    value — the marker file makes "once" hold across the pool restart
+    and across worker processes."""
+    marker, x = item
+    if x == 13:
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass  # already fired: this retry succeeds
+        else:
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x * 2
+
+
+def _kill_worker_always(x: int) -> int:
+    if x == 13:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 2
+
+
+def test_sigkilled_worker_does_not_lose_the_map(tmp_path):
+    """The pre-PR-failing regression: a worker dying mid-map used to
+    raise BrokenProcessPool and discard every completed result."""
+    marker = str(tmp_path / "killed-once")
+    items = [(marker, x) for x in list(range(12)) + [13] + [20, 21]]
+    results = parallel_map(_kill_worker_once, items, jobs=2)
+    assert results == [x * 2 for _, x in items]
+    assert os.path.exists(marker)  # the kill really fired
+
+
+def test_progress_reaches_total_despite_restart(tmp_path):
+    marker = str(tmp_path / "killed-once-progress")
+    items = [(marker, x) for x in [1, 2, 13, 4, 5, 6]]
+    seen: list[tuple[int, int]] = []
+    results = parallel_map(
+        _kill_worker_once, items, jobs=2,
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    assert results == [x * 2 for _, x in items]
+    assert seen[-1] == (len(items), len(items))
+
+
+def test_second_death_names_the_inflight_task():
+    """A task that kills every worker it touches must surface, not
+    loop: after the single restart the error names the candidate
+    item indices so the poison task can be found."""
+    items = list(range(8)) + [13]
+    with pytest.raises(RuntimeError) as excinfo:
+        parallel_map(_kill_worker_always, items, jobs=2)
+    message = str(excinfo.value)
+    assert "died again after a pool restart" in message
+    assert "13" in message  # the poison item (index or repr)
+    assert isinstance(excinfo.value.__cause__, BaseException)
+
+
+def test_completed_results_survive_the_restart(tmp_path):
+    """Only the lost tasks re-run: tasks completed before the death
+    are not executed a second time (their side-effect files are
+    created O_EXCL, so a re-run would crash)."""
+    marker = str(tmp_path / "kill-marker")
+    items = [(marker, x) for x in [0, 1, 2, 13, 4, 5]]
+    results = parallel_map(_kill_worker_once, items, jobs=2)
+    assert results == [x * 2 for _, x in items]
+
+
+def test_ordinary_exceptions_still_propagate():
+    """Worker *exceptions* (vs deaths) keep the original contract:
+    cancel and re-raise, no restart."""
+
+    with pytest.raises(ValueError, match="bad item"):
+        parallel_map(_raise_on_13, list(range(6)) + [13], jobs=2)
+
+
+def _raise_on_13(x: int) -> int:
+    if x == 13:
+        raise ValueError("bad item")
+    return x
+
+
+def test_serial_path_unaffected():
+    assert parallel_map(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+    assert starmap_jobs(_add, [(1, 2), (3, 4)], jobs=1) == [3, 7]
+
+
+def _add(a: int, b: int) -> int:
+    return a + b

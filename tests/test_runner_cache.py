@@ -498,6 +498,107 @@ class TestPruneIsLru:
         assert cold not in survivors
 
 
+class TestTornWrites:
+    """Crash-injection: a writer dying at the worst possible instant —
+    between the tmp-file write and the rename — must never tear an
+    entry a reader can observe, and the orphaned tmp it leaves behind
+    must be reclaimed by maintenance."""
+
+    def test_writer_killed_before_rename_leaves_no_entry(self, tmp_path):
+        import multiprocessing as mp
+
+        directory = tmp_path / "torn"
+        ctx = mp.get_context("spawn")
+        proc = ctx.Process(
+            target=_die_before_rename, args=(str(directory), "aatornkey")
+        )
+        proc.start()
+        proc.join(timeout=120)
+        import signal as _signal
+
+        assert proc.exitcode == -_signal.SIGKILL
+        cache = ArtifactCache(directory)
+        # Readers never see the partial write: it is a plain miss.
+        assert cache.get("aatornkey") is None
+        assert cache.entries() == []
+        # ... but the orphaned tmp file is there, invisible to get().
+        (orphan,) = list(directory.glob("*/.*.tmp"))
+        assert orphan.stat().st_size > 0
+
+    def test_prune_sweeps_stale_tmp_but_spares_fresh_ones(self, tmp_path):
+        import os
+        import time
+
+        cache = ArtifactCache(tmp_path / "sweep")
+        cache.put("aakeep", {"v": 1})
+        shard = cache.path_for("aaorphan").parent
+        shard.mkdir(parents=True, exist_ok=True)
+        stale = shard / ".aaorphan-dead.tmp"
+        stale.write_bytes(b"half a pickle")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = shard / ".aainflight-live.tmp"
+        fresh.write_bytes(b"a writer is mid-put right now")
+        assert cache.stale_tmp_files() == [stale]
+        cache.prune(max_bytes=cache.size_bytes())
+        assert not stale.exists()  # orphan reclaimed
+        assert fresh.exists()  # in-flight writer untouched
+        assert cache.get("aakeep") == {"v": 1}
+
+    def test_clear_sweeps_tmp_files_regardless_of_age(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "clr")
+        cache.put("aakey", {"v": 1})
+        shard = cache.path_for("aakey").parent
+        (shard / ".aakey-dead.tmp").write_bytes(b"partial")
+        cache.clear()
+        assert cache.entries() == []
+        assert list((tmp_path / "clr").glob("*/.*.tmp")) == []
+
+    def test_put_fsyncs_the_tmp_before_the_rename(self, tmp_path, monkeypatch):
+        import os
+
+        events: list[str] = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        cache = ArtifactCache(tmp_path / "sync")
+        cache.put("aadurable", {"v": 1})
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_kill_hammer_never_tears_a_readable_entry(self, tmp_path):
+        """Writers SIGKILLed at random points mid-hammer: every entry
+        that survives must load cleanly, and the store stays usable."""
+        import multiprocessing as mp
+        import signal as _signal
+
+        directory = tmp_path / "killham"
+        ctx = mp.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=_hammer_then_die,
+                args=(str(directory), worker, 5 + worker * 7),
+            )
+            for worker in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == -_signal.SIGKILL
+        cache = ArtifactCache(directory)
+        for path in cache.entries():
+            assert cache.get(path.stem) is not None, path.stem
+        cache.put("zzafter", {"alive": True})
+        assert cache.get("zzafter") == {"alive": True}
+
+
 def _hammer_cache(directory: str, worker: int) -> None:
     """Child-process body for the cross-process race test (module
     level so it pickles under the spawn start method)."""
@@ -509,3 +610,32 @@ def _hammer_cache(directory: str, worker: int) -> None:
         assert payload is None or "worker" in payload
         if worker == 0 and i % 10 == 9:
             cache.prune(max_bytes=1024)
+
+
+def _die_before_rename(directory: str, key: str) -> None:
+    """Child body: SIGKILL self at the exact instant between the tmp
+    write and the rename — the torn-write window put() must close."""
+    import os
+    import signal
+
+    def killing_replace(src, dst):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    os.replace = killing_replace
+    ArtifactCache(directory).put(key, {"big": "x" * 4096})
+
+
+def _hammer_then_die(directory: str, worker: int, kill_at: int) -> None:
+    """Child body: hammer puts, then SIGKILL self mid-loop so death
+    lands at an arbitrary point of some write."""
+    import os
+    import signal
+
+    cache = ArtifactCache(directory)
+    i = 0
+    while True:
+        key = f"{i % 6:02d}kh{i % 6}"
+        cache.put(key, {"worker": worker, "i": i, "pad": "p" * 512})
+        if i >= kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        i += 1

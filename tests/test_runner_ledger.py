@@ -1,0 +1,169 @@
+"""Campaign ledger: framing, checksums, torn-line tolerance."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runner.ledger import (
+    CampaignLedger,
+    LedgerError,
+    decode_line,
+    encode_record,
+    read_json,
+    write_json_atomic,
+)
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = {"type": "complete", "task": 7, "worker": "ab-w0"}
+        line = encode_record(record)
+        assert line.startswith(b"\n")
+        assert decode_line(line.lstrip(b"\n")) == record
+
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        line = encode_record({"b": 1, "a": 2})
+        payload = line.lstrip(b"\n").rpartition(b"|")[0]
+        assert payload == b'{"a":2,"b":1}'
+
+    def test_corrupted_payload_fails_checksum(self):
+        line = encode_record({"task": 3}).lstrip(b"\n")
+        flipped = bytearray(line)
+        flipped[2] ^= 0xFF
+        assert decode_line(bytes(flipped)) is None
+
+    def test_truncated_line_is_rejected(self):
+        line = encode_record({"task": 3}).lstrip(b"\n")
+        for cut in range(1, len(line)):
+            assert decode_line(line[:cut]) is None
+
+    def test_non_dict_payload_is_rejected(self):
+        import hashlib
+
+        payload = b"[1,2,3]"
+        digest = hashlib.blake2b(payload, digest_size=12).hexdigest()
+        assert decode_line(payload + b"|" + digest.encode()) is None
+
+    def test_empty_and_garbage_lines(self):
+        assert decode_line(b"") is None
+        assert decode_line(b"no separator here") is None
+        assert decode_line(b"garbage|notahexdigest") is None
+
+
+class TestCampaignLedger:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with CampaignLedger(path) as ledger:
+            for i in range(5):
+                ledger.append({"type": "enqueue", "task": i})
+        records, torn = CampaignLedger(path).replay()
+        assert torn == 0
+        assert [r["task"] for r in records] == list(range(5))
+
+    def test_torn_tail_self_heals(self, tmp_path):
+        """A writer dying mid-record leaves a half line; the next
+        writer's leading newline isolates it, so every other record
+        still parses and the tear is counted, not fatal."""
+        path = tmp_path / "ledger.jsonl"
+        with CampaignLedger(path) as ledger:
+            ledger.append({"type": "claim", "task": 0})
+            full = encode_record({"type": "complete", "task": 0})
+            with open(path, "ab") as fh:  # torn: half a record
+                fh.write(full[: len(full) // 2])
+        with CampaignLedger(path) as ledger:  # a later writer
+            ledger.append({"type": "claim", "task": 1})
+        records, torn = CampaignLedger(path).replay()
+        assert torn == 1
+        assert [(r["type"], r["task"]) for r in records] == [
+            ("claim", 0),
+            ("claim", 1),
+        ]
+
+    def test_torn_line_mid_file_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = CampaignLedger(path)
+        ledger.append({"task": 0})
+        ledger.append({"task": 1})
+        ledger.close()
+        # Corrupt the *first* record in place: replay must still
+        # deliver the second.
+        raw = bytearray(path.read_bytes())
+        raw[3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        records, torn = CampaignLedger(path).replay()
+        assert torn == 1
+        assert [r["task"] for r in records] == [1]
+
+    def test_tear_hook_truncates_the_write(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = CampaignLedger(path, tear_hook=lambda rec, data: 5)
+        ledger.append({"type": "claim", "task": 9})
+        ledger.close()
+        assert path.stat().st_size == 5
+        records, torn = CampaignLedger(path).replay()
+        assert records == [] and torn == 1
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        records, torn = CampaignLedger(tmp_path / "absent.jsonl").replay()
+        assert records == [] and torn == 0
+
+    def test_append_to_unwritable_path_raises_ledger_error(self, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        with pytest.raises(LedgerError):
+            CampaignLedger(target).append({"task": 0})
+
+    def test_iter_yields_intact_records(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = CampaignLedger(path)
+        ledger.append({"task": 1})
+        ledger.append({"task": 2})
+        ledger.close()
+        assert [r["task"] for r in CampaignLedger(path)] == [1, 2]
+
+    def test_concurrent_appenders_never_interleave(self, tmp_path):
+        """Two descriptors appending to one ledger (coordinator plus
+        worker is the production shape): every record survives."""
+        path = tmp_path / "ledger.jsonl"
+        a, b = CampaignLedger(path), CampaignLedger(path)
+        for i in range(20):
+            (a if i % 2 else b).append({"task": i})
+        a.close(), b.close()
+        records, torn = CampaignLedger(path).replay()
+        assert torn == 0
+        assert sorted(r["task"] for r in records) == list(range(20))
+
+
+class TestAtomicJsonHelpers:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"a": 1})
+        assert read_json(path) == {"a": 1}
+        # No tmp residue after a clean write.
+        assert list(tmp_path.glob(".*.tmp")) == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"v": 1})
+        write_json_atomic(path, {"v": 2})
+        assert read_json(path) == {"v": 2}
+
+    def test_read_json_tolerates_missing_torn_garbage(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_bytes(b'{"half": ')
+        assert read_json(bad) is None
+        bad.write_bytes(json.dumps([1, 2]).encode())  # non-dict
+        assert read_json(bad) is None
+
+    def test_failed_write_leaves_no_tmp(self, tmp_path, monkeypatch):
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_json_atomic(tmp_path / "doc.json", {"a": 1})
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,487 @@
+"""Durable work queue: leases, retries, quarantine, resume, merge.
+
+The end-to-end tests run real worker processes against a campaign
+directory; the unit tests drive :class:`DurableQueue` file operations
+directly.  The hypothesis test at the bottom is the determinism
+contract: *any* interleaving of completions, retries and duplicate
+completions merges to byte-identical output.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner.queue import (
+    CampaignError,
+    ChaosSpec,
+    DurableQueue,
+    backoff_delay,
+    campaign_dir,
+    campaign_status,
+    create_campaign,
+    list_campaigns,
+    merge_campaign,
+    run_campaign,
+)
+
+
+# -- module-level task bodies (workers re-import them by name) --------
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"poison task {x}")
+
+
+def _flaky(item) -> int:
+    """Fails the first ``fails`` attempts, then succeeds — the retry
+    path's happy ending.  Attempt state lives in a side file."""
+    path, fails, x = item
+    counter = Path(path)
+    n = int(counter.read_text()) if counter.exists() else 0
+    counter.write_text(str(n + 1))
+    if n < fails:
+        raise ValueError(f"transient failure #{n}")
+    return x * 10
+
+
+class TestCampaignRoot:
+    def test_configured_cache_moves_the_campaign_root(self, tmp_path):
+        """configure_cache() must relocate campaigns too — library
+        users who point the cache at a scratch dir would otherwise
+        leak campaign state into the stock ~/.cache location (and
+        collide with it on the next run)."""
+        from repro.runner import cache as runner_cache
+        from repro.runner.queue import campaign_root
+
+        runner_cache.configure_cache(tmp_path / "elsewhere")
+        try:
+            assert campaign_root() == tmp_path / "elsewhere" / "campaigns"
+            assert campaign_root(tmp_path / "explicit") == (
+                tmp_path / "explicit"
+            )
+        finally:
+            runner_cache._default_cache = None  # back to env resolution
+
+
+class TestBackoffDelay:
+    def test_deterministic(self):
+        a = backoff_delay("camp", 3, 2)
+        b = backoff_delay("camp", 3, 2)
+        assert a == b
+
+    def test_jitter_decorrelates_tasks_and_attempts(self):
+        delays = {
+            backoff_delay("camp", task, attempt)
+            for task in range(4)
+            for attempt in (1, 2)
+        }
+        assert len(delays) == 8
+
+    def test_exponential_growth_within_jitter_band(self):
+        for attempt in range(1, 6):
+            raw = min(30.0, 0.25 * 2 ** (attempt - 1))
+            d = backoff_delay("c", 0, attempt)
+            assert 0.5 * raw <= d <= raw
+
+    def test_cap(self):
+        assert backoff_delay("c", 0, 50, base_s=1.0, cap_s=5.0) <= 5.0
+
+
+class TestChaosSpec:
+    def test_json_round_trip(self):
+        spec = ChaosSpec(
+            kill=(1, 2), stall=(3,), poison=(0,), torn_ledger=(4,),
+            torn_lease=(5,), stall_s=12.0,
+        )
+        assert ChaosSpec.from_json(spec.to_json()) == spec
+
+    def test_from_json_none_and_empty(self):
+        assert ChaosSpec.from_json(None) is None
+        assert ChaosSpec.from_json("") is None
+        assert ChaosSpec().empty
+        assert not ChaosSpec(kill=(0,)).empty
+
+
+@pytest.fixture
+def queue(tmp_path) -> DurableQueue:
+    directory = create_campaign(
+        "unit", _square, list(range(4)), root=tmp_path / "campaigns",
+        max_attempts=3, backoff_base_s=0.01,
+    )
+    return DurableQueue(directory)
+
+
+class TestDurableQueueUnits:
+    def test_lease_is_exclusive(self, queue):
+        assert queue.try_claim(0, "w0")
+        assert not queue.try_claim(0, "w1")
+        content, _ = queue.read_lease(0)
+        assert content["worker"] == "w0" and content["task"] == 0
+
+    def test_heartbeat_refreshes_mtime(self, queue):
+        queue.try_claim(0, "w0")
+        import os
+
+        stale = time.time() - 60
+        os.utime(queue.lease_path(0), (stale, stale))
+        _, before = queue.read_lease(0)
+        assert queue.heartbeat(0, "w0")
+        _, after = queue.read_lease(0)
+        assert after > before
+
+    def test_heartbeat_fails_after_ownership_lost(self, queue):
+        queue.try_claim(0, "w0")
+        queue.reclaim(0, "stale")
+        queue.try_claim(0, "w1")
+        assert not queue.heartbeat(0, "w0")
+        assert queue.heartbeat(0, "w1")
+
+    def test_release_is_owner_checked(self, queue):
+        queue.try_claim(0, "w0")
+        queue.release(0, "other")  # not the owner: no-op
+        assert queue.read_lease(0) is not None
+        queue.release(0, "w0")
+        assert queue.read_lease(0) is None
+
+    def test_torn_lease_reads_as_garbage_but_exists(self, queue):
+        assert queue.try_claim(0, "w0", tear_after=7)
+        content, _ = queue.read_lease(0)
+        assert content is None  # torn: unparseable
+        assert not queue.try_claim(0, "w1")  # still held
+
+    def test_result_round_trip(self, queue):
+        queue.write_result(2, {"value": 42})
+        assert queue.completed(2)
+        assert queue.load_result(2) == (True, {"value": 42})
+
+    def test_torn_result_is_dropped(self, queue):
+        queue.write_result(2, {"value": 42})
+        queue.result_path(2).write_bytes(b"not a pickle")
+        assert queue.load_result(2) == (False, None)
+        assert not queue.result_path(2).exists()  # reruns on resume
+
+    def test_failure_schedules_backoff_then_quarantines(self, queue):
+        assert queue.attempts(1) == 0
+        assert queue.record_failure(1, "err one", "fail") == 1
+        assert queue.attempts(1) == 1
+        assert queue.eligible_at(1) > time.time() - 1
+        assert not queue.quarantined(1)
+        assert queue.record_failure(1, "err two", "fail") == 2
+        assert queue.record_failure(1, "err three", "fail") == 3
+        assert queue.quarantined(1)
+        doc = __import__("json").loads(
+            queue.quarantine_path(1).read_text()
+        )
+        assert doc["attempts"] == 3 and "err three" in doc["error"]
+
+    def test_reclaim_drops_lease_and_counts_attempt(self, queue):
+        queue.try_claim(3, "w0")
+        assert queue.reclaim(3, "worker-death") == 1
+        assert queue.read_lease(3) is None
+        assert queue.attempts(3) == 1
+
+    def test_complete_clears_backoff_and_lease(self, queue):
+        queue.record_failure(0, "once", "fail")
+        queue.try_claim(0, "w0")
+        queue.complete(0, 99, worker="w0")
+        assert queue.load_result(0) == (True, 99)
+        assert not queue.backoff_path(0).exists()
+        assert queue.read_lease(0) is None
+
+    def test_tasks_digest_guards_torn_task_list(self, queue):
+        queue.tasks_path.write_bytes(
+            pickle.dumps([1, 2, 3], protocol=5)
+        )
+        with pytest.raises(CampaignError, match="torn or was modified"):
+            queue.load_tasks()
+
+
+class TestCreateCampaign:
+    def test_duplicate_id_is_refused(self, tmp_path):
+        root = tmp_path / "c"
+        create_campaign("dup", _square, [1], root=root)
+        with pytest.raises(CampaignError, match="already exists"):
+            create_campaign("dup", _square, [1], root=root)
+
+    def test_empty_task_list_is_refused(self, tmp_path):
+        with pytest.raises(CampaignError, match="at least one task"):
+            create_campaign("empty", _square, [], root=tmp_path)
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".hidden"])
+    def test_invalid_ids(self, bad):
+        with pytest.raises(CampaignError, match="invalid campaign id"):
+            campaign_dir(bad)
+
+    def test_manifest_rename_is_the_commit_point(self, tmp_path):
+        """A campaign dir without a manifest (creation died before the
+        final rename) is not a campaign: status refuses it rather than
+        trusting half-written state."""
+        root = tmp_path / "c"
+        directory = create_campaign("torn", _square, [1, 2], root=root)
+        (directory / "manifest.json").unlink()
+        with pytest.raises(CampaignError, match="no campaign at"):
+            DurableQueue(directory).manifest()
+
+    def test_enqueue_records_are_journaled(self, tmp_path):
+        directory = create_campaign(
+            "journal", _square, [5, 6, 7], root=tmp_path / "c"
+        )
+        records, torn = DurableQueue(directory).ledger.replay()
+        assert torn == 0
+        assert [r["type"] for r in records] == [
+            "created", "enqueue", "enqueue", "enqueue",
+        ]
+
+
+class TestRunCampaign:
+    def test_end_to_end_map(self, tmp_path):
+        result = run_campaign(
+            _square, list(range(6)), campaign_id="e2e",
+            root=tmp_path / "c", workers=2,
+        )
+        assert result.results == [x * x for x in range(6)]
+        assert result.ok and result.status.done
+
+    def test_existing_without_resume_is_refused(self, tmp_path):
+        run_campaign(
+            _square, [1], campaign_id="once", root=tmp_path / "c"
+        )
+        with pytest.raises(CampaignError, match="pass resume=True"):
+            run_campaign(
+                _square, [1], campaign_id="once", root=tmp_path / "c"
+            )
+
+    def test_resume_of_complete_campaign_is_a_pure_merge(self, tmp_path):
+        root = tmp_path / "c"
+        first = run_campaign(
+            _square, list(range(4)), campaign_id="merge", root=root
+        )
+        queue = DurableQueue(campaign_dir("merge", root))
+        claims_before = sum(
+            1 for r in queue.ledger.replay()[0] if r["type"] == "claim"
+        )
+        again = run_campaign(
+            _square, campaign_id="merge", root=root, resume=True
+        )
+        claims_after = sum(
+            1 for r in queue.ledger.replay()[0] if r["type"] == "claim"
+        )
+        assert claims_after == claims_before  # nothing re-executed
+        assert pickle.dumps(again.results) == pickle.dumps(first.results)
+        assert again.status.resumes == 1
+
+    def test_missing_campaign_without_items_is_refused(self, tmp_path):
+        with pytest.raises(CampaignError, match="does not exist"):
+            run_campaign(
+                _square, campaign_id="ghost", root=tmp_path / "c",
+                resume=True,
+            )
+
+    def test_params_fingerprint_mismatch_is_refused(self, tmp_path):
+        root = tmp_path / "c"
+        run_campaign(
+            _square, [1], campaign_id="fp", root=root,
+            params_fingerprint="aaaa",
+        )
+        with pytest.raises(CampaignError, match="different parameters"):
+            run_campaign(
+                _square, campaign_id="fp", root=root, resume=True,
+                params_fingerprint="bbbb",
+            )
+
+    def test_poison_task_is_quarantined_and_campaign_completes(
+        self, tmp_path
+    ):
+        result = run_campaign(
+            _boom, [0, 1], campaign_id="poison", root=tmp_path / "c",
+            workers=1, max_attempts=2, backoff_base_s=0.01,
+        )
+        assert sorted(result.quarantined) == [0, 1]
+        assert result.results == [None, None]
+        assert not result.ok
+        status = result.status
+        assert status.done and status.quarantined == 2
+        assert status.retries >= 2  # the pre-quarantine attempts
+        assert "QUARANTINED task 0" in status.render()
+
+    def test_flaky_task_retries_then_succeeds(self, tmp_path):
+        counter = tmp_path / "attempts.txt"
+        result = run_campaign(
+            _flaky, [(str(counter), 2, 7)], campaign_id="flaky",
+            root=tmp_path / "c", workers=1, max_attempts=5,
+            backoff_base_s=0.01,
+        )
+        assert result.results == [70]
+        assert result.ok
+        assert result.status.retries == 2  # two transient failures
+        assert int(counter.read_text()) == 3
+
+    def test_sigkilled_worker_is_reclaimed_and_task_retried(
+        self, tmp_path
+    ):
+        """The headline recovery path: a worker SIGKILLed mid-task
+        (chaos kill point) loses its lease to the coordinator, the
+        retry succeeds, and the ledger shows the reclaim."""
+        result = run_campaign(
+            _square, list(range(4)), campaign_id="kill",
+            root=tmp_path / "c", workers=2, heartbeat_s=0.1,
+            lease_timeout_s=1.5, backoff_base_s=0.01,
+            chaos=ChaosSpec(kill=(2,)),
+        )
+        assert result.results == [0, 1, 4, 9]
+        assert result.status.reclaimed_leases >= 1
+        assert result.status.retries >= 1
+
+    def test_stalled_task_hits_wall_clock_timeout(self, tmp_path):
+        """A wedged task with a LIVE heartbeat: only task_timeout_s
+        catches it; the worker is killed and the retry completes."""
+        result = run_campaign(
+            _square, list(range(3)), campaign_id="stall",
+            root=tmp_path / "c", workers=2, heartbeat_s=0.1,
+            lease_timeout_s=30.0, task_timeout_s=1.0,
+            backoff_base_s=0.01,
+            chaos=ChaosSpec(stall=(1,), stall_s=60.0),
+        )
+        assert result.results == [0, 1, 4]
+        assert result.status.timeouts >= 1
+
+    def test_torn_lease_is_reclaimed_via_stale_heartbeat(self, tmp_path):
+        # workers=1 on purpose: with two workers the peer can claim
+        # task 0 normally in the window between the chaos marker and
+        # the torn lease write, and then no torn lease ever lands.
+        # A single worker tears + dies, the respawned replacement
+        # finds the unreadable lease, and reclaim must go through the
+        # stale-heartbeat path.
+        result = run_campaign(
+            _square, list(range(3)), campaign_id="tlease",
+            root=tmp_path / "c", workers=1, heartbeat_s=0.1,
+            lease_timeout_s=1.0, backoff_base_s=0.01,
+            chaos=ChaosSpec(torn_lease=(0,)),
+        )
+        assert result.results == [0, 1, 4]
+        assert result.status.reclaimed_leases >= 1
+
+    def test_torn_ledger_line_is_detected_not_fatal(self, tmp_path):
+        result = run_campaign(
+            _square, list(range(3)), campaign_id="tledger",
+            root=tmp_path / "c", workers=2, heartbeat_s=0.1,
+            lease_timeout_s=1.5, backoff_base_s=0.01,
+            chaos=ChaosSpec(torn_ledger=(1,)),
+        )
+        assert result.results == [0, 1, 4]
+        assert result.status.torn_records >= 1
+
+
+class TestStatusAndMerge:
+    def test_merge_incomplete_campaign_is_refused(self, tmp_path):
+        directory = create_campaign(
+            "partial", _square, list(range(3)), root=tmp_path / "c"
+        )
+        DurableQueue(directory).complete(0, 0)
+        with pytest.raises(CampaignError, match="incomplete"):
+            merge_campaign(directory)
+
+    def test_status_counts(self, tmp_path):
+        directory = create_campaign(
+            "counts", _square, list(range(4)), root=tmp_path / "c",
+            max_attempts=2, backoff_base_s=0.01,
+        )
+        queue = DurableQueue(directory)
+        queue.complete(0, 0)
+        queue.try_claim(1, "w0")
+        queue.record_failure(2, "boom", "fail")
+        queue.record_failure(3, "boom", "fail")
+        queue.record_failure(3, "boom", "fail")  # -> quarantine
+        status = campaign_status(directory)
+        assert (status.completed, status.active_leases) == (1, 1)
+        assert status.quarantined == 1
+        # The quarantining attempt itself is journaled as "quarantine",
+        # not "fail": 2 retries (task 2 once, task 3 once).
+        assert status.retries == 2
+        assert not status.done
+
+    def test_list_campaigns(self, tmp_path):
+        root = tmp_path / "c"
+        assert list_campaigns(root) == []
+        create_campaign("aaa", _square, [1], root=root)
+        create_campaign("bbb", _square, [1], root=root)
+        assert [s.campaign for s in list_campaigns(root)] == [
+            "aaa", "bbb",
+        ]
+
+
+# ---------------------------------------------------------------------
+# Satellite: the determinism contract, property-based.
+# ---------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_N_TASKS = 6
+
+
+def _reference_bytes(tmp_path: Path) -> bytes:
+    """The uninterrupted in-order run every scrambled history must
+    reproduce byte-for-byte.  Idempotent: hypothesis reuses one
+    tmp_path across examples."""
+    directory = tmp_path / "ref" / "ref"
+    if not (directory / "manifest.json").exists():
+        create_campaign(
+            "ref", _square, list(range(_N_TASKS)), root=tmp_path / "ref"
+        )
+        queue = DurableQueue(directory)
+        for task in range(_N_TASKS):
+            queue.complete(task, _square(task))
+    merged = merge_campaign(directory)
+    return pickle.dumps(merged.results, protocol=5)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    order=st.permutations(list(range(_N_TASKS))),
+    retries=st.lists(
+        st.integers(min_value=0, max_value=2),
+        min_size=_N_TASKS, max_size=_N_TASKS,
+    ),
+    duplicate=st.lists(
+        st.booleans(), min_size=_N_TASKS, max_size=_N_TASKS
+    ),
+)
+def test_merge_is_independent_of_history(
+    tmp_path, order, retries, duplicate
+):
+    """Any completion order, any retry count, any duplicate completion
+    (a reclaimed task finishing twice): the merged campaign result is
+    byte-identical to the uninterrupted in-order run."""
+    import shutil
+
+    reference = _reference_bytes(tmp_path)
+    root = tmp_path / "scrambled"
+    shutil.rmtree(root, ignore_errors=True)
+    directory = create_campaign(
+        "ref", _square, list(range(_N_TASKS)), root=root,
+        max_attempts=10, backoff_base_s=0.0,
+    )
+    queue = DurableQueue(directory)
+    for task in order:
+        for attempt in range(retries[task]):
+            queue.try_claim(task, f"w{attempt}")
+            queue.reclaim(task, "worker-death: simulated")
+        queue.try_claim(task, "final")
+        queue.complete(task, _square(task), worker="final")
+        if duplicate[task]:
+            # A zombie worker finishing after the reclaim: identical
+            # value through an atomic rename — harmless by design.
+            queue.write_result(task, _square(task))
+    merged = merge_campaign(directory)
+    assert pickle.dumps(merged.results, protocol=5) == reference
