@@ -29,7 +29,15 @@ Mirrors the paper artifact's ``run.sh`` workflow:
   over warm execution plans behind a minimal HTTP front end;
 * ``loadgen``  — drive a server (or an in-process service) with a
   seeded traffic schedule and report latency percentiles, optionally
-  verifying every response bitwise against direct execution.
+  verifying every response bitwise against direct execution;
+* ``trace``    — run any subcommand with span tracing enabled and
+  export a Perfetto-loadable Chrome trace (``repro trace --
+  loadgen --router 2 ...``); ``run``/``sweep``/``fuzz``/``serve``/
+  ``loadgen`` also take ``--trace FILE`` / ``--metrics FILE``
+  directly;
+* ``profile``  — span-level profile of one workload: per-pass compile
+  times, plan lowering, fused/codegen kernel timings and the batch
+  sweep, aggregated into a table.
 
 The evaluation commands (``run``, ``suite``, ``dse``, ``sweep``,
 ``all``) share ``--cache-dir``/``--no-cache``: compiled programs and
@@ -143,6 +151,51 @@ def _setup_cache(args: argparse.Namespace) -> None:
     configure_cache(
         getattr(args, "cache_dir", None), enabled=not disabled
     )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """``--trace``/``--metrics`` output flags (see ``repro trace`` for
+    the wrapper form that works with any subcommand)."""
+    parser.add_argument(
+        "--trace", default="", metavar="FILE",
+        help="enable span tracing and write a Chrome trace-event JSON "
+        "file on exit (viewable at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics", default="", metavar="FILE",
+        help="write this process's metrics registry as Prometheus "
+        "text exposition on exit",
+    )
+
+
+def _finish_obs(args: argparse.Namespace) -> None:
+    """Export ``--trace``/``--metrics`` outputs after a command ran."""
+    trace_path = getattr(args, "trace", "")
+    metrics_path = getattr(args, "metrics", "")
+    if trace_path:
+        from .obs import trace
+
+        count = trace.export_chrome(trace_path)
+        print(f"trace: {count} span(s) -> {trace_path}", file=sys.stderr)
+    if metrics_path:
+        from .obs.metrics import get_registry, render_registries
+
+        Path(metrics_path).write_text(render_registries(get_registry()))
+        print(f"metrics -> {metrics_path}", file=sys.stderr)
+
+
+def _run_with_obs(args: argparse.Namespace) -> int:
+    """Run one parsed subcommand under its ``--trace``/``--metrics``
+    flags (when it has them); the export runs even when the command
+    fails, so a crashed run still leaves its trace behind."""
+    if getattr(args, "trace", ""):
+        from .obs import trace
+
+        trace.enable()
+    try:
+        return args.func(args)
+    finally:
+        _finish_obs(args)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -625,8 +678,11 @@ async def serve_router_forever(
     except ReproError as exc:
         print(f"cannot build programs: {exc}", file=sys.stderr)
         return 1
+    trace_dir = _shard_trace_dir()
     shards = [
-        ProcessShard(f"shard{i}", _shard_argv(args))
+        ProcessShard(
+            f"shard{i}", _shard_argv(args, trace_dir=trace_dir, index=i)
+        )
         for i in range(args.shards)
     ]
     router = ShardRouter(
@@ -654,6 +710,8 @@ async def serve_router_forever(
         finally:
             server.close()
             await server.wait_closed()
+    if trace_dir is not None:
+        _ingest_shard_traces(sorted(Path(trace_dir).glob("*.json")))
     return 0
 
 
@@ -699,11 +757,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
-def _shard_argv(args: argparse.Namespace) -> list[str]:
+def _shard_trace_dir() -> str | None:
+    """A scratch directory for shard subprocess trace exports when
+    tracing is on in this process, else ``None``."""
+    import tempfile
+
+    from .obs import trace
+
+    if not trace.is_on():
+        return None
+    return tempfile.mkdtemp(prefix="repro-shard-traces-")
+
+
+def _shard_argv(
+    args: argparse.Namespace,
+    trace_dir: str | None = None,
+    index: int = 0,
+) -> list[str]:
     """The ``repro serve`` command for one shard, host/port omitted
     (each :class:`~repro.serve.router.ProcessShard` probes its own
     port).  All shards share ``--cache-dir``, so one compiles and the
-    rest warm-load."""
+    rest warm-load.  With ``trace_dir`` set each shard exports its own
+    Chrome trace on exit, which the coordinator merges into the final
+    trace — serve-layer spans from every shard, one timeline."""
     cmd = [
         sys.executable, "-m", "repro", "serve",
         "--programs", args.programs,
@@ -721,20 +797,26 @@ def _shard_argv(args: argparse.Namespace) -> list[str]:
         cmd.append("--no-cache")
     if args.partition_threshold is not None:
         cmd += ["--partition-threshold", str(args.partition_threshold)]
+    if trace_dir is not None:
+        cmd += ["--trace", str(Path(trace_dir) / f"shard{index}.json")]
     return cmd
 
 
 def _spawn_server(args: argparse.Namespace) -> tuple:
-    """Start ``repro serve`` as a subprocess; returns (proc, host, port)."""
+    """Start ``repro serve`` as a subprocess; returns
+    (proc, host, port, trace_dir)."""
     import socket
     import subprocess
 
     with socket.socket() as probe:
         probe.bind(("127.0.0.1", 0))
         port = probe.getsockname()[1]
-    cmd = _shard_argv(args) + ["--host", "127.0.0.1", "--port", str(port)]
+    trace_dir = _shard_trace_dir()
+    cmd = _shard_argv(args, trace_dir=trace_dir) + [
+        "--host", "127.0.0.1", "--port", str(port)
+    ]
     proc = subprocess.Popen(cmd)
-    return proc, "127.0.0.1", port
+    return proc, "127.0.0.1", port, trace_dir
 
 
 async def _await_ready(host: str, port: int, timeout_s: float = 120.0):
@@ -864,8 +946,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         from .serve.loadtest import _drive_open_loop
 
+        trace_dir = _shard_trace_dir()
         shards = [
-            ProcessShard(f"shard{i}", _shard_argv(args))
+            ProcessShard(
+                f"shard{i}",
+                _shard_argv(args, trace_dir=trace_dir, index=i),
+            )
             for i in range(args.router)
         ]
         slos: dict = {}
@@ -920,14 +1006,17 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                     },
                 ))
             print(f"router: {router.stats.as_dict()}")
+        if trace_dir is not None:
+            _ingest_shard_traces(sorted(Path(trace_dir).glob("*.json")))
         return reports
 
     proc = None
+    spawn_trace_dir = None
     try:
         if args.router:
             reports = asyncio.run(drive_router())
         elif args.spawn:
-            proc, host, port = _spawn_server(args)
+            proc, host, port, spawn_trace_dir = _spawn_server(args)
             reports = asyncio.run(drive_http(host, port))
         elif args.url:
             host, _, port_text = args.url.rpartition(":")
@@ -945,6 +1034,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         if proc is not None:
             proc.terminate()
             proc.wait(timeout=30)
+        if spawn_trace_dir is not None:
+            _ingest_shard_traces(
+                sorted(Path(spawn_trace_dir).glob("*.json"))
+            )
 
     failures = 0
     for report in reports:
@@ -977,6 +1070,112 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"FAILED: {failures} traffic pattern(s) saw errors, "
               "rejections or parity mismatches")
         return 1
+    return 0
+
+
+def _ingest_shard_traces(paths) -> int:
+    """Merge shard subprocesses' exported Chrome traces into this
+    process's buffers (one timeline: CLOCK_MONOTONIC is shared)."""
+    import json
+
+    from .obs import trace
+
+    total = 0
+    for path in paths:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            continue  # shard died before exporting; trace what we have
+        total += trace.ingest_chrome(doc)
+    return total
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace [--out FILE] -- <command ...>``: run any
+    subcommand with tracing enabled and export the Chrome trace."""
+    from .obs import trace
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit(
+            "usage: repro trace [--out FILE] -- <command ...>"
+        )
+    if rest[0] == "trace":
+        raise SystemExit("repro trace cannot wrap itself")
+    sub_args = build_parser().parse_args(rest)
+    if getattr(sub_args, "trace", ""):
+        raise SystemExit(
+            "pass either `repro trace` or --trace, not both"
+        )
+    trace.enable()
+    try:
+        return sub_args.func(sub_args)
+    finally:
+        count = trace.export_chrome(args.out)
+        print(f"trace: {count} span(s) -> {args.out}", file=sys.stderr)
+        _finish_obs(sub_args)  # honor an inner --metrics
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Span-level profile of one workload: compile passes, plan
+    lowering, and a batch sweep, aggregated per span name."""
+    import numpy as np
+
+    from .analysis import format_table
+    from .obs import trace
+    from .sim import BatchSimulator
+
+    dag = _resolve_workload(args.workload, args.scale)
+    config = _parse_config(args.config)
+    trace.enable()
+    trace.set_sample_every(1)  # a profile wants every kernel span
+    with trace.span("profile", "cli", workload=dag.name):
+        result = compile_dag(dag, config, seed=args.seed)
+        plan = result.plan()
+        rng = np.random.default_rng(args.seed)
+        matrix = rng.uniform(0.9, 1.1, size=(args.batch, dag.num_inputs))
+        sim = BatchSimulator(plan, engine=args.engine)
+        batch = sim.run(matrix)
+    events = trace.drain()
+    wall_us = max(
+        (e["dur"] for e in events if e["name"] == "profile"), default=0
+    )
+    agg: dict[str, list] = {}
+    for e in events:
+        if e["name"] == "profile":
+            continue
+        slot = agg.setdefault(e["name"], [e["cat"], 0, 0])
+        slot[1] += 1
+        slot[2] += e["dur"]
+    rows = [
+        (
+            name,
+            cat,
+            count,
+            round(total / 1e3, 3),
+            round(total / count / 1e3, 3),
+            round(100 * total / wall_us, 1) if wall_us else 0.0,
+        )
+        for name, (cat, count, total) in sorted(
+            agg.items(), key=lambda kv: -kv[1][2]
+        )
+    ]
+    print(
+        format_table(
+            ["span", "cat", "count", "total ms", "mean ms", "% wall"],
+            rows,
+            title=(
+                f"{dag.name} @ {config}: profile over a "
+                f"{batch.batch}-row sweep (engine {sim.engine}, "
+                f"wall {wall_us / 1e3:.1f}ms)"
+            ),
+        )
+    )
+    if args.out:
+        count = trace.export_chrome(args.out, events=events)
+        print(f"trace: {count} span(s) -> {args.out}", file=sys.stderr)
     return 0
 
 
@@ -1052,6 +1251,7 @@ def build_parser() -> argparse.ArgumentParser:
         "identical",
     )
     _add_cache_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("suite", help="fig. 14-style suite table")
@@ -1067,6 +1267,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -1083,6 +1284,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -1145,6 +1347,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -1262,6 +1465,7 @@ def build_parser() -> argparse.ArgumentParser:
         "directly from this process",
     )
     _add_cache_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1322,6 +1526,7 @@ def build_parser() -> argparse.ArgumentParser:
         "file (e.g. BENCH_serve.json)",
     )
     _add_cache_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("encode", help="emit the packed binary program")
@@ -1353,12 +1558,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_encoding_report)
 
+    p = sub.add_parser(
+        "trace",
+        help="run any repro subcommand with tracing enabled and "
+        "export a Chrome trace (view at https://ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="trace output path (default trace.json)",
+    )
+    p.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="-- command ...",
+        help="the wrapped command, e.g. "
+        "`repro trace -- loadgen --router 2 --requests 100`",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="span-level profile of one workload: compile passes, "
+        "plan lowering, fused/codegen kernels, batch sweep",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--batch", type=int, default=256, metavar="N",
+        help="rows in the profiled batch sweep (default 256)",
+    )
+    p.add_argument(
+        "--engine", default="auto", choices=ENGINES,
+        help="batch execution engine to profile (default auto)",
+    )
+    p.add_argument(
+        "--out", default="", metavar="FILE",
+        help="also write the profile's Chrome trace JSON",
+    )
+    p.set_defaults(func=cmd_profile)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    return _run_with_obs(args)
 
 
 if __name__ == "__main__":

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from ..arch import ArchConfig, Interconnect, Program, Topology
 from ..errors import CompileError
 from ..graphs import DAG, OpType, binarize, validate
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .blocks import Decomposition, decompose
 from .liveness import analyze_residences, annotate_liveness
 from .mapping import Mapping, map_banks
@@ -91,11 +93,25 @@ class CompileResult:
         cache = getattr(self, "_plan_cache", None)
         if cache is None:
             cache = self._plan_cache = {}
+        lowerings = get_registry().counter(
+            "repro_plan_lowerings_total",
+            "Program-to-plan lowerings by cache outcome",
+            label_names=("outcome",),
+        )
         if key not in cache:
-            cache[key] = self.program.lower(
-                interconnect=interconnect,
-                check_addresses=self.allocation.read_addrs,
-            )
+            lowerings.inc(outcome="miss")
+            with trace.span(
+                "plan.lower",
+                "compiler",
+                workload=self.program.source_name,
+                instructions=len(self.program.instructions),
+            ):
+                cache[key] = self.program.lower(
+                    interconnect=interconnect,
+                    check_addresses=self.allocation.read_addrs,
+                )
+        else:
+            lowerings.inc(outcome="hit")
         return cache[key]
 
 
@@ -173,18 +189,66 @@ def compile_dag(
         )
     t_start = time.perf_counter()
     steps: dict[str, float] = {}
+    compile_span = trace.span(
+        "compile", "compiler", workload=dag.name, nodes=dag.num_nodes
+    )
+    compile_span.__enter__()
+    try:
+        result = _compile_monolithic(
+            dag,
+            config,
+            topology,
+            seed,
+            mapping_strategy,
+            trace_occupancy,
+            validate_input,
+            keep,
+            t_start,
+            steps,
+        )
+    except BaseException as exc:
+        compile_span.__exit__(type(exc), exc, exc.__traceback__)
+        raise
+    compile_span.__exit__(None, None, None)
+    reg = get_registry()
+    reg.counter(
+        "repro_compile_runs_total", "DAGs compiled by this process"
+    ).inc()
+    pass_seconds = reg.counter(
+        "repro_compile_pass_seconds_total",
+        "Cumulative wall-clock per compiler pass",
+        label_names=("compiler_pass",),
+    )
+    for name, seconds in steps.items():
+        pass_seconds.inc(seconds, compiler_pass=name)
+    return result
 
+
+def _compile_monolithic(
+    dag: DAG,
+    config: ArchConfig,
+    topology: Topology,
+    seed: int,
+    mapping_strategy: str,
+    trace_occupancy: bool,
+    validate_input: bool,
+    keep,
+    t_start: float,
+    steps: dict[str, float],
+) -> CompileResult:
     if validate_input:
         validate(dag)
     interconnect = Interconnect(config, topology)
 
     t0 = time.perf_counter()
-    bin_result = binarize(dag)
-    bdag = bin_result.dag
+    with trace.span("compile.binarize", "compiler"):
+        bin_result = binarize(dag)
+        bdag = bin_result.dag
     steps["binarize"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    decomposition = decompose(bdag, config)
+    with trace.span("compile.decompose", "compiler"):
+        decomposition = decompose(bdag, config)
     steps["decompose"] = time.perf_counter() - t0
 
     # Force kept values to be block outputs before bank mapping, so
@@ -200,37 +264,46 @@ def compile_dag(
             block.output_vars |= extra
 
     t0 = time.perf_counter()
-    mapping = map_banks(
-        decomposition, interconnect, seed=seed, strategy=mapping_strategy
-    )
+    with trace.span("compile.map_banks", "compiler"):
+        mapping = map_banks(
+            decomposition, interconnect, seed=seed, strategy=mapping_strategy
+        )
     steps["map"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    schedule = build_schedule(decomposition, mapping, keep_vars=keep_vars)
+    with trace.span("compile.schedule", "compiler"):
+        schedule = build_schedule(
+            decomposition, mapping, keep_vars=keep_vars
+        )
     steps["schedule"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    reordered = reorder(
-        schedule.instructions, config, extra_deps=schedule.anchor_deps
-    )
+    with trace.span("compile.reorder", "compiler"):
+        reordered = reorder(
+            schedule.instructions, config, extra_deps=schedule.anchor_deps
+        )
     steps["reorder"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    residences = analyze_residences(reordered.instructions)
-    flagged = annotate_liveness(reordered.instructions, residences=residences)
-    spilled = insert_spills(
-        flagged, config, next_row=schedule.num_rows, residences=residences
-    )
-    # Spilling splits residences; re-run liveness so the flags reflect
-    # the final read order, then assert the pipeline discipline.
-    final_instrs = annotate_liveness(spilled.instructions)
-    verify_hazard_free(final_instrs, config)
+    with trace.span("compile.spill", "compiler"):
+        residences = analyze_residences(reordered.instructions)
+        flagged = annotate_liveness(
+            reordered.instructions, residences=residences
+        )
+        spilled = insert_spills(
+            flagged, config, next_row=schedule.num_rows, residences=residences
+        )
+        # Spilling splits residences; re-run liveness so the flags
+        # reflect the final read order, then assert the discipline.
+        final_instrs = annotate_liveness(spilled.instructions)
+        verify_hazard_free(final_instrs, config)
     steps["spill"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    allocation = allocate_addresses(
-        final_instrs, config, trace=trace_occupancy
-    )
+    with trace.span("compile.regalloc", "compiler"):
+        allocation = allocate_addresses(
+            final_instrs, config, trace=trace_occupancy
+        )
     steps["regalloc"] = time.perf_counter() - t0
 
     needed_rows = max(spilled.num_rows, 1)

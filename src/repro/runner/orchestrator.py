@@ -38,6 +38,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
+from ..obs import trace
 from .cache import cache_env, configure_cache
 
 #: Distinguishes "no result yet" from a legitimate ``None`` result when
@@ -114,6 +115,13 @@ def parallel_map(
 
     results: list = [_UNSET] * total
     env = cache_env()
+    if trace.is_on():
+        # Ship span context to the workers: each task runs under a
+        # span parented to the coordinator's current span, and the
+        # worker's buffered spans ride back inside the result
+        # envelope (unwrapped below), so jobs=N merges into the same
+        # parent-linked tree jobs=1 records directly.
+        fn = trace.task_wrapper(fn, desc)
     restarts_left = 1  # one automatic pool restart on worker death
     while True:
         remaining = [i for i in range(total) if results[i] is _UNSET]
@@ -141,7 +149,9 @@ def parallel_map(
                     )
                     for fut in finished:
                         try:
-                            results[futures[fut]] = fut.result()
+                            results[futures[fut]] = trace.merge_task_result(
+                                fut.result()
+                            )
                         except BrokenProcessPool as exc:
                             broken = exc
                             continue

@@ -70,6 +70,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import ReproError
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .cache import DEFAULT_CACHE_DIR, cache_env, get_cache
 from .ledger import (
     CampaignLedger,
@@ -80,6 +82,18 @@ from .ledger import (
 
 class CampaignError(ReproError):
     """A campaign directory is missing, mismatched, or unusable."""
+
+
+def _campaign_events():
+    """Process-local mirror of the durable ledger's event stream —
+    same vocabulary, counted instead of journaled, for ``/metrics``
+    style scraping.  Workers count their own events (lease, heartbeat,
+    retry, quarantine, complete); the coordinator counts reclaims."""
+    return get_registry().counter(
+        "repro_campaign_events_total",
+        "Durable-queue lifecycle events, by kind",
+        label_names=("event",),
+    )
 
 
 #: Pickle protocol pinned for the same reason as the artifact cache:
@@ -311,6 +325,7 @@ class DurableQueue:
             os.fsync(fd)
         finally:
             os.close(fd)
+        _campaign_events().inc(event="lease")
         return True
 
     def read_lease(self, task: int) -> tuple[dict | None, float] | None:
@@ -335,6 +350,7 @@ class DurableQueue:
             os.utime(self.lease_path(task))
         except OSError:
             return False
+        _campaign_events().inc(event="heartbeat")
         return True
 
     def release(self, task: int, worker: str) -> None:
@@ -450,6 +466,7 @@ class DurableQueue:
                     "worker": worker,
                 }
             )
+            _campaign_events().inc(event="quarantine")
         else:
             delay = backoff_delay(
                 self.manifest().get("campaign", "?"),
@@ -479,6 +496,7 @@ class DurableQueue:
                     "backoff_s": round(delay, 4),
                 }
             )
+            _campaign_events().inc(event="retry")
         return attempt
 
     def reclaim(
@@ -489,6 +507,7 @@ class DurableQueue:
             os.unlink(self.lease_path(task))
         except OSError:
             pass
+        _campaign_events().inc(event="reclaim")
         return self.record_failure(
             task, reason, "reclaim", worker=worker, task_repr=task_repr
         )
@@ -499,6 +518,7 @@ class DurableQueue:
         self.ledger.append(
             {"type": "complete", "task": task, "worker": worker}
         )
+        _campaign_events().inc(event="complete")
         try:
             os.unlink(self.backoff_path(task))
         except OSError:
@@ -930,12 +950,13 @@ def _run_claimed_task(
     heartbeat_s: float,
     chaos: ChaosSpec | None,
 ) -> None:
+    attempt = queue.attempts(task) + 1
     queue.ledger.append(
         {
             "type": "claim",
             "task": task,
             "worker": worker_id,
-            "attempt": queue.attempts(task) + 1,
+            "attempt": attempt,
         }
     )
     if chaos is not None:
@@ -961,7 +982,11 @@ def _run_claimed_task(
             # Wedged mid-task with a live heartbeat: only the per-task
             # wall-clock timeout can catch this.
             time.sleep(chaos.stall_s)
-        value = fn(item)
+        with trace.span(
+            "campaign.task", "campaign",
+            task=task, worker=worker_id, attempt=attempt,
+        ):
+            value = fn(item)
     except BaseException as exc:  # noqa: BLE001 - journal any failure
         stop.set()
         queue.record_failure(

@@ -12,7 +12,16 @@ client and CI to talk to it:
   floats via shortest-round-trip repr), which is what lets the load
   generator assert served-vs-direct parity across the wire.
 * ``GET /stats`` — service totals + batcher histogram.
+* ``GET /metrics`` — Prometheus text exposition (service counters,
+  latency/batch-size histograms, process-wide compiler/engine
+  metrics).
 * ``GET /healthz`` — readiness probe listing registered programs.
+
+Every ``/infer`` response carries the request's correlation id both
+in the JSON payload (``request_id``) and as an
+``X-Repro-Request-Id`` response header; clients may supply their own
+via the same header (or body field), and the service generates one
+otherwise.
 
 Connections are keep-alive by default (the load generator reuses one
 connection per in-flight lane); malformed requests get a 400 and the
@@ -49,6 +58,7 @@ def response_to_json(response: InferenceResponse) -> dict:
         "queue_ms": round(response.queue_s * 1e3, 6),
         "total_ms": round(response.total_s * 1e3, 6),
         "error": response.error,
+        "request_id": response.request_id,
     }
 
 
@@ -111,16 +121,31 @@ async def _read_request(
 
 
 def _encode_response(
-    status: int, payload: dict, keep_alive: bool
+    status: int,
+    payload: dict | str,
+    keep_alive: bool,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
+    """Serialize one response.  Dict payloads go out as JSON; string
+    payloads as Prometheus-flavored text/plain (the /metrics route)."""
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 503: "Service Unavailable"}
-    body = (json.dumps(payload) + "\n").encode()
+    if isinstance(payload, str):
+        body = payload.encode()
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(payload) + "\n").encode()
+        content_type = "application/json"
+    extra = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         f"\r\n"
     ).encode("ascii")
     return head + body
@@ -146,10 +171,13 @@ def parse_infer_body(body: bytes) -> dict:
         tenant = doc.get("tenant", "default")
         deadline_ms = doc.get("deadline_ms")
         max_wait_ms = doc.get("max_wait_ms")
+        request_id = doc.get("request_id")
         if not isinstance(program, str):
             raise _BadRequest("program must be a string")
         if not isinstance(tenant, str):
             raise _BadRequest("tenant must be a string")
+        if request_id is not None and not isinstance(request_id, str):
+            raise _BadRequest("request_id must be a string")
         flat_row = isinstance(inputs, list) and all(
             _is_number(v) for v in inputs
         )
@@ -177,31 +205,63 @@ def parse_infer_body(body: bytes) -> dict:
         "tenant": tenant,
         "deadline_s": None if deadline_ms is None else deadline_ms / 1e3,
         "max_wait_s": None if max_wait_ms is None else max_wait_ms / 1e3,
+        "request_id": request_id,
     }
 
 
-async def _handle_infer(service: InferenceService, body: bytes) -> dict:
-    response = await service.submit(**parse_infer_body(body))
+#: Correlation-id header, echoed on every /infer response.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+
+def header_request_id(headers: dict[str, str] | None) -> str | None:
+    """Pull the correlation id out of parsed (lowercased) headers."""
+    if not headers:
+        return None
+    value = headers.get(REQUEST_ID_HEADER.lower())
+    return value or None
+
+
+async def _handle_infer(
+    service: InferenceService,
+    body: bytes,
+    headers: dict[str, str] | None = None,
+) -> dict:
+    kwargs = parse_infer_body(body)
+    # The header wins over the body field: proxies (the shard router)
+    # forward the header without re-encoding the body.
+    kwargs["request_id"] = (
+        header_request_id(headers) or kwargs["request_id"]
+    )
+    response = await service.submit(**kwargs)
     return response_to_json(response)
 
 
 def service_dispatch(service: InferenceService):
     """The inference service's route table as a dispatch callable.
 
-    ``dispatch(method, target, body) -> (status, payload)`` — the
-    shape :func:`handle_connection` drives, and what lets the shard
-    router expose the *same* wire protocol (plus admin routes) from a
-    different implementation.
+    ``dispatch(method, target, body, headers=None) ->
+    (status, payload)`` — the shape :func:`handle_connection` drives,
+    and what lets the shard router expose the *same* wire protocol
+    (plus admin routes) from a different implementation.  ``payload``
+    is a JSON-able dict, or a pre-rendered string for text routes
+    (``/metrics``).
     """
 
-    async def dispatch(method: str, target: str, body: bytes):
+    async def dispatch(
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ):
         if method == "POST" and target == "/infer":
-            return 200, await _handle_infer(service, body)
+            return 200, await _handle_infer(service, body, headers)
         if method == "GET" and target == "/stats":
             return 200, service.stats_dict()
+        if method == "GET" and target == "/metrics":
+            return 200, service.metrics_text()
         if method == "GET" and target == "/healthz":
             return 200, {"ok": True, "programs": service.programs()}
-        if target in ("/infer", "/stats", "/healthz"):
+        if target in ("/infer", "/stats", "/metrics", "/healthz"):
             return 405, {"error": "method not allowed"}
         return 404, {"error": f"no route {target}"}
 
@@ -232,12 +292,21 @@ async def handle_connection(
             method, target, headers, body = parsed
             keep_alive = not connection_closes(headers.get("connection"))
             try:
-                status, payload = await dispatch(method, target, body)
+                status, payload = await dispatch(
+                    method, target, body, headers
+                )
             except _BadRequest as exc:
                 payload, status, keep_alive = {"error": str(exc)}, 400, False
             except ServeError as exc:
                 payload, status = {"error": str(exc)}, 503
-            writer.write(_encode_response(status, payload, keep_alive))
+            extra_headers = None
+            if isinstance(payload, dict) and payload.get("request_id"):
+                extra_headers = {
+                    REQUEST_ID_HEADER: str(payload["request_id"])
+                }
+            writer.write(
+                _encode_response(status, payload, keep_alive, extra_headers)
+            )
             await writer.drain()
             if not keep_alive:
                 break
@@ -287,13 +356,19 @@ class HttpClient:
             )
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict]:
         """One round-trip; reconnects once on a dropped keep-alive."""
         for attempt in (0, 1):
             await self._connect()
             try:
-                return await self._roundtrip(method, path, payload)
+                return await self._roundtrip(
+                    method, path, payload, headers
+                )
             except (ConnectionError, asyncio.IncompleteReadError):
                 await self.close()
                 if attempt:
@@ -301,15 +376,24 @@ class HttpClient:
         raise AssertionError("unreachable")
 
     async def _roundtrip(
-        self, method: str, path: str, payload: dict | None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict]:
         assert self._reader is not None and self._writer is not None
         body = b"" if payload is None else json.dumps(payload).encode()
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Content-Type: application/json\r\n"
+            f"{extra}"
             f"\r\n"
         ).encode("ascii")
         self._writer.write(head + body)
@@ -340,13 +424,19 @@ class HttpClient:
         tenant: str = "default",
         deadline_ms: float | None = None,
         max_wait_ms: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         payload = {"program": program, "inputs": inputs, "tenant": tenant}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         if max_wait_ms is not None:
             payload["max_wait_ms"] = max_wait_ms
-        _status, doc = await self.request("POST", "/infer", payload)
+        headers = (
+            {REQUEST_ID_HEADER: request_id} if request_id else None
+        )
+        _status, doc = await self.request(
+            "POST", "/infer", payload, headers
+        )
         return doc
 
     async def close(self) -> None:

@@ -39,6 +39,8 @@ import hashlib
 
 from ..errors import ReproError, ServeError
 from ..graphs import DAG, OpType, from_json
+from ..obs import trace
+from ..obs.metrics import get_registry
 from ..runner.cache import (
     cached_compile,
     cached_fused_plan,
@@ -62,6 +64,14 @@ from ..workloads.suite import _BY_NAME as _SUITE_NAMES
 #: Default architecture point for served programs (the paper's
 #: min-EDP design, same as the CLI default).
 DEFAULT_CONFIG_LABEL = "D3-B64-R32"
+
+
+def _pool_lookups():
+    return get_registry().counter(
+        "repro_planpool_lookups_total",
+        "Plan-pool lookups by outcome (hit = no build needed)",
+        label_names=("outcome",),
+    )
 
 
 def _config_from_label(label: str):
@@ -372,18 +382,24 @@ class PlanPool:
                 # rebuild, not silently serve the old program.
                 if existing.spec == spec:
                     self.hits += 1
+                    _pool_lookups().inc(outcome="hit")
                     self._by_content.move_to_end(content)
                     return existing
-        program = build_served_program(spec)
+        with trace.span(
+            "planpool.build", "serve", program=spec.key, engine=spec.engine
+        ):
+            program = build_served_program(spec)
         content = self._content_key(spec, program.fingerprint)
         with self._lock:
             existing = self._by_content.get(content)
             if existing is not None:
                 self.hits += 1
+                _pool_lookups().inc(outcome="hit")
                 self._by_content.move_to_end(content)
                 self._by_key[spec.key] = content
                 return existing
             self.misses += 1
+            _pool_lookups().inc(outcome="miss")
             self._install(spec.key, content, program)
             return program
 
@@ -421,6 +437,7 @@ class PlanPool:
                     f"{sorted(self._by_key)}"
                 )
             self.hits += 1
+            _pool_lookups().inc(outcome="hit")
             self._by_content.move_to_end(content)
             return self._by_content[content]
 

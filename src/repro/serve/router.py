@@ -49,12 +49,15 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
+import os
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ServeError
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry, render_registries
 from .batcher import BatchPolicy
 from .planpool import PlanPool, ProgramSpec, ServedProgram
 from .service import InferenceService
@@ -279,12 +282,14 @@ class LocalShard:
         tenant: str = "default",
         deadline_s: float | None = None,
         max_wait_s: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         if self.service is None:
             raise ConnectionError(f"shard {self.shard_id} is down")
         response = await self.service.submit(
             program, inputs, tenant=tenant,
             deadline_s=deadline_s, max_wait_s=max_wait_s,
+            request_id=request_id,
         )
         return {
             "status": response.status,
@@ -292,6 +297,7 @@ class LocalShard:
             "batch": response.batch,
             "rows": response.rows,
             "error": response.error,
+            "request_id": response.request_id,
         }
 
     async def stats(self) -> dict:
@@ -416,6 +422,7 @@ class ProcessShard:
         tenant: str = "default",
         deadline_s: float | None = None,
         max_wait_s: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         from .http import HttpClient
 
@@ -439,6 +446,7 @@ class ProcessShard:
                 program, wire, tenant=tenant,
                 deadline_ms=None if deadline_s is None else deadline_s * 1e3,
                 max_wait_ms=None if max_wait_s is None else max_wait_s * 1e3,
+                request_id=request_id,
             )
         finally:
             self._idle_clients.append(client)
@@ -452,6 +460,7 @@ class ProcessShard:
             "batch": doc.get("batch", 0),
             "rows": doc.get("rows", 1),
             "error": doc.get("error"),
+            "request_id": doc.get("request_id", ""),
         }
 
     async def stats(self) -> dict:
@@ -481,6 +490,7 @@ class RouterStats:
     drains: int = 0
     restarts: int = 0
     per_shard: dict[str, int] = field(default_factory=dict)
+    rejected_by_tenant: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -491,6 +501,9 @@ class RouterStats:
             "drains": self.drains,
             "restarts": self.restarts,
             "per_shard": dict(sorted(self.per_shard.items())),
+            "rejected_by_tenant": dict(
+                sorted(self.rejected_by_tenant.items())
+            ),
         }
 
 
@@ -535,6 +548,8 @@ class ShardRouter:
         self._tenant_inflight: dict[str, int] = {}
         self._shard_inflight: dict[str, int] = {}
         self._shard_idle: dict[str, asyncio.Event] = {}
+        self._next_rid = 0
+        self._rid_prefix = f"r{os.getpid():x}"
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
@@ -578,7 +593,9 @@ class ShardRouter:
             event.clear()
 
     @staticmethod
-    def _local_response(status: str, error: str | None) -> dict:
+    def _local_response(
+        status: str, error: str | None, request_id: str | None = None
+    ) -> dict:
         return {
             "status": status,
             "outputs": None,
@@ -586,6 +603,7 @@ class ShardRouter:
             "rows": 0,
             "error": error,
             "shard": None,
+            "request_id": request_id or "",
         }
 
     async def submit(
@@ -595,6 +613,7 @@ class ShardRouter:
         tenant: str = "default",
         deadline_s: float | None = None,
         max_wait_s: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         """Route one request; returns the shard's wire-shape response
         plus ``"shard"``, the shard that served it.
@@ -603,16 +622,26 @@ class ShardRouter:
         beyond), injects the tenant SLO's deadline / max-wait defaults,
         then routes by content fingerprint with failover: a transport
         error marks the shard down and retries on the ring successor
-        (safe — execution is pure).
+        (safe — execution is pure).  ``request_id`` is minted here when
+        the client didn't send one and forwarded unchanged across the
+        hop, so one correlation id spans router, shard, and batcher —
+        rejections and failover retries carry it too.
         """
+        if not request_id:
+            self._next_rid += 1
+            request_id = f"req-{self._rid_prefix}-{self._next_rid:x}"
         slo = self.slos.get(tenant, self.default_slo)
         inflight = self._tenant_inflight.get(tenant, 0)
         if slo.max_inflight is not None and inflight >= slo.max_inflight:
             self.stats.rejected += 1
+            self.stats.rejected_by_tenant[tenant] = (
+                self.stats.rejected_by_tenant.get(tenant, 0) + 1
+            )
             return self._local_response(
                 "rejected",
                 f"tenant {tenant!r} at admission bound "
                 f"({slo.max_inflight} in flight)",
+                request_id,
             )
         if deadline_s is None and slo.deadline_ms is not None:
             deadline_s = slo.deadline_ms / 1e3
@@ -630,22 +659,35 @@ class ShardRouter:
                 except ServeError:
                     self.stats.failed += 1
                     return self._local_response(
-                        "error", "no healthy shard available"
+                        "error", "no healthy shard available", request_id
                     )
                 shard = self.shards[shard_id]
                 self._track(shard_id, +1)
+                hop = (
+                    trace.begin(
+                        "router.hop", "serve",
+                        shard=shard_id, program=program, tenant=tenant,
+                        request_id=request_id or "",
+                    )
+                    if trace.is_on() else None
+                )
                 try:
                     doc = await shard.submit(
                         program, inputs, tenant=tenant,
                         deadline_s=deadline_s, max_wait_s=max_wait_s,
+                        request_id=request_id,
                     )
-                except _TRANSPORT_ERRORS:
+                except _TRANSPORT_ERRORS as exc:
+                    if hop is not None:
+                        hop.set(error=type(exc).__name__).finish()
                     self._down.add(shard_id)
                     tried.add(shard_id)
                     self.stats.failovers += 1
                     continue
                 finally:
                     self._track(shard_id, -1)
+                if hop is not None:
+                    hop.set(status=doc.get("status", "error")).finish()
                 self.stats.routed += 1
                 self.stats.per_shard[shard_id] = (
                     self.stats.per_shard.get(shard_id, 0) + 1
@@ -754,6 +796,95 @@ class ShardRouter:
             },
         }
 
+    async def fleet_stats(self) -> dict:
+        """Fleet rollup: aggregate throughput, per-tenant rejects, and
+        per-shard health — the operator's one-glance view, served
+        under ``"fleet"`` in the router's ``GET /stats``."""
+        shard_stats: dict[str, dict] = {}
+        for shard_id, shard in self.shards.items():
+            try:
+                shard_stats[shard_id] = await shard.stats()
+            except _TRANSPORT_ERRORS:
+                shard_stats[shard_id] = {}
+        total_rows = sum(
+            s.get("rows_executed", 0) for s in shard_stats.values()
+        )
+        rows_per_s = sum(
+            s["rows_executed"] / s["uptime_s"]
+            for s in shard_stats.values()
+            if s.get("uptime_s")
+        )
+        return {
+            "rows_executed": total_rows,
+            "rows_per_s": round(rows_per_s, 3),
+            "rejected_by_tenant": dict(
+                sorted(self.stats.rejected_by_tenant.items())
+            ),
+            "shards": {
+                shard_id: {
+                    "state": (
+                        "draining" if shard_id in self._draining
+                        else "down" if shard_id in self._down
+                        else "active"
+                    ),
+                    "healthy": bool(shard_stats[shard_id]),
+                    "inflight": self._shard_inflight.get(shard_id, 0),
+                    "requests": self.stats.per_shard.get(shard_id, 0),
+                    "rows_executed": shard_stats[shard_id].get(
+                        "rows_executed", 0
+                    ),
+                }
+                for shard_id in sorted(self.shards)
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition for the router front end's ``GET
+        /metrics``: router totals, per-shard routing + health, and the
+        process-wide registry.  Built fresh per scrape from the same
+        counters ``/stats`` reports — one source of truth."""
+        reg = MetricsRegistry()
+        for name, help_, value in (
+            ("routed", "Requests routed to a shard", self.stats.routed),
+            ("rejected", "Requests refused by tenant admission",
+             self.stats.rejected),
+            ("failed", "Requests failed with no shard available",
+             self.stats.failed),
+            ("failovers", "Transport errors retried on a ring successor",
+             self.stats.failovers),
+            ("drains", "Shard drains", self.stats.drains),
+            ("restarts", "Shard restarts", self.stats.restarts),
+        ):
+            reg.counter(f"repro_router_{name}_total", help_).set_total(value)
+        shard_req = reg.counter(
+            "repro_router_shard_requests_total",
+            "Requests served, by shard",
+            label_names=("shard",),
+        )
+        for shard_id, n in self.stats.per_shard.items():
+            shard_req.set_total(n, shard=shard_id)
+        tenant_rej = reg.counter(
+            "repro_router_tenant_rejected_total",
+            "Admission rejections, by tenant",
+            label_names=("tenant",),
+        )
+        for tenant, n in self.stats.rejected_by_tenant.items():
+            tenant_rej.set_total(n, tenant=tenant)
+        up = reg.gauge(
+            "repro_router_shard_up",
+            "1 when the shard is in rotation, 0 when draining or down",
+            label_names=("shard",),
+        )
+        for shard_id in self.shards:
+            up.set(
+                0.0 if shard_id in self.excluded else 1.0, shard=shard_id
+            )
+        reg.gauge(
+            "repro_router_inflight",
+            "Requests currently in flight across all shards",
+        ).set(sum(self._shard_inflight.values()))
+        return render_registries(reg, get_registry())
+
 
 # ---------------------------------------------------------------------
 # HTTP front end + oracle hook
@@ -764,7 +895,7 @@ def router_dispatch(router: ShardRouter):
     plus ``/admin`` (topology, drain, restart)."""
     import json
 
-    from .http import _BadRequest, parse_infer_body
+    from .http import _BadRequest, header_request_id, parse_infer_body
 
     def _admin_shard(body: bytes) -> str:
         try:
@@ -776,9 +907,20 @@ def router_dispatch(router: ShardRouter):
             raise _BadRequest("shard must be a string")
         return shard_id
 
-    async def dispatch(method: str, target: str, body: bytes):
+    async def dispatch(
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ):
         if method == "POST" and target == "/infer":
-            doc = await router.submit(**parse_infer_body(body))
+            kwargs = parse_infer_body(body)
+            # Header wins over the body field, same as the shard's own
+            # front end — the id then rides the forwarded hop intact.
+            kwargs["request_id"] = (
+                header_request_id(headers) or kwargs["request_id"]
+            )
+            doc = await router.submit(**kwargs)
             outputs = doc.get("outputs")
             if outputs is not None:
                 doc = dict(
@@ -787,7 +929,11 @@ def router_dispatch(router: ShardRouter):
                 )
             return 200, doc
         if method == "GET" and target == "/stats":
-            return 200, router.stats_dict()
+            return 200, dict(
+                router.stats_dict(), fleet=await router.fleet_stats()
+            )
+        if method == "GET" and target == "/metrics":
+            return 200, router.metrics_text()
         if method == "GET" and target == "/healthz":
             health = await router.check_health()
             return 200, {
@@ -806,7 +952,7 @@ def router_dispatch(router: ShardRouter):
         if method == "POST" and target == "/admin/restart":
             await router.restart(_admin_shard(body))
             return 200, {"ok": True}
-        if target in ("/infer", "/stats", "/healthz",
+        if target in ("/infer", "/stats", "/healthz", "/metrics",
                       "/admin/topology", "/admin/drain", "/admin/restart"):
             return 405, {"error": "method not allowed"}
         return 404, {"error": f"no route {target}"}

@@ -27,14 +27,21 @@ answered ``status="timeout"`` without being executed.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ReproError, ServeError
+from ..obs import trace
+from ..obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    render_registries,
+)
 from ..runner.cache import cache_env
 from ..runner.orchestrator import _init_worker
 from .batcher import BatchPolicy, MicroBatcher
@@ -56,6 +63,9 @@ class InferenceRequest:
     tenant: str = "default"
     deadline_s: float | None = None  # relative to submission
     submitted_at: float = 0.0  # loop clock
+    #: Correlation id carried over HTTP (``X-Repro-Request-Id``) and
+    #: across router hops; generated at submission when absent.
+    request_id: str = ""
 
     @property
     def rows(self) -> int:
@@ -85,25 +95,50 @@ class InferenceResponse:
     total_s: float
     rows: int = 1
     error: str | None = None
+    request_id: str = ""
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
 
-@dataclass
 class ServiceStats:
-    """Service-lifetime totals (snapshot via :meth:`as_dict`)."""
+    """Service-lifetime totals (snapshot via :meth:`as_dict`).
 
-    submitted: int = 0
-    completed: int = 0
-    rejected: int = 0
-    timed_out: int = 0
-    errors: int = 0
-    rows_executed: int = 0
-    # Monotonic, not wall-clock: an NTP step must not warp uptime
-    # or any stats derived from it.
-    started_at: float = field(default_factory=time.monotonic)
+    The integer fields are properties over obs counters in a
+    per-instance :class:`~repro.obs.metrics.MetricsRegistry`, so
+    ``GET /metrics`` renders the same numbers Prometheus-style while
+    ``as_dict`` (and ``stats.submitted += 1`` call sites) keep their
+    exact legacy shape.  Per-instance, not the global registry: two
+    services in one process must not alias each other's counts.
+    """
+
+    _COUNTERS = (
+        ("submitted", "Requests entering submit()"),
+        ("completed", "Requests resolved ok"),
+        ("rejected", "Requests refused by admission control"),
+        ("timed_out", "Requests whose deadline passed before execution"),
+        ("errors", "Requests resolved with an error"),
+        ("rows_executed", "Input rows executed across all micro-batches"),
+    )
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"repro_serve_{name}_total", help_)
+            for name, help_ in self._COUNTERS
+        }
+        self.queue_wait = self.registry.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Time a request waited for its micro-batch to form",
+        )
+        self.latency = self.registry.histogram(
+            "repro_serve_request_seconds",
+            "Submit-to-response latency",
+        )
+        # Monotonic, not wall-clock: an NTP step must not warp uptime
+        # or any stats derived from it.
+        self.started_at: float = time.monotonic()
 
     def as_dict(self, batcher_stats=None) -> dict:
         doc = {
@@ -123,6 +158,21 @@ class ServiceStats:
                 for k, v in sorted(batcher_stats.batch_sizes.items())
             }
         return doc
+
+
+def _stat_property(name: str) -> property:
+    def _get(self) -> int:
+        return int(self._counters[name].value())
+
+    def _set(self, value: int) -> None:
+        self._counters[name].set_total(value)
+
+    return property(_get, _set)
+
+
+for _name, _help in ServiceStats._COUNTERS:
+    setattr(ServiceStats, _name, _stat_property(_name))
+del _name, _help
 
 
 class InferenceService:
@@ -157,6 +207,7 @@ class InferenceService:
         self._batcher: MicroBatcher | None = None
         self._executor: ProcessPoolExecutor | None = None
         self._next_id = 0
+        self._rid_prefix = f"{os.getpid():x}"
 
     # -- program management -------------------------------------------
     def register(self, spec: ProgramSpec) -> ServedProgram:
@@ -217,6 +268,7 @@ class InferenceService:
         tenant: str = "default",
         deadline_s: float | None = None,
         max_wait_s: float | None = None,
+        request_id: str | None = None,
     ) -> InferenceResponse:
         """Submit one request and await its response.
 
@@ -225,6 +277,10 @@ class InferenceService:
         and resolve together).  ``max_wait_s`` tightens the batcher's
         ``max_wait`` bound for this request only — the per-tenant SLO
         override the shard router applies for latency-class tenants.
+        ``request_id`` is the end-to-end correlation id (generated
+        here when the client did not send one); it rides every
+        response — including rejections and timeouts — so failures
+        in chaos runs stay attributable.
 
         Never raises for per-request problems — unknown programs,
         malformed rows, backpressure and deadline misses all come back
@@ -250,6 +306,11 @@ class InferenceService:
             tenant=tenant,
             deadline_s=deadline_s,
             submitted_at=now,
+            request_id=(
+                request_id
+                if request_id
+                else f"req-{self._rid_prefix}-{self._next_id:x}"
+            ),
         )
         if bad_inputs is not None:
             self.stats.errors += 1
@@ -292,7 +353,7 @@ class InferenceService:
     ) -> InferenceResponse:
         loop = asyncio.get_running_loop()
         now = loop.time()
-        return InferenceResponse(
+        response = InferenceResponse(
             id=request.id,
             program=request.program,
             tenant=request.tenant,
@@ -303,7 +364,35 @@ class InferenceService:
             total_s=max(now - request.submitted_at, 0.0),
             rows=request.rows,
             error=error,
+            request_id=request.request_id,
         )
+        self._observe(request, response)
+        return response
+
+    def _observe(
+        self, request: InferenceRequest, response: InferenceResponse
+    ) -> None:
+        """Per-response accounting: latency histogram + request span.
+
+        The span is stamped with the request's recorded submission
+        instant, so the trace shows the full submit-to-response
+        lifetime even though it is recorded only at resolution — the
+        safe way to span an ``await``-interleaved lifecycle without
+        misparenting concurrent requests.
+        """
+        self.stats.latency.observe(response.total_s)
+        if trace.is_on():
+            trace.begin(
+                "serve.request",
+                "serve",
+                parent=None,
+                start_ns=int(request.submitted_at * 1e9),
+                request_id=request.request_id,
+                program=request.program,
+                tenant=request.tenant,
+                status=response.status,
+                rows=response.rows,
+            ).finish()
 
     # -- batch execution ----------------------------------------------
     async def _on_batch(self, key: str, items: list) -> None:
@@ -338,6 +427,26 @@ class InferenceService:
                 rows.append(request.inputs)
             spans.append((start, len(rows) - start))
         size = len(rows)
+        for request, _ in live:
+            self.stats.queue_wait.observe(
+                max(now - request.submitted_at, 0.0)
+            )
+        batch_span = trace.begin(
+            "serve.batch",
+            "serve",
+            parent=None,
+            program=key,
+            requests=len(live),
+            rows=size,
+            request_ids=[request.request_id for request, _ in live],
+        ) if trace.is_on() else None
+        exec_span = (
+            trace.begin(
+                "serve.execute", "serve", parent=batch_span.span_id
+            )
+            if batch_span is not None
+            else None
+        )
         try:
             program = self.pool.get(key)
             if self._executor is not None:
@@ -354,6 +463,9 @@ class InferenceService:
             # Not just ReproError: a worker pool dying mid-batch
             # (BrokenProcessPool, pickling failures, ...) must still
             # resolve every future — an accepted request never hangs.
+            if exec_span is not None:
+                exec_span.set(error=type(exc).__name__).finish()
+                batch_span.finish()
             self.stats.errors += len(live)
             for request, future in live:
                 self._resolve(
@@ -364,6 +476,15 @@ class InferenceService:
                     ),
                 )
             return
+        if exec_span is not None:
+            exec_span.finish()
+        scatter_span = (
+            trace.begin(
+                "serve.scatter", "serve", parent=batch_span.span_id
+            )
+            if batch_span is not None
+            else None
+        )
         self.stats.completed += len(live)
         self.stats.rows_executed += size
         # Scatter inline (no per-request _finish) — this loop is the
@@ -379,7 +500,7 @@ class InferenceService:
                 outputs = {
                     node: float(col[start]) for node, col in columns.items()
                 }
-            self._resolve(future, InferenceResponse(
+            response = InferenceResponse(
                 id=request.id,
                 program=request.program,
                 tenant=request.tenant,
@@ -389,7 +510,13 @@ class InferenceService:
                 queue_s=max(now - request.submitted_at, 0.0),
                 total_s=max(done - request.submitted_at, 0.0),
                 rows=count,
-            ))
+                request_id=request.request_id,
+            )
+            self._observe(request, response)
+            self._resolve(future, response)
+        if scatter_span is not None:
+            scatter_span.finish()
+            batch_span.finish()
 
     @staticmethod
     def _resolve(future: asyncio.Future, response: InferenceResponse) -> None:
@@ -397,6 +524,27 @@ class InferenceService:
             future.set_result(response)
 
     # -- observability -------------------------------------------------
+    def metrics_text(self) -> str:
+        """Prometheus exposition for ``GET /metrics``: this service's
+        registry, the batcher's, and the process-wide one (compiler,
+        engines, plan pool), plus point-in-time gauges."""
+        gauges = self.stats.registry
+        gauges.gauge(
+            "repro_serve_uptime_seconds", "Seconds since service start"
+        ).set(time.monotonic() - self.stats.started_at)
+        gauges.gauge(
+            "repro_serve_queue_depth",
+            "Queued + in-flight requests across all programs",
+        ).set(self._batcher.depth if self._batcher is not None else 0)
+        gauges.gauge(
+            "repro_serve_programs", "Programs in the plan pool"
+        ).set(len(self.pool))
+        registries = [self.stats.registry]
+        if self._batcher is not None:
+            registries.append(self._batcher.stats.registry)
+        registries.append(get_registry())
+        return render_registries(*registries)
+
     def stats_dict(self) -> dict:
         batcher_stats = (
             self._batcher.stats if self._batcher is not None else None

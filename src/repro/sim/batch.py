@@ -48,9 +48,11 @@ import numpy as np
 
 from ..arch import Interconnect, Program
 from ..errors import SimulationError
+from ..obs import trace
 from .functional import ActivityCounters
 from .fused import (
     FusedPlan,
+    _execute_fused_traced,
     bind_sweep,
     compiled_sweep,
     estimated_fused_cells,
@@ -392,8 +394,22 @@ class BatchSimulator:
         plan = self.plan
         # Scalar Python floats overflow to inf silently; match that
         # instead of spraying RuntimeWarnings over deep product chains.
-        with np.errstate(over="ignore", invalid="ignore"):
-            if sweep is not None:
+        # The sampled span is per batch (not per row or step), so the
+        # disabled path pays one boolean check per sweep.
+        sp = trace.sampled_span(
+            "batch.sweep",
+            "engine",
+            engine=self.engine,
+            batch=batch,
+            workload=plan.source_name,
+        )
+        with np.errstate(over="ignore", invalid="ignore"), sp:
+            if self._fused is not None and sp.span_id is not None:
+                # Sampled sweep: swap the bound closure for the traced
+                # twin so per-level spans land under this batch.sweep
+                # (the closure's hot path carries no instrumentation).
+                _execute_fused_traced(self._fused, state)
+            elif sweep is not None:
                 sweep()
             elif self._fused is not None:
                 execute_fused(self._fused, state)

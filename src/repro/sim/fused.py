@@ -77,6 +77,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .functional import ActivityCounters
 from .plan import ComputeStep, ExecutionPlan, MoveStep, contiguous_slice
 
@@ -234,6 +236,16 @@ def fuse_plan(plan: ExecutionPlan) -> FusedPlan:
     source plan already carries them), and no data is touched — the
     tape is replayed over value *ids* only.
     """
+    with trace.span(
+        "plan.fuse",
+        "engine",
+        workload=plan.source_name,
+        steps=len(plan.steps),
+    ):
+        return _fuse_plan(plan)
+
+
+def _fuse_plan(plan: ExecutionPlan) -> FusedPlan:
     base = plan.state_size
     n_ops = 0
     for step in plan.steps:
@@ -436,7 +448,15 @@ def execute_fused(fused: FusedPlan, state: np.ndarray) -> None:
     All kernel reads and writes go through flat 1-D contiguous views
     — cell range ``[lo, hi)`` is flat range ``[lo*B, hi*B)`` — with
     one merged fancy gather per level for the non-contiguous operands.
+
+    When tracing is enabled, a sampled fraction of sweeps (one in
+    :func:`repro.obs.trace.set_sample_every`, default 16) records a
+    span per dependence level — per-kernel timing at full rate would
+    dwarf the microsecond-scale ufunc calls it measures.
     """
+    if trace.is_on() and trace.should_sample():
+        _execute_fused_traced(fused, state)
+        return
     batch = state.shape[1]
     flat = state.reshape(-1)
     for lv in fused.levels:
@@ -449,6 +469,43 @@ def execute_fused(fused: FusedPlan, state: np.ndarray) -> None:
                 b_buf[k.b_start * batch : k.b_stop * batch],
                 out=flat[k.out_start * batch : k.out_stop * batch],
             )
+
+
+def _execute_fused_traced(fused: FusedPlan, state: np.ndarray) -> None:
+    """The sampled-sweep twin of :func:`execute_fused`: identical
+    kernel calls, plus one span per level."""
+    batch = state.shape[1]
+    flat = state.reshape(-1)
+    with trace.span(
+        "fused.sweep",
+        "engine",
+        workload=fused.source_name,
+        batch=batch,
+        levels=len(fused.levels),
+    ):
+        for li, lv in enumerate(fused.levels):
+            with trace.span(
+                "fused.level",
+                "engine",
+                level=li + 1,
+                kernels=len(lv.kernels),
+                gather_rows=0 if lv.gather is None else int(
+                    lv.gather.shape[0]
+                ),
+            ):
+                gf = (
+                    state[lv.gather].reshape(-1)
+                    if lv.gather is not None
+                    else None
+                )
+                for k in lv.kernels:
+                    a_buf = flat if k.a_src == SRC_STATE else gf
+                    b_buf = flat if k.b_src == SRC_STATE else gf
+                    _UFUNCS[k.opcode](
+                        a_buf[k.a_start * batch : k.a_stop * batch],
+                        b_buf[k.b_start * batch : k.b_stop * batch],
+                        out=flat[k.out_start * batch : k.out_stop * batch],
+                    )
 
 
 def bind_sweep(
@@ -622,12 +679,29 @@ def compile_sweep(
 _SWEEP_MEMO: dict[str, Callable[[np.ndarray], Callable[[], None]]] = {}
 
 
+def _codegen_compiles():
+    return get_registry().counter(
+        "repro_codegen_compiles_total",
+        "Fused-codegen sweep compilations by memo outcome",
+        label_names=("outcome",),
+    )
+
+
 def compiled_sweep(
     fused: FusedPlan, source: str | None = None
 ) -> Callable[[np.ndarray], Callable[[], None]]:
     """Memoized :func:`compile_sweep` (one compile per plan content)."""
     fn = _SWEEP_MEMO.get(fused.fingerprint)
     if fn is None:
-        fn = compile_sweep(fused, source)
+        _codegen_compiles().inc(outcome="miss")
+        with trace.span(
+            "codegen.compile",
+            "engine",
+            workload=fused.source_name,
+            ops=fused.num_ops,
+        ):
+            fn = compile_sweep(fused, source)
         _SWEEP_MEMO[fused.fingerprint] = fn
+    else:
+        _codegen_compiles().inc(outcome="hit")
     return fn

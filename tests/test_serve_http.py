@@ -63,6 +63,7 @@ class TestParseInferBody:
             "tenant": "default",
             "deadline_s": None,
             "max_wait_s": None,
+            "request_id": None,
         }
 
     def test_multi_row_with_knobs(self):

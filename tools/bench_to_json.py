@@ -73,6 +73,7 @@ def host_info() -> dict:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "hostname": platform.node(),
         "cpus": os.cpu_count() or 1,
     }
 
